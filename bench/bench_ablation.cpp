@@ -1,0 +1,67 @@
+// Ablations — the design choices DESIGN.md calls out, each toggled on the
+// NT3 small-space search (fast enough to sweep):
+//
+//   1. PPO clipping:   clip=0.2 (paper) vs effectively unclipped
+//   2. Evaluation cache: on (paper) vs off — the cache drives both the late
+//      utilization decay and the convergence stop
+//   3. A3C gradient handling: immediate apply vs windowed recent-average
+//   4. Entropy bonus: 0.01 vs none — exploration pressure
+//
+// Reported per variant: mean reward in the final third of the search, best
+// reward, cache hits, and whether the search converged.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ncnas;
+  const bench::Args args = bench::Args::parse(argc, argv, /*default_minutes=*/60.0);
+  tensor::ThreadPool pool;
+
+  struct Variant {
+    const char* name;
+    std::function<void(nas::SearchConfig&)> tweak;
+  };
+  const Variant variants[] = {
+      {"paper defaults", [](nas::SearchConfig&) {}},
+      {"no PPO clip", [](nas::SearchConfig& c) { c.ppo.clip = 1e6f; }},
+      {"no eval cache", [](nas::SearchConfig& c) { c.use_cache = false; }},
+      {"A3C window=9", [](nas::SearchConfig& c) { c.async_window = 9; }},
+      {"no entropy bonus", [](nas::SearchConfig& c) { c.ppo.entropy_coef = 0.0f; }},
+      {"1 PPO epoch", [](nas::SearchConfig& c) { c.ppo.epochs = 1; }},
+  };
+
+  std::cout << "# Ablations: A3C on nt3-small, " << args.minutes << " simulated min\n\n";
+  analytics::Table table({"variant", "late mean ACC", "best ACC", "cache hits", "unique",
+                          "converged"});
+  for (const Variant& v : variants) {
+    nas::SearchConfig cfg = bench::paper_config("nt3-small", nas::SearchStrategy::kA3C,
+                                                args.minutes, args.seed);
+    v.tweak(cfg);
+    // Ablations are variants, not paper figures: tag them separately.
+    const std::string tag = std::string("ablation_") + v.name;
+    std::string clean;
+    for (char ch : tag) clean += (std::isalnum(static_cast<unsigned char>(ch)) ? ch : '_');
+    const nas::SearchResult res = nas::run_or_load(
+        bench::kLogDir, clean, nas::config_fingerprint(cfg, "nt3-small") + "|" + v.name, [&] {
+          const space::SearchSpace sp = space::space_by_name("nt3-small");
+          const data::Dataset ds = bench::dataset_for_space("nt3-small");
+          return nas::SearchDriver(sp, ds, cfg, &pool).run();
+        });
+
+    const double t_late = 2.0 * res.end_time / 3.0;
+    double late_acc = 0.0;
+    std::size_t late_n = 0;
+    float best = 0.0f;
+    for (const auto& e : res.evals) {
+      best = std::max(best, e.reward);
+      if (e.time >= t_late) {
+        late_acc += e.reward;
+        ++late_n;
+      }
+    }
+    table.add_row({v.name, analytics::fmt(late_n ? late_acc / late_n : 0.0),
+                   analytics::fmt(best), std::to_string(res.cache_hits),
+                   std::to_string(res.unique_archs), res.converged_early ? "yes" : "no"});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,237 @@
+// Shared plumbing for the per-figure bench binaries: dataset/space lookup,
+// paper-layout cluster configs, search execution with on-disk log reuse
+// (nas_logs/), and result printing.
+//
+// Cluster scaling: the host is a single core, so the paper's 256/512/1,024
+// KNL-node layouts are reproduced at 1/4 node scale with the same
+// agent-to-worker structure (the quantities the figures study — utilization
+// shape, sync-vs-async behaviour, agent- vs worker-scaling — depend on the
+// layout ratios, not the absolute node count):
+//
+//   paper 256  (21a x 11w)  ->  S   (9a x 5w)
+//   paper 512w (21a x 23w)  ->  2Sw (9a x 11w)
+//   paper 512a (42a x 11w)  ->  2Sa (18a x 5w)
+//   paper 1024w(21a x 47w)  ->  4Sw (9a x 21w)
+//   paper 1024a(85a x 11w)  ->  4Sa (36a x 5w)
+//
+// Every bench accepts:
+//   --minutes M     simulated wall-clock per search (default per bench)
+//   --seed S        experiment seed
+//   --quick         1/4-length runs for smoke testing
+#pragma once
+
+#include <cstring>
+#include <iostream>
+#include <numeric>
+#include <sstream>
+#include <string>
+
+#include "ncnas/analytics/posttrain.hpp"
+#include "ncnas/analytics/report.hpp"
+#include "ncnas/analytics/series.hpp"
+#include "ncnas/data/baselines.hpp"
+#include "ncnas/data/dataset.hpp"
+#include "ncnas/exec/presets.hpp"
+#include "ncnas/nas/driver.hpp"
+#include "ncnas/nas/result_io.hpp"
+#include "ncnas/space/spaces.hpp"
+#include "ncnas/tensor/thread_pool.hpp"
+
+namespace ncnas::bench {
+
+inline constexpr const char* kLogDir = "nas_logs";
+
+struct Args {
+  double minutes;
+  std::uint64_t seed = 2019;
+  bool quick = false;
+
+  static Args parse(int argc, char** argv, double default_minutes) {
+    Args args{default_minutes};
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--minutes") == 0 && i + 1 < argc) {
+        args.minutes = std::atof(argv[++i]);
+      } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+        args.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+      } else if (std::strcmp(argv[i], "--quick") == 0) {
+        args.quick = true;
+      }
+    }
+    if (args.quick) args.minutes /= 4.0;
+    return args;
+  }
+};
+
+/// Dataset for a space name ("combo-small" -> combo, ...), fixed seed so all
+/// benches study the same synthetic world.
+inline data::Dataset dataset_for_space(const std::string& space_name) {
+  if (space_name.starts_with("combo")) return data::make_combo(1);
+  if (space_name.starts_with("uno")) return data::make_uno(1);
+  return data::make_nt3(1);
+}
+
+inline std::string dataset_name_of(const std::string& space_name) {
+  return space_name.substr(0, space_name.find('-'));
+}
+
+/// 1/4-scale equivalents of the paper's node layouts (see file header).
+inline nas::ClusterConfig cluster_s() { return {.num_agents = 9, .workers_per_agent = 5}; }
+inline nas::ClusterConfig cluster_2s_worker() {
+  return {.num_agents = 9, .workers_per_agent = 11};
+}
+inline nas::ClusterConfig cluster_2s_agent() {
+  return {.num_agents = 18, .workers_per_agent = 5};
+}
+inline nas::ClusterConfig cluster_4s_worker() {
+  return {.num_agents = 9, .workers_per_agent = 21};
+}
+inline nas::ClusterConfig cluster_4s_agent() {
+  return {.num_agents = 36, .workers_per_agent = 5};
+}
+
+/// Dedicated layout for the compute-heavy large-space trajectory benches
+/// (Figs. 6, 8, 11, 12): same agent-to-worker ratio, fewer nodes.
+inline nas::ClusterConfig cluster_large_space() {
+  return {.num_agents = 5, .workers_per_agent = 3};
+}
+
+inline nas::SearchConfig paper_config(const std::string& space_name,
+                                      nas::SearchStrategy strategy, double minutes,
+                                      std::uint64_t seed, double subset_fraction = -1.0,
+                                      nas::ClusterConfig cluster = cluster_s()) {
+  const std::string ds = dataset_name_of(space_name);
+  nas::SearchConfig cfg;
+  cfg.strategy = strategy;
+  cfg.cluster = cluster;
+  cfg.wall_time_seconds = minutes * 60.0;
+  cfg.fidelity = exec::default_fidelity_for_space(space_name, subset_fraction);
+  cfg.cost = exec::default_cost_for_space(space_name);
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// Tag encoding the run configuration, used as the log filename.
+inline std::string run_tag(const std::string& space_name, const nas::SearchConfig& cfg) {
+  std::ostringstream os;
+  os << space_name << '_' << nas::strategy_name(cfg.strategy) << '_'
+     << cfg.cluster.num_agents << 'x' << cfg.cluster.workers_per_agent << '_'
+     << static_cast<int>(cfg.wall_time_seconds / 60.0) << "m_s" << cfg.seed;
+  if (cfg.fidelity.subset_fraction != exec::default_fidelity(dataset_name_of(space_name))
+                                          .subset_fraction) {
+    os << "_f" << static_cast<int>(cfg.fidelity.subset_fraction * 100.0);
+  }
+  return os.str();
+}
+
+/// Runs the search or loads its saved log (shared across bench binaries).
+inline nas::SearchResult run_search(const std::string& space_name,
+                                    const nas::SearchConfig& cfg, tensor::ThreadPool& pool) {
+  return nas::run_or_load(kLogDir, run_tag(space_name, cfg),
+                          nas::config_fingerprint(cfg, space_name), [&] {
+                            const space::SearchSpace sp = space::space_by_name(space_name);
+                            const data::Dataset ds = dataset_for_space(space_name);
+                            nas::SearchDriver driver(sp, ds, cfg, &pool);
+                            return driver.run();
+                          });
+}
+
+/// (time, reward) pairs of all completed evaluations, for resample_mean.
+inline std::vector<std::pair<double, float>> reward_stream(const nas::SearchResult& res) {
+  std::vector<std::pair<double, float>> out;
+  out.reserve(res.evals.size());
+  for (const auto& e : res.evals) out.emplace_back(e.time, e.reward);
+  return out;
+}
+
+/// Trajectory rows: per bucket, the paper's reward-over-time view (mean
+/// reward of evaluations in the bucket) alongside the running best.
+inline void print_trajectory(const std::string& label, const nas::SearchResult& res,
+                             double total_minutes, double bucket_minutes, double floor) {
+  const double t_end = total_minutes * 60.0;
+  const double bucket = bucket_minutes * 60.0;
+  const auto mean_series = analytics::resample_mean(reward_stream(res), t_end, bucket, floor);
+  const auto best_series = analytics::resample_best(res.best_so_far(), t_end, bucket, floor);
+  for (std::size_t i = 0; i < mean_series.size(); ++i) {
+    std::cout << label << '\t' << analytics::fmt((i + 1) * bucket_minutes, 0) << '\t'
+              << "mean=" << analytics::fmt(mean_series[i], 4) << '\t'
+              << "best=" << analytics::fmt(best_series[i], 4) << '\n';
+  }
+}
+
+/// Utilization rows resampled onto `bucket_minutes`.
+inline void print_utilization(const std::string& label, const nas::SearchResult& res,
+                              double bucket_minutes) {
+  // The stored series is per-minute; aggregate into the requested buckets.
+  const std::size_t stride = static_cast<std::size_t>(
+      std::max(1.0, bucket_minutes * 60.0 / res.utilization_bucket));
+  std::vector<double> coarse;
+  for (std::size_t i = 0; i < res.utilization.size(); i += stride) {
+    double acc = 0.0;
+    std::size_t n = 0;
+    for (std::size_t j = i; j < std::min(i + stride, res.utilization.size()); ++j, ++n) {
+      acc += res.utilization[j];
+    }
+    coarse.push_back(n > 0 ? acc / static_cast<double>(n) : 0.0);
+  }
+  analytics::print_series(std::cout, label, coarse, bucket_minutes * 60.0);
+}
+
+inline void print_run_summary(const std::string& label, const nas::SearchResult& res) {
+  float best = -1.0f;
+  for (const auto& e : res.evals) best = std::max(best, e.reward);
+  std::cout << label << "  evals=" << res.evals.size() << " cached=" << res.cache_hits
+            << " timeouts=" << res.timeouts << " unique=" << res.unique_archs
+            << " best=" << analytics::fmt(best) << " end="
+            << analytics::fmt(res.end_time / 60.0, 0) << "min"
+            << (res.converged_early ? " (converged)" : "") << "\n";
+}
+
+/// Post-trains the top-k of a search and prints the paper's three ratios per
+/// model plus their quantiles. Returns the per-model rows (baseline first).
+inline std::vector<analytics::PostTrainResult> post_train_report(
+    const std::string& space_name, const nas::SearchResult& res, std::size_t k,
+    tensor::ThreadPool& pool, const char* heading) {
+  const space::SearchSpace sp = space::space_by_name(space_name);
+  const data::Dataset ds = dataset_for_space(space_name);
+  analytics::PostTrainOptions opts;  // 20 epochs, full data — the paper's stage 2
+  const analytics::PostTrainResult baseline = analytics::post_train_baseline(ds, opts);
+  const auto top = res.top_k(k);
+  const auto models = analytics::post_train_many(sp, ds, top, opts, &pool);
+
+  std::cout << "\n== " << heading << " (top-" << top.size() << " of " << space_name
+            << ", baseline: " << baseline.params << " params, "
+            << analytics::fmt(baseline.train_seconds, 2) << "s, "
+            << nn::metric_name(ds.metric) << "=" << analytics::fmt(baseline.final_metric)
+            << ") ==\n";
+  analytics::Table table({"rank", "est.reward", nn::metric_name(ds.metric), "acc ratio",
+                          "Pb/P", "Tb/T", "params"});
+  std::vector<double> acc_r, par_r, time_r;
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    const analytics::RatioRow row = analytics::ratios(models[i], baseline);
+    acc_r.push_back(row.accuracy_ratio);
+    par_r.push_back(row.param_ratio);
+    time_r.push_back(row.time_ratio);
+    table.add_row({std::to_string(i + 1), analytics::fmt(models[i].search_reward),
+                   analytics::fmt(models[i].final_metric), analytics::fmt(row.accuracy_ratio),
+                   analytics::fmt(row.param_ratio, 1), analytics::fmt(row.time_ratio, 1),
+                   std::to_string(models[i].params)});
+  }
+  table.print(std::cout);
+  if (!models.empty()) {
+    std::cout << "quantiles  acc-ratio q10/50/90: " << analytics::fmt(analytics::quantile(acc_r, 0.1))
+              << "/" << analytics::fmt(analytics::quantile(acc_r, 0.5)) << "/"
+              << analytics::fmt(analytics::quantile(acc_r, 0.9))
+              << "   Pb/P: " << analytics::fmt(analytics::quantile(par_r, 0.1), 1) << "/"
+              << analytics::fmt(analytics::quantile(par_r, 0.5), 1) << "/"
+              << analytics::fmt(analytics::quantile(par_r, 0.9), 1)
+              << "   Tb/T: " << analytics::fmt(analytics::quantile(time_r, 0.1), 1) << "/"
+              << analytics::fmt(analytics::quantile(time_r, 0.5), 1) << "/"
+              << analytics::fmt(analytics::quantile(time_r, 0.9), 1) << "\n";
+  }
+  std::vector<analytics::PostTrainResult> out;
+  out.push_back(baseline);
+  out.insert(out.end(), models.begin(), models.end());
+  return out;
+}
+
+}  // namespace ncnas::bench

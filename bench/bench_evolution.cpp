@@ -1,0 +1,45 @@
+// Extension — the paper's future-work comparison: RL-based NAS (A3C) versus
+// an "extremely scalable evolutionary approach" (island-model aging
+// evolution, MENNDL-style) versus random search, on the identical evaluation
+// pipeline and cluster layout. Also demonstrates the custom multi-objective
+// reward hook on the evolution strategy.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ncnas;
+  const bench::Args args = bench::Args::parse(argc, argv, /*default_minutes=*/60.0);
+  tensor::ThreadPool pool;
+
+  std::cout << "# Extension: A3C vs aging evolution vs RDM (nt3-small)\n\n";
+  const nas::SearchStrategy strategies[] = {nas::SearchStrategy::kA3C,
+                                            nas::SearchStrategy::kEvolution,
+                                            nas::SearchStrategy::kRandom};
+  analytics::Table table({"strategy", "late mean ACC", "best ACC", "unique", "evals"});
+  for (nas::SearchStrategy strategy : strategies) {
+    nas::SearchConfig cfg =
+        bench::paper_config("nt3-small", strategy, args.minutes, args.seed);
+    cfg.evolution = {.population = 48, .tournament = 8};
+    const nas::SearchResult res = bench::run_search("nt3-small", cfg, pool);
+    const double t_late = 2.0 * res.end_time / 3.0;
+    double late = 0.0;
+    std::size_t n_late = 0;
+    float best = 0.0f;
+    for (const auto& e : res.evals) {
+      best = std::max(best, e.reward);
+      if (e.time >= t_late) {
+        late += e.reward;
+        ++n_late;
+      }
+    }
+    table.add_row({nas::strategy_name(strategy),
+                   analytics::fmt(n_late ? late / n_late : 0.0), analytics::fmt(best),
+                   std::to_string(res.unique_archs), std::to_string(res.evals.size())});
+    const auto series = analytics::resample_mean(bench::reward_stream(res),
+                                                 args.minutes * 60.0, 10.0 * 60.0, 0.0);
+    analytics::print_sparkline(std::cout, std::string(nas::strategy_name(strategy)) + " ",
+                               series, 0.0, 1.0);
+  }
+  std::cout << "\n";
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Figure 10 — post-training of the top-50 architectures from the AGENT-scaled
+// A3C runs (paper's 512- and 1,024-node experiments) on Combo, large space.
+//
+// Paper shape to reproduce: compared with the base layout (Fig. 8a), the
+// scaled runs find architectures with better accuracy, fewer parameters, and
+// shorter training time — more agents explore more of the space.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ncnas;
+  const bench::Args args = bench::Args::parse(argc, argv, /*default_minutes=*/25.0);
+  tensor::ThreadPool pool;
+
+  std::cout << "# Figure 10: post-training after agent scaling (combo-large)\n"
+            << "# shares the Figure 9 agent-scaled runs via nas_logs/\n";
+
+  struct Layout {
+    const char* heading;
+    nas::ClusterConfig cluster;
+  };
+  const Layout layouts[] = {
+      {"Fig 10a: 2Sa (paper 512 nodes, agent scaling)", bench::cluster_2s_agent()},
+      {"Fig 10b: 4Sa (paper 1024 nodes, agent scaling)", bench::cluster_4s_agent()},
+  };
+  for (const Layout& layout : layouts) {
+    const nas::SearchConfig cfg =
+        bench::paper_config("combo-large", nas::SearchStrategy::kA3C, args.minutes,
+                            args.seed, -1.0, layout.cluster);
+    const nas::SearchResult res = bench::run_search("combo-large", cfg, pool);
+    (void)bench::post_train_report("combo-large", res, /*k=*/15, pool, layout.heading);
+  }
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Figure 11 — impact of reward-estimation fidelity: A3C on Combo (large
+// space) with 10 / 20 / 30 / 40 % of the training data, fixed timeout.
+//
+// Paper shape to reproduce: 10-30 % reach high rewards quickly; at 40 % the
+// early search is stuck at reward -1 because most generated architectures
+// exceed the evaluation timeout, and only later does the agent learn to emit
+// fast-training architectures and catch up.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ncnas;
+  const bench::Args args = bench::Args::parse(argc, argv, /*default_minutes=*/60.0);
+  tensor::ThreadPool pool;
+
+  std::cout << "# Figure 11: A3C reward vs time at 10/20/30/40 % training data "
+               "(combo-large)\n\n";
+  for (double frac : {0.10, 0.20, 0.30, 0.40}) {
+    const nas::SearchConfig cfg =
+        bench::paper_config("combo-large", nas::SearchStrategy::kA3C, args.minutes,
+                            args.seed, frac, bench::cluster_large_space());
+    const nas::SearchResult res = bench::run_search("combo-large", cfg, pool);
+    const std::string label = "fidelity-" + std::to_string(static_cast<int>(frac * 100)) + "%";
+    bench::print_run_summary(label, res);
+    std::cout << "timeout fraction: "
+              << analytics::fmt(res.evals.empty() ? 0.0
+                                                  : static_cast<double>(res.timeouts) /
+                                                        static_cast<double>(res.evals.size()))
+              << "\n";
+    bench::print_trajectory(label, res, args.minutes, 10.0, -1.0);
+    const auto series = analytics::resample_mean(bench::reward_stream(res),
+                                                 args.minutes * 60.0, 10.0 * 60.0, -1.0);
+    analytics::print_sparkline(std::cout, label, series, -1.0, 1.0);
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Figure 12 — post-training of the top-50 architectures found at each
+// reward-estimation fidelity level (10/20/30/40 % training data).
+//
+// Paper shape to reproduce: as the fidelity fraction grows, training time in
+// reward estimation becomes the bottleneck, so the agents are pushed toward
+// architectures with FEWER trainable parameters and SHORTER post-training
+// time (the Pb/P and Tb/T medians rise with the fraction).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ncnas;
+  const bench::Args args = bench::Args::parse(argc, argv, /*default_minutes=*/60.0);
+  tensor::ThreadPool pool;
+
+  std::cout << "# Figure 12: post-training vs reward-estimation fidelity (combo-large)\n"
+            << "# shares the Figure 11 runs via nas_logs/\n";
+  for (double frac : {0.10, 0.20, 0.30, 0.40}) {
+    const nas::SearchConfig cfg =
+        bench::paper_config("combo-large", nas::SearchStrategy::kA3C, args.minutes,
+                            args.seed, frac, bench::cluster_large_space());
+    const nas::SearchResult res = bench::run_search("combo-large", cfg, pool);
+    const std::string heading =
+        "Fig 12, " + std::to_string(static_cast<int>(frac * 100)) + "% training data";
+    (void)bench::post_train_report("combo-large", res, /*k=*/10, pool, heading.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Figure 13 — impact of A3C's randomness: 10 replications on Combo (small
+// space), reporting 10/50/90 % quantile bands of the best-so-far trajectory.
+//
+// Paper shape to reproduce: visible spread early in the search that narrows
+// as the search progresses; by the end all quantiles sit near the same
+// reward, i.e. the stochasticity does not change where A3C ends up.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ncnas;
+  const bench::Args args = bench::Args::parse(argc, argv, /*default_minutes=*/40.0);
+  constexpr int kReplications = 10;
+  tensor::ThreadPool pool;
+
+  std::cout << "# Figure 13: A3C trajectory quantiles over " << kReplications
+            << " replications (combo-small)\n\n";
+
+  std::vector<std::vector<double>> runs;
+  for (int rep = 0; rep < kReplications; ++rep) {
+    const nas::SearchConfig cfg =
+        bench::paper_config("combo-small", nas::SearchStrategy::kA3C, args.minutes,
+                            args.seed + static_cast<std::uint64_t>(rep));
+    const nas::SearchResult res = bench::run_search("combo-small", cfg, pool);
+    runs.push_back(analytics::resample_mean(bench::reward_stream(res), args.minutes * 60.0,
+                                            10.0 * 60.0, -1.0));
+    bench::print_run_summary("rep" + std::to_string(rep), res);
+  }
+
+  const analytics::QuantileBands bands = analytics::quantile_bands(runs);
+  std::cout << "\nt(min)\tq10\tq50\tq90\tspread\n";
+  for (std::size_t b = 0; b < bands.q50.size(); ++b) {
+    std::cout << analytics::fmt((b + 1) * 10.0, 0) << '\t' << analytics::fmt(bands.q10[b])
+              << '\t' << analytics::fmt(bands.q50[b]) << '\t' << analytics::fmt(bands.q90[b])
+              << '\t' << analytics::fmt(bands.q90[b] - bands.q10[b]) << '\n';
+  }
+  analytics::print_sparkline(std::cout, "q50", bands.q50, -1.0, 1.0);
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 4 — search trajectory (best reward vs simulated time) for A3C, A2C,
+// and random search (RDM) on the small search spaces of Combo, Uno, and NT3.
+//
+// Paper shape to reproduce: A3C climbs fastest and highest; A2C eventually
+// approaches A3C on Combo/Uno but lags (and stays poor on NT3); RDM shows no
+// learning. A3C may converge early (all agents regenerate cached archs).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ncnas;
+  const bench::Args args = bench::Args::parse(argc, argv, /*default_minutes=*/120.0);
+  tensor::ThreadPool pool;
+
+  const char* spaces[] = {"combo-small", "uno-small", "nt3-small"};
+  const nas::SearchStrategy strategies[] = {nas::SearchStrategy::kA3C,
+                                            nas::SearchStrategy::kA2C,
+                                            nas::SearchStrategy::kRandom};
+
+  std::cout << "# Figure 4: reward over time, A3C vs A2C vs RDM (small spaces)\n"
+            << "# cluster S (9 agents x 5 workers), " << args.minutes << " simulated min\n\n";
+
+  for (const char* space_name : spaces) {
+    const double floor = bench::dataset_name_of(space_name) == "nt3" ? 0.0 : -1.0;
+    std::cout << "## " << space_name << "\n";
+    for (nas::SearchStrategy strategy : strategies) {
+      const nas::SearchConfig cfg =
+          bench::paper_config(space_name, strategy, args.minutes, args.seed);
+      const nas::SearchResult res = bench::run_search(space_name, cfg, pool);
+      const std::string label =
+          std::string(space_name) + "/" + nas::strategy_name(strategy);
+      bench::print_run_summary(label, res);
+      bench::print_trajectory(label, res, args.minutes, /*bucket_minutes=*/10.0, floor);
+    }
+    // Side-by-side sparklines for quick visual comparison.
+    for (nas::SearchStrategy strategy : strategies) {
+      const nas::SearchConfig cfg =
+          bench::paper_config(space_name, strategy, args.minutes, args.seed);
+      const nas::SearchResult res = bench::run_search(space_name, cfg, pool);
+      const auto series = analytics::resample_mean(bench::reward_stream(res),
+                                                   args.minutes * 60.0, 10.0 * 60.0, floor);
+      analytics::print_sparkline(std::cout,
+                                 std::string(nas::strategy_name(strategy)) + " ",
+                                 series, floor, 1.0);
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figure 5 — worker-node utilization over time for the same nine runs as
+// Figure 4 (A3C / A2C / RDM on the three small spaces).
+//
+// Paper shape to reproduce: RDM holds a high plateau (~0.75 on Combo, ~0.9
+// on Uno); A3C tracks RDM early and decays late as the per-agent caches
+// absorb regenerated architectures; A2C shows a sawtooth from its barrier.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ncnas;
+  const bench::Args args = bench::Args::parse(argc, argv, /*default_minutes=*/120.0);
+  tensor::ThreadPool pool;
+
+  const char* spaces[] = {"combo-small", "uno-small", "nt3-small"};
+  const nas::SearchStrategy strategies[] = {nas::SearchStrategy::kA3C,
+                                            nas::SearchStrategy::kA2C,
+                                            nas::SearchStrategy::kRandom};
+
+  std::cout << "# Figure 5: worker utilization over time (small spaces)\n"
+            << "# shares the Figure 4 runs via nas_logs/\n\n";
+
+  for (const char* space_name : spaces) {
+    std::cout << "## " << space_name << "\n";
+    for (nas::SearchStrategy strategy : strategies) {
+      const nas::SearchConfig cfg =
+          bench::paper_config(space_name, strategy, args.minutes, args.seed);
+      const nas::SearchResult res = bench::run_search(space_name, cfg, pool);
+      const std::string label =
+          std::string(space_name) + "/util/" + nas::strategy_name(strategy);
+      std::cout << label << "  mean="
+                << analytics::fmt(res.utilization.empty()
+                                      ? 0.0
+                                      : std::accumulate(res.utilization.begin(),
+                                                        res.utilization.end(), 0.0) /
+                                            static_cast<double>(res.utilization.size()))
+                << "\n";
+      bench::print_utilization(label, res, /*bucket_minutes=*/10.0);
+      analytics::print_sparkline(std::cout, std::string(nas::strategy_name(strategy)) + " ",
+                                 res.utilization, 0.0, 1.0);
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}

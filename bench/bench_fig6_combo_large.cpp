@@ -1,0 +1,38 @@
+// Figure 6 — Combo with the LARGE search space on the base cluster layout:
+// (a) search trajectory and (b) utilization for A3C (with A2C and RDM as the
+// comparison runs, as in the paper's text).
+//
+// Paper shape to reproduce: A3C finds higher rewards faster than A2C/RDM;
+// utilization tracks RDM (~0.75) until the cache effect erodes it, but the
+// search does NOT converge/stop early in the large space.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ncnas;
+  const bench::Args args = bench::Args::parse(argc, argv, /*default_minutes=*/60.0);
+  tensor::ThreadPool pool;
+
+  const nas::SearchStrategy strategies[] = {nas::SearchStrategy::kA3C,
+                                            nas::SearchStrategy::kA2C,
+                                            nas::SearchStrategy::kRandom};
+  std::cout << "# Figure 6: Combo, large search space (|S| ~ 1e46)\n\n";
+  for (nas::SearchStrategy strategy : strategies) {
+    const nas::SearchConfig cfg = bench::paper_config(
+        "combo-large", strategy, args.minutes, args.seed, -1.0, bench::cluster_large_space());
+    const nas::SearchResult res = bench::run_search("combo-large", cfg, pool);
+    const std::string label = std::string("combo-large/") + nas::strategy_name(strategy);
+    bench::print_run_summary(label, res);
+    std::cout << "-- (a) trajectory\n";
+    bench::print_trajectory(label, res, args.minutes, 10.0, -1.0);
+    std::cout << "-- (b) utilization (mean "
+              << analytics::fmt(res.utilization.empty()
+                                    ? 0.0
+                                    : std::accumulate(res.utilization.begin(),
+                                                      res.utilization.end(), 0.0) /
+                                          static_cast<double>(res.utilization.size()))
+              << ")\n";
+    bench::print_utilization(label + "/util", res, 10.0);
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Figure 7 — post-training of the top-50 A3C architectures from the SMALL
+// search spaces (Combo, Uno, NT3), reported as the paper's three ratios
+// against the manually designed networks.
+//
+// Paper shape to reproduce: a handful of Combo architectures within 2 % of
+// the baseline R2; most Uno architectures BEAT the baseline; NT3 reaches the
+// baseline accuracy; and across all three, parameter ratios Pb/P are well
+// above 1 (NAS nets are much smaller) with training-time ratios above 1.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ncnas;
+  const bench::Args args = bench::Args::parse(argc, argv, /*default_minutes=*/120.0);
+  tensor::ThreadPool pool;
+
+  std::cout << "# Figure 7: post-training of top-50 A3C architectures (small spaces)\n"
+            << "# shares the Figure 4 A3C runs via nas_logs/\n";
+
+  for (const char* space_name : {"combo-small", "uno-small", "nt3-small"}) {
+    const nas::SearchConfig cfg =
+        bench::paper_config(space_name, nas::SearchStrategy::kA3C, args.minutes, args.seed);
+    const nas::SearchResult res = bench::run_search(space_name, cfg, pool);
+    (void)bench::post_train_report(space_name, res, /*k=*/50, pool,
+                                   "Fig 7 post-training ratios");
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 9 — scaling A3C on Combo (large space): utilization when growing
+// the cluster by 2x and 4x via MORE WORKERS PER AGENT vs MORE AGENTS.
+//
+// Paper shape to reproduce: agent scaling (512-a / 1024-a) keeps utilization
+// near the base-layout level; worker scaling (512-w / 1024-w) degrades it,
+// because each agent's batch is synchronous and more workers per agent means
+// more idle nodes waiting for the slowest evaluation in the batch.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ncnas;
+  const bench::Args args = bench::Args::parse(argc, argv, /*default_minutes=*/25.0);
+  tensor::ThreadPool pool;
+
+  struct Layout {
+    const char* label;
+    nas::ClusterConfig cluster;
+  };
+  const Layout layouts[] = {
+      {"S   (9a x  5w, paper 256)", bench::cluster_s()},
+      {"2Sw (9a x 11w, paper 512-w)", bench::cluster_2s_worker()},
+      {"2Sa (18a x 5w, paper 512-a)", bench::cluster_2s_agent()},
+      {"4Sw (9a x 21w, paper 1024-w)", bench::cluster_4s_worker()},
+      {"4Sa (36a x 5w, paper 1024-a)", bench::cluster_4s_agent()},
+  };
+
+  std::cout << "# Figure 9: A3C utilization under worker- vs agent-scaling (combo-large)\n\n";
+  analytics::Table summary({"layout", "workers", "mean util", "evals", "timeouts", "best"});
+  for (const Layout& layout : layouts) {
+    const nas::SearchConfig cfg =
+        bench::paper_config("combo-large", nas::SearchStrategy::kA3C, args.minutes,
+                            args.seed, -1.0, layout.cluster);
+    const nas::SearchResult res = bench::run_search("combo-large", cfg, pool);
+    const double mean_util =
+        res.utilization.empty()
+            ? 0.0
+            : std::accumulate(res.utilization.begin(), res.utilization.end(), 0.0) /
+                  static_cast<double>(res.utilization.size());
+    float best = -1.0f;
+    for (const auto& e : res.evals) best = std::max(best, e.reward);
+    summary.add_row({layout.label, std::to_string(layout.cluster.total_workers()),
+                     analytics::fmt(mean_util), std::to_string(res.evals.size()),
+                     std::to_string(res.timeouts), analytics::fmt(best)});
+    bench::print_utilization(std::string("fig9/") + layout.label, res, 10.0);
+    analytics::print_sparkline(std::cout, layout.label, res.utilization, 0.0, 1.0);
+    std::cout << "\n";
+  }
+  summary.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Table 1 — summary of the best A3C-discovered architecture per benchmark
+// against the manually designed network: trainable parameters, training time
+// (full post-training), and R2 / ACC.
+//
+// Paper shape to reproduce: Combo ~7x fewer parameters at equal-or-better
+// R2; Uno better on ALL three axes (~11x fewer parameters, higher R2); NT3
+// two-to-three orders of magnitude fewer parameters at equal accuracy.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ncnas;
+  const bench::Args args = bench::Args::parse(argc, argv, /*default_minutes=*/120.0);
+  tensor::ThreadPool pool;
+
+  std::cout << "# Table 1: best A3C architectures vs manually designed networks\n"
+            << "# shares the Figure 4 A3C runs via nas_logs/\n\n";
+
+  analytics::Table table({"benchmark", "model", "trainable params", "training time (s)",
+                          "R2 or ACC"});
+  for (const char* space_name : {"combo-small", "uno-small", "nt3-small"}) {
+    const nas::SearchConfig cfg =
+        bench::paper_config(space_name, nas::SearchStrategy::kA3C, args.minutes, args.seed);
+    const nas::SearchResult res = bench::run_search(space_name, cfg, pool);
+    const space::SearchSpace sp = space::space_by_name(space_name);
+    const data::Dataset ds = bench::dataset_for_space(space_name);
+
+    analytics::PostTrainOptions opts;  // 20 epochs, full data
+    const analytics::PostTrainResult baseline = analytics::post_train_baseline(ds, opts);
+
+    // The paper picks the best architecture by post-trained metric among the
+    // top candidates; post-train a small pool and keep the best.
+    const auto top = res.top_k(5);
+    const auto models = analytics::post_train_many(sp, ds, top, opts, &pool);
+    const analytics::PostTrainResult* best = nullptr;
+    for (const auto& m : models) {
+      if (best == nullptr || m.final_metric > best->final_metric) best = &m;
+    }
+    const std::string name = bench::dataset_name_of(space_name);
+    table.add_row({name, "manually designed", std::to_string(baseline.params),
+                   analytics::fmt(baseline.train_seconds, 2),
+                   analytics::fmt(baseline.final_metric)});
+    if (best != nullptr) {
+      table.add_row({name, "A3C-best", std::to_string(best->params),
+                     analytics::fmt(best->train_seconds, 2),
+                     analytics::fmt(best->final_metric)});
+      std::cout << "best " << name << " architecture:\n" << sp.describe(best->arch) << "\n";
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// analyze_log — the analytics module as a standalone tool: reads a search
+// log from nas_logs/ (written by any bench or by nas::save_result) and
+// reports the reward trajectory, utilization, top architectures, and the
+// controller's decision histogram.
+//
+//   ./examples/analyze_log nas_logs/<tag>.log <space-name>
+#include <fstream>
+#include <iostream>
+
+#include "ncnas/analytics/arch_stats.hpp"
+#include "ncnas/analytics/report.hpp"
+#include "ncnas/analytics/series.hpp"
+#include "ncnas/nas/result_io.hpp"
+#include "ncnas/space/spaces.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ncnas;
+  if (argc < 3) {
+    std::cerr << "usage: analyze_log <log-file> <space-name>\n  spaces:";
+    for (const auto& n : space::space_names()) std::cerr << ' ' << n;
+    std::cerr << '\n';
+    return 2;
+  }
+  const std::string path = argv[1];
+  const space::SearchSpace sp = space::space_by_name(argv[2]);
+
+  // Accept whatever fingerprint the log carries (this is a viewer, not a
+  // cache): read it from line 2 and pass it back.
+  std::string fingerprint;
+  {
+    std::ifstream in(path);
+    std::string magic;
+    std::getline(in, magic);
+    std::getline(in, fingerprint);
+  }
+  const auto res = nas::load_result(path, fingerprint);
+  if (!res) {
+    std::cerr << "cannot read " << path << "\n";
+    return 1;
+  }
+
+  std::cout << "log: " << path << "\nconfig: " << fingerprint << "\n\n";
+  std::cout << res->evals.size() << " evaluations (" << res->cache_hits << " cached, "
+            << res->timeouts << " timed out), " << res->unique_archs
+            << " unique architectures, " << res->ppo_updates << " PPO updates\n";
+  std::cout << "search span: " << analytics::fmt(res->end_time / 60.0, 1) << " min"
+            << (res->converged_early ? " (converged early)" : "") << "\n\n";
+
+  std::vector<std::pair<double, float>> rewards;
+  for (const auto& e : res->evals) rewards.emplace_back(e.time, e.reward);
+  const auto mean = analytics::resample_mean(rewards, res->end_time, 600.0, -1.0);
+  analytics::print_sparkline(std::cout, "mean reward ", mean, -1.0, 1.0);
+  analytics::print_sparkline(std::cout, "utilization ", res->utilization, 0.0, 1.0);
+
+  std::cout << "\ntop-5 architectures by estimated reward:\n";
+  for (const auto& rec : res->top_k(5)) {
+    std::cout << "  reward " << analytics::fmt(rec.reward) << ", " << rec.params
+              << " params, agent " << rec.agent << ": " << space::arch_key(rec.arch) << "\n";
+  }
+
+  std::cout << "\nlate-search decision histogram (second half):\n";
+  const auto stats = analytics::compute_arch_stats(sp, *res, res->end_time / 2.0);
+  analytics::print_arch_stats(std::cout, stats);
+  return 0;
+}

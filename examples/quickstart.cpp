@@ -1,0 +1,77 @@
+// quickstart — the smallest end-to-end NAS run.
+//
+// Builds the NT3 benchmark (synthetic RNA-seq tumor/normal data), runs a
+// short A3C search on a small simulated cluster, prints the reward
+// trajectory, and fully trains the best discovered architecture against the
+// manually designed baseline.
+//
+//   ./examples/quickstart [minutes_of_simulated_search]
+#include <cstdlib>
+#include <iostream>
+
+#include "ncnas/analytics/posttrain.hpp"
+#include "ncnas/analytics/report.hpp"
+#include "ncnas/analytics/series.hpp"
+#include "ncnas/exec/presets.hpp"
+#include "ncnas/nas/driver.hpp"
+#include "ncnas/space/spaces.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ncnas;
+  const double minutes = argc > 1 ? std::atof(argv[1]) : 60.0;
+
+  // 1. Problem: the NT3 benchmark and its search space.
+  const data::Dataset ds = data::make_nt3(/*seed=*/1);
+  const space::SearchSpace sp = space::nt3_small_space();
+  std::cout << "search space " << sp.name() << ": " << sp.num_decisions()
+            << " decisions, |S| = " << sp.size() << "\n\n";
+
+  // 2. Search: A3C with 4 agents x 4 workers on the virtual cluster.
+  nas::SearchConfig cfg;
+  cfg.strategy = nas::SearchStrategy::kA3C;
+  cfg.cluster = {.num_agents = 4, .workers_per_agent = 4};
+  cfg.wall_time_seconds = minutes * 60.0;
+  cfg.fidelity = exec::default_fidelity("nt3");
+  cfg.cost = exec::default_cost("nt3");
+  cfg.seed = 42;
+
+  tensor::ThreadPool pool;
+  nas::SearchDriver driver(sp, ds, cfg, &pool);
+  const nas::SearchResult res = driver.run();
+
+  std::cout << "evaluations: " << res.evals.size() << " (" << res.cache_hits << " cached, "
+            << res.timeouts << " timed out), unique architectures: " << res.unique_archs
+            << "\n";
+  std::cout << "search ended at " << analytics::fmt(res.end_time / 60.0, 1) << " simulated min"
+            << (res.converged_early ? " (converged)" : "") << "\n\n";
+
+  const auto best_series =
+      analytics::resample_best(res.best_so_far(), res.end_time, 60.0, 0.0);
+  analytics::print_sparkline(std::cout, "best ACC over time", best_series, 0.0, 1.0);
+
+  // 3. Post-training: best architecture vs the manually designed NT3 CNN.
+  const auto top = res.top_k(1);
+  if (top.empty()) {
+    std::cout << "no architecture survived the search\n";
+    return 1;
+  }
+  std::cout << "\nbest architecture (estimated ACC " << analytics::fmt(top[0].reward) << "):\n"
+            << sp.describe(top[0].arch) << "\n";
+
+  analytics::PostTrainOptions post;
+  post.epochs = 20;
+  const auto baseline = analytics::post_train_baseline(ds, post);
+  const auto mine = analytics::post_train(sp, ds, top[0].arch, post);
+  const auto row = analytics::ratios(mine, baseline);
+
+  analytics::Table table({"model", "params", "train s", "ACC"});
+  table.add_row({"manually designed", std::to_string(baseline.params),
+                 analytics::fmt(baseline.train_seconds, 2), analytics::fmt(baseline.final_metric)});
+  table.add_row({"A3C-best", std::to_string(mine.params), analytics::fmt(mine.train_seconds, 2),
+                 analytics::fmt(mine.final_metric)});
+  table.print(std::cout);
+  std::cout << "\nratios vs baseline: ACC/ACCb = " << analytics::fmt(row.accuracy_ratio)
+            << ", Pb/P = " << analytics::fmt(row.param_ratio, 1)
+            << "x, Tb/T = " << analytics::fmt(row.time_ratio, 1) << "x\n";
+  return 0;
+}

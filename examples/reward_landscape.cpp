@@ -1,0 +1,63 @@
+// reward_landscape — samples random architectures from each benchmark's
+// search space and prints the low-fidelity reward distribution the RL agents
+// actually see. Useful for sanity-checking that the search problem is
+// neither saturated (everything scores 1.0) nor hopeless (everything -1).
+//
+//   ./examples/reward_landscape [samples_per_space]
+#include <cstdlib>
+#include <iostream>
+
+#include "ncnas/analytics/report.hpp"
+#include "ncnas/analytics/series.hpp"
+#include "ncnas/exec/evaluator.hpp"
+#include "ncnas/exec/presets.hpp"
+#include "ncnas/space/spaces.hpp"
+#include "ncnas/tensor/thread_pool.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ncnas;
+  const std::size_t samples = argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 40;
+
+  struct Case {
+    const char* space_name;
+    data::Dataset dataset;
+    exec::FidelityConfig fidelity;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"combo-small", data::make_combo(1), exec::default_fidelity("combo")});
+  cases.push_back({"uno-small", data::make_uno(1), exec::default_fidelity("uno")});
+  cases.push_back({"nt3-small", data::make_nt3(1), exec::default_fidelity("nt3")});
+
+  tensor::ThreadPool pool;
+  analytics::Table table(
+      {"space", "metric", "min", "q10", "median", "q90", "max", "params q50", "sim s q50"});
+
+  for (const Case& c : cases) {
+    const space::SearchSpace sp = space::space_by_name(c.space_name);
+    const exec::TrainingEvaluator eval(sp, c.dataset, c.fidelity,
+                                       exec::default_cost(c.dataset.name));
+    tensor::Rng rng(7);
+    std::vector<space::ArchEncoding> archs;
+    for (std::size_t i = 0; i < samples; ++i) archs.push_back(sp.random_arch(rng));
+    std::vector<exec::EvalResult> results(samples);
+    tensor::parallel_for(pool, samples,
+                         [&](std::size_t i) { results[i] = eval.evaluate(archs[i], 1234 + i); });
+
+    std::vector<double> rewards, params, secs;
+    for (const auto& r : results) {
+      rewards.push_back(r.reward);
+      params.push_back(static_cast<double>(r.params));
+      secs.push_back(r.sim_duration);
+    }
+    table.add_row({c.space_name, nn::metric_name(c.dataset.metric),
+                   analytics::fmt(analytics::quantile(rewards, 0.0)),
+                   analytics::fmt(analytics::quantile(rewards, 0.1)),
+                   analytics::fmt(analytics::quantile(rewards, 0.5)),
+                   analytics::fmt(analytics::quantile(rewards, 0.9)),
+                   analytics::fmt(analytics::quantile(rewards, 1.0)),
+                   analytics::fmt(analytics::quantile(params, 0.5), 0),
+                   analytics::fmt(analytics::quantile(secs, 0.5), 1)});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Architecture statistics — the paper's analytics module parses NAS logs to
+// find "the best architectures ... and number of unique architectures"; this
+// module adds the per-decision operation histogram, which shows *what* the
+// controller learned to prefer (e.g. Combo converging on wide relu stacks
+// and the all-inputs skip connection).
+#pragma once
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "ncnas/nas/driver.hpp"
+#include "ncnas/space/search_space.hpp"
+
+namespace ncnas::analytics {
+
+struct DecisionHistogram {
+  std::string decision_name;            ///< e.g. "C1/B1/N0 (connect)"
+  std::vector<std::size_t> counts;      ///< per option index
+  std::size_t modal_option = 0;         ///< most frequent option
+  std::string modal_op_name;            ///< its rendered operation
+  double modal_fraction = 0.0;          ///< counts[modal] / total
+};
+
+struct ArchStats {
+  std::size_t archs = 0;                ///< architectures analysed
+  std::size_t unique = 0;               ///< distinct encodings among them
+  std::vector<DecisionHistogram> decisions;
+
+  /// Mean modal fraction over all decisions — 1.0 means every architecture
+  /// is identical (a fully converged controller), 1/arity means uniform.
+  [[nodiscard]] double concentration() const;
+};
+
+/// Histogram over an explicit set of architectures (e.g. SearchResult::top_k
+/// records, or all evaluations past some time).
+[[nodiscard]] ArchStats compute_arch_stats(const space::SearchSpace& space,
+                                           const std::vector<space::ArchEncoding>& archs);
+
+/// Convenience: stats over the architectures evaluated after `t_from`
+/// simulated seconds (0 = whole search) — shows late-search concentration.
+[[nodiscard]] ArchStats compute_arch_stats(const space::SearchSpace& space,
+                                           const nas::SearchResult& result,
+                                           double t_from = 0.0);
+
+/// Multi-line report: one row per decision with the modal operation.
+void print_arch_stats(std::ostream& os, const ArchStats& stats);
+
+}  // namespace ncnas::analytics

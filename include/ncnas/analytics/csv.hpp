@@ -1,0 +1,27 @@
+// CSV export — plot-ready dumps of the structures the benches print, for
+// users who want real figures out of the reproduction (matplotlib, gnuplot).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ncnas/nas/driver.hpp"
+
+namespace ncnas::analytics {
+
+/// Writes "t_seconds,value" rows; `bucket_seconds` spaces the time column.
+void write_series_csv(const std::string& path, const std::vector<double>& series,
+                      double bucket_seconds, const std::string& value_header = "value");
+
+/// Writes several aligned series as columns under the given headers (ragged
+/// series are padded with empty cells).
+void write_multi_series_csv(const std::string& path,
+                            const std::vector<std::string>& headers,
+                            const std::vector<std::vector<double>>& columns,
+                            double bucket_seconds);
+
+/// One row per evaluation: time, reward, params, sim_duration, cache_hit,
+/// timed_out, agent, arch key.
+void write_evals_csv(const std::string& path, const nas::SearchResult& result);
+
+}  // namespace ncnas::analytics

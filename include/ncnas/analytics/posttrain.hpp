@@ -1,0 +1,64 @@
+// Post-training — the paper's second stage: the top-50 architectures by
+// estimated reward are re-trained for 20 epochs on the full training data
+// (no timeout) and compared against the manually designed network on three
+// ratios (Figs. 7, 8, 10, 12; Table 1):
+//
+//   accuracy ratio   R2/R2_b  (ACC/ACC_b for NT3)   > 1  NAS wins
+//   parameter ratio  P_b/P                          > 1  NAS is smaller
+//   time ratio       T_b/T                          > 1  NAS trains faster
+//
+// Training time here is real wall-clock of our scaled training runs — the
+// paper's K80 numbers are replaced by host-CPU seconds, which preserves the
+// ratios because both sides run on the same substrate.
+#pragma once
+
+#include <vector>
+
+#include "ncnas/data/baselines.hpp"
+#include "ncnas/data/dataset.hpp"
+#include "ncnas/nas/driver.hpp"
+#include "ncnas/space/search_space.hpp"
+#include "ncnas/tensor/thread_pool.hpp"
+
+namespace ncnas::analytics {
+
+struct PostTrainOptions {
+  std::size_t epochs = 20;  ///< the paper's post-training epoch count
+  std::uint64_t seed = 7;
+};
+
+struct PostTrainResult {
+  space::ArchEncoding arch;      ///< empty for the baseline row
+  float search_reward = 0.0f;    ///< estimated reward during the search
+  float final_metric = 0.0f;     ///< R2 / ACC after full training
+  std::size_t params = 0;
+  double train_seconds = 0.0;    ///< real wall-clock of the training loop
+};
+
+struct RatioRow {
+  float accuracy_ratio = 0.0f;   ///< metric / metric_baseline
+  float param_ratio = 0.0f;      ///< params_baseline / params
+  float time_ratio = 0.0f;       ///< time_baseline / time
+};
+
+/// Fully trains one NAS architecture (20 epochs, full data).
+[[nodiscard]] PostTrainResult post_train(const space::SearchSpace& space,
+                                         const data::Dataset& ds,
+                                         const space::ArchEncoding& arch,
+                                         const PostTrainOptions& opts);
+
+/// Fully trains the manually designed reference network for `ds`.
+[[nodiscard]] PostTrainResult post_train_baseline(const data::Dataset& ds,
+                                                  const PostTrainOptions& opts);
+
+/// Post-trains the given top-k records, optionally in parallel. Results keep
+/// the input order.
+[[nodiscard]] std::vector<PostTrainResult> post_train_many(
+    const space::SearchSpace& space, const data::Dataset& ds,
+    const std::vector<nas::EvalRecord>& top, const PostTrainOptions& opts,
+    tensor::ThreadPool* pool = nullptr);
+
+/// Ratio of one result against the baseline row.
+[[nodiscard]] RatioRow ratios(const PostTrainResult& model, const PostTrainResult& baseline);
+
+}  // namespace ncnas::analytics

@@ -1,0 +1,36 @@
+// Plain-text reporting helpers shared by the bench binaries: fixed-width
+// tables, time series rows, and a coarse ASCII sparkline for eyeballing
+// trajectory shapes in a terminal.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ncnas::analytics {
+
+/// "t(min), value" rows: one line per bucket, prefixed with `label`.
+void print_series(std::ostream& os, const std::string& label, const std::vector<double>& series,
+                  double bucket_seconds);
+
+/// Compact one-line rendering: label then one glyph per bucket from
+/// " .:-=+*#%@" scaled over [lo, hi].
+void print_sparkline(std::ostream& os, const std::string& label,
+                     const std::vector<double>& series, double lo, double hi);
+
+/// A fixed-width table. Column widths adapt to content.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given precision (benches share one style).
+[[nodiscard]] std::string fmt(double value, int precision = 3);
+
+}  // namespace ncnas::analytics

@@ -1,0 +1,41 @@
+// Manually designed reference networks (paper §2), the comparison targets for
+// every post-training figure and for Table 1's "manually designed" rows.
+//
+// Architectures follow the paper exactly; widths are scaled by the same
+// factor as the data dimensions (DESIGN.md §5): the paper's 1,000-unit hidden
+// layers become `hidden` (default 96), NT3's 128 conv filters become 32.
+#pragma once
+
+#include "ncnas/data/dataset.hpp"
+#include "ncnas/nn/graph.hpp"
+#include "ncnas/tensor/rng.hpp"
+
+namespace ncnas::data {
+
+struct BaselineDims {
+  std::size_t hidden = 96;       ///< dense submodel width (paper: 1,000)
+  std::size_t nt3_filters = 32;  ///< conv filters (paper: 128)
+  std::size_t nt3_dense1 = 64;   ///< first dense head (paper: 200)
+  std::size_t nt3_dense2 = 20;   ///< second dense head (paper: 20)
+};
+
+/// Combo: shared 3-layer drug submodel (weight-shared between the two drug
+/// inputs), 3-layer cell submodel, concat, 3 dense layers, scalar output.
+[[nodiscard]] nn::Graph combo_baseline(const Dataset& ds, tensor::Rng& rng,
+                                       const BaselineDims& dims = {});
+
+/// Uno: three 3-layer feature encoders (rna-seq, descriptors, fingerprints),
+/// concatenated with the raw dose, then 3 dense layers and a scalar output.
+[[nodiscard]] nn::Graph uno_baseline(const Dataset& ds, tensor::Rng& rng,
+                                     const BaselineDims& dims = {});
+
+/// NT3: conv(k=20) + pool(1) + conv(k=10) + pool(10) + flatten +
+/// dense + dropout(0.1) + dense + dropout(0.1) + softmax(2).
+[[nodiscard]] nn::Graph nt3_baseline(const Dataset& ds, tensor::Rng& rng,
+                                     const BaselineDims& dims = {});
+
+/// Dispatch by dataset name ("combo" / "uno" / "nt3").
+[[nodiscard]] nn::Graph baseline_for(const Dataset& ds, tensor::Rng& rng,
+                                     const BaselineDims& dims = {});
+
+}  // namespace ncnas::data

@@ -1,0 +1,68 @@
+// Dataset — a multi-input supervised problem, the unit the NAS optimizes for.
+//
+// The paper's three CANDLE benchmarks are tabular, multi-input problems:
+//   Combo : {cell expression, drug-1 descriptors, drug-2 descriptors} -> growth %
+//   Uno   : {cell rna-seq, dose, drug descriptors, drug fingerprints} -> response
+//   NT3   : {rna-seq gene expression} -> tumor / normal class
+// We regenerate them synthetically (see combo.cpp / uno.cpp / nt3.cpp) with
+// the same schema at reduced dimensionality; DESIGN.md documents the scaling.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ncnas/nn/loss.hpp"
+#include "ncnas/nn/metrics.hpp"
+#include "ncnas/tensor/tensor.hpp"
+
+namespace ncnas::data {
+
+struct Dataset {
+  std::string name;
+  std::vector<std::string> input_names;
+  std::vector<tensor::Tensor> x_train;  ///< one [N, d_i] matrix per input
+  tensor::Tensor y_train;               ///< [N, 1]
+  std::vector<tensor::Tensor> x_valid;
+  tensor::Tensor y_valid;
+  nn::Metric metric = nn::Metric::kR2;
+  nn::LossKind loss = nn::LossKind::kMse;
+  std::size_t batch_size = 32;          ///< the paper's per-benchmark batch size
+
+  [[nodiscard]] std::size_t train_rows() const { return y_train.dim(0); }
+  [[nodiscard]] std::size_t valid_rows() const { return y_valid.dim(0); }
+  [[nodiscard]] std::size_t input_count() const { return x_train.size(); }
+  /// Feature width of input i.
+  [[nodiscard]] std::size_t input_dim(std::size_t i) const { return x_train.at(i).dim(1); }
+};
+
+/// Dimension configuration shared by the generators; defaults are the scaled
+/// values from DESIGN.md §5 chosen so a one-epoch reward estimation costs
+/// milliseconds. Pass the paper's full dimensions to reproduce at scale.
+struct ComboDims {
+  std::size_t train = 2048, valid = 512;
+  std::size_t expression = 48, descriptors = 96;
+  std::size_t latent = 8;
+};
+struct UnoDims {
+  std::size_t train = 1024, valid = 256;
+  std::size_t rnaseq = 48, descriptors = 96, fingerprints = 64;
+  std::size_t latent = 8;
+};
+struct Nt3Dims {
+  std::size_t train = 384, valid = 128;
+  std::size_t length = 256;     ///< gene-expression profile length (paper: 60,483)
+  std::size_t motif = 12;       ///< length of class-specific local signatures
+};
+
+/// Drug-pair growth benchmark. Symmetric in the two drugs, so sharing the
+/// drug-descriptor submodel (MirrorNode) is genuinely advantageous.
+[[nodiscard]] Dataset make_combo(std::uint64_t seed, const ComboDims& dims = {});
+
+/// Dose-response benchmark with a Hill-curve ground truth in the dose input.
+[[nodiscard]] Dataset make_uno(std::uint64_t seed, const UnoDims& dims = {});
+
+/// Tumor/normal classification with localized class motifs, which rewards
+/// convolutional feature extractors over plain dense stacks.
+[[nodiscard]] Dataset make_nt3(std::uint64_t seed, const Nt3Dims& dims = {});
+
+}  // namespace ncnas::data

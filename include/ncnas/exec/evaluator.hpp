@@ -1,0 +1,143 @@
+// Evaluator — the reward-estimation strategy (paper §3.3).
+//
+// TrainingEvaluator performs a genuine low-fidelity training of the generated
+// architecture (configurable epochs and training-data fraction, agent-seeded
+// weight init) and scores it on the validation split. The cost model decides
+// the task's *simulated* duration; a task whose simulated duration exceeds
+// the timeout is killed (reward floor) exactly as Balsam killed overlong jobs
+// on Theta — we also skip the real training in that case.
+//
+// CachedEvaluator adds the paper's per-agent evaluation cache: re-generated
+// architectures return their stored reward instantly (no worker task), which
+// is the mechanism behind A3C's late-search utilization decay and the
+// all-agents-converged stopping rule.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "ncnas/data/dataset.hpp"
+#include "ncnas/exec/cost_model.hpp"
+#include "ncnas/space/builder.hpp"
+#include "ncnas/space/search_space.hpp"
+
+namespace ncnas::exec {
+
+struct FidelityConfig {
+  std::size_t epochs = 1;          ///< search-time training epochs (paper: 1)
+  double subset_fraction = 1.0;    ///< training-data fraction (Combo: 0.10)
+  /// Reward-estimation optimizer settings. The paper used Adam(1e-3) with
+  /// per-benchmark batch sizes at full data scale (~100 steps per epoch);
+  /// because our data is dimensionally scaled down, the per-benchmark presets
+  /// (see benchmark_fidelity()) pick batch/lr so one low-fidelity epoch takes
+  /// a comparable number of effective optimizer steps. batch_size 0 means
+  /// "use the dataset's default".
+  float learning_rate = 0.001f;
+  std::size_t batch_size = 0;
+  /// Fraction of the validation split used to score the reward (leading
+  /// rows). The paper scores on the full validation set; shrinking it is a
+  /// host-throughput lever that adds a little reward noise — which the paper
+  /// itself reports (same arch, different reward) and tolerates.
+  double valid_fraction = 1.0;
+};
+
+struct EvalResult {
+  float reward = 0.0f;             ///< validation R2 / ACC, floored on timeout
+  double sim_duration = 0.0;       ///< simulated seconds the task occupies a worker
+  std::size_t params = 0;          ///< trainable parameter count of the model
+  bool timed_out = false;
+  bool cache_hit = false;
+};
+
+class Evaluator {
+ public:
+  virtual ~Evaluator() = default;
+  /// Estimates the reward of `arch`; `seed` is the agent-specific weight
+  /// initialization seed (same arch + different seed may differ, per paper).
+  [[nodiscard]] virtual EvalResult evaluate(const space::ArchEncoding& arch,
+                                            std::uint64_t seed) const = 0;
+};
+
+/// Raw measurements handed to a custom reward function.
+struct RewardInputs {
+  float metric = 0.0f;        ///< validation R2 / ACC
+  std::size_t params = 0;     ///< trainable parameter count
+  double sim_duration = 0.0;  ///< simulated training seconds
+};
+
+/// Custom reward shaping (paper §5: "other metrics can be specified, such as
+/// model size, training time, and inference time ... using a custom reward
+/// function"). Must be pure and thread-safe.
+using RewardFn = std::function<float(const RewardInputs&)>;
+
+/// The paper's multi-objective example: accuracy with a soft penalty on
+/// model size — reward = metric - weight * log10(params / ref_params) for
+/// params above `ref_params`, unchanged below.
+[[nodiscard]] RewardFn size_penalized_reward(float weight, std::size_t ref_params);
+
+class TrainingEvaluator final : public Evaluator {
+ public:
+  /// Both referents must outlive the evaluator.
+  TrainingEvaluator(const space::SearchSpace& space, const data::Dataset& dataset,
+                    FidelityConfig fidelity, CostModel cost);
+
+  /// Installs a custom reward; pass nullptr to restore the plain metric.
+  void set_reward_fn(RewardFn fn) { reward_fn_ = std::move(fn); }
+
+  [[nodiscard]] EvalResult evaluate(const space::ArchEncoding& arch,
+                                    std::uint64_t seed) const override;
+
+  /// Builds the model for `arch` without training (used for post-training).
+  [[nodiscard]] nn::Graph build(const space::ArchEncoding& arch, std::uint64_t seed) const;
+
+  [[nodiscard]] const data::Dataset& dataset() const noexcept { return *dataset_; }
+  [[nodiscard]] const space::SearchSpace& space() const noexcept { return *space_; }
+  [[nodiscard]] const FidelityConfig& fidelity() const noexcept { return fidelity_; }
+  [[nodiscard]] const CostModel& cost_model() const noexcept { return cost_; }
+
+  /// Reward assigned to killed evaluations: -1 for R2, 0 for accuracy.
+  [[nodiscard]] float reward_floor() const noexcept;
+
+ private:
+  const space::SearchSpace* space_;
+  const data::Dataset* dataset_;
+  FidelityConfig fidelity_;
+  CostModel cost_;
+  RewardFn reward_fn_;
+};
+
+/// Per-agent cache keyed by architecture encoding. NOT thread-safe by design:
+/// each agent owns one (a global cache would defeat agent-specific seeds, as
+/// the paper notes).
+class CachedEvaluator final : public Evaluator {
+ public:
+  /// `inner` must outlive the cache.
+  explicit CachedEvaluator(const Evaluator& inner) : inner_(&inner) {}
+
+  [[nodiscard]] EvalResult evaluate(const space::ArchEncoding& arch,
+                                    std::uint64_t seed) const override;
+
+  /// Split-phase access for drivers that batch cache misses onto a thread
+  /// pool: lookup() returns the cached result (marked cache_hit) or nullopt;
+  /// insert() stores a freshly computed miss.
+  [[nodiscard]] std::optional<EvalResult> lookup(const space::ArchEncoding& arch) const;
+  void insert(const space::ArchEncoding& arch, const EvalResult& result) const;
+
+  [[nodiscard]] std::size_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::size_t misses() const noexcept { return misses_; }
+  [[nodiscard]] std::size_t unique_archs() const noexcept { return cache_.size(); }
+  void clear();
+
+ private:
+  const Evaluator* inner_;
+  mutable std::unordered_map<std::string, EvalResult> cache_;
+  mutable std::size_t hits_ = 0;
+  mutable std::size_t misses_ = 0;
+};
+
+/// Task head implied by a dataset's metric (classification for ACC).
+[[nodiscard]] space::TaskHead head_for(const data::Dataset& ds);
+
+}  // namespace ncnas::exec

@@ -1,0 +1,42 @@
+// UtilizationMonitor — Balsam's "fraction of worker nodes busy" metric.
+//
+// The launcher (here: the NAS driver's virtual-time loop) reports one busy
+// interval per worker task; the monitor integrates them into the utilization
+// time series that Figures 5, 6b and 9 plot.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ncnas::exec {
+
+class UtilizationMonitor {
+ public:
+  explicit UtilizationMonitor(std::size_t total_workers);
+
+  [[nodiscard]] std::size_t total_workers() const noexcept { return total_workers_; }
+
+  /// Records that one worker was busy during [start, end) simulated seconds.
+  void add_busy_interval(double start, double end);
+
+  /// Mean utilization (busy worker-seconds / total worker-seconds) in each
+  /// bucket of `bucket_seconds` covering [0, t_end).
+  [[nodiscard]] std::vector<double> series(double t_end, double bucket_seconds) const;
+
+  /// Overall mean utilization in [0, t_end).
+  [[nodiscard]] double average(double t_end) const;
+
+  [[nodiscard]] double busy_worker_seconds() const noexcept { return busy_seconds_; }
+  [[nodiscard]] std::size_t interval_count() const noexcept { return intervals_.size(); }
+
+ private:
+  struct Interval {
+    double start, end;
+  };
+
+  std::size_t total_workers_;
+  std::vector<Interval> intervals_;
+  double busy_seconds_ = 0.0;
+};
+
+}  // namespace ncnas::exec

@@ -1,0 +1,131 @@
+// SearchDriver — the scalable NAS run: N agents x M workers on a virtual
+// clock, reproducing the paper's Theta deployments without the Theta.
+//
+// Each agent owns a Controller replica, an agent-specific seed, and a private
+// evaluation cache. A cycle: pull parameters from the PS (A3C/A2C), sample M
+// architectures, dispatch the non-cached ones onto the agent's dedicated
+// worker nodes (real training runs on the host thread pool; the virtual
+// clock advances by the cost model's task durations), wait for the batch,
+// run local PPO epochs, and exchange deltas through the ParameterServer —
+// synchronously (A2C barrier) or asynchronously (A3C). RDM skips all RL
+// machinery but keeps the identical evaluation pipeline, as in the paper.
+//
+// The run ends at the simulated wall-time limit or earlier when every agent
+// keeps regenerating cached architectures (the paper's convergence stop on
+// Combo and NT3).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "ncnas/exec/evaluator.hpp"
+#include "ncnas/nas/parameter_server.hpp"
+#include "ncnas/rl/controller.hpp"
+#include "ncnas/tensor/thread_pool.hpp"
+
+namespace ncnas::nas {
+
+enum class SearchStrategy {
+  kA3C,
+  kA2C,
+  kRandom,
+  /// Island-model aging evolution (Real et al., the paper's future-work
+  /// comparison point): each agent keeps an independent population, samples
+  /// parents by tournament, and mutates one decision per child. Uses the
+  /// identical evaluation pipeline, cluster layout, and caches as the RL
+  /// strategies, so trajectories are directly comparable.
+  kEvolution,
+};
+
+[[nodiscard]] const char* strategy_name(SearchStrategy s);
+
+struct EvolutionConfig {
+  std::size_t population = 64;   ///< aging window per agent (FIFO)
+  std::size_t tournament = 8;    ///< sample size for parent selection
+};
+
+struct ClusterConfig {
+  std::size_t num_agents = 21;       ///< the paper's 256-node layout
+  std::size_t workers_per_agent = 11;
+
+  [[nodiscard]] std::size_t total_workers() const { return num_agents * workers_per_agent; }
+  /// Agents + workers + 1 Balsam node, the paper's accounting.
+  [[nodiscard]] std::size_t total_nodes() const {
+    return num_agents * (1 + workers_per_agent) + 1;
+  }
+};
+
+struct SearchConfig {
+  SearchStrategy strategy = SearchStrategy::kA3C;
+  ClusterConfig cluster;
+  double wall_time_seconds = 6.0 * 3600.0;  ///< the paper's 6-hour allocations
+  exec::FidelityConfig fidelity;
+  exec::CostModel cost;
+  rl::PpoConfig ppo;
+  std::uint64_t seed = 42;
+  /// Architectures generated per agent cycle; 0 means workers_per_agent.
+  std::size_t batch_per_agent = 0;
+  /// Simulated seconds for the PPO update + PS round trip between cycles.
+  double agent_overhead_seconds = 2.0;
+  /// Consecutive fully-cached cycles per agent before declaring convergence.
+  std::size_t convergence_streak = 5;
+  /// Hard cap on evaluations (0 = none); a safety valve for tests.
+  std::size_t max_evaluations = 0;
+  /// A3C recent-gradient averaging window (1 = apply each delta directly).
+  std::size_t async_window = 1;
+  /// Per-agent evaluation cache (paper default: on). Disabling it is the
+  /// ablation for the cache-induced utilization decay and convergence stop.
+  bool use_cache = true;
+  /// Settings for SearchStrategy::kEvolution.
+  EvolutionConfig evolution;
+};
+
+/// One completed reward estimation, stamped with its virtual completion time.
+struct EvalRecord {
+  double time = 0.0;           ///< simulated seconds since search start
+  float reward = 0.0f;
+  std::size_t params = 0;
+  double sim_duration = 0.0;
+  bool cache_hit = false;
+  bool timed_out = false;
+  std::size_t agent = 0;
+  space::ArchEncoding arch;
+};
+
+struct SearchResult {
+  std::vector<EvalRecord> evals;   ///< ordered by completion time
+  double end_time = 0.0;           ///< when the search stopped (virtual s)
+  bool converged_early = false;
+  std::size_t cache_hits = 0;
+  std::size_t timeouts = 0;
+  std::size_t unique_archs = 0;
+  std::size_t ppo_updates = 0;
+  std::vector<double> utilization;     ///< per-minute worker utilization
+  double utilization_bucket = 60.0;
+
+  /// Best reward seen up to each eval (handy for trajectory plots).
+  [[nodiscard]] std::vector<std::pair<double, float>> best_so_far() const;
+  /// Top-k *unique* architectures by estimated reward (the paper's top-50
+  /// selection for post-training). Excludes timed-out evaluations.
+  [[nodiscard]] std::vector<EvalRecord> top_k(std::size_t k) const;
+};
+
+class SearchDriver {
+ public:
+  /// `space` and `dataset` must outlive the driver. `pool` (optional)
+  /// parallelizes the real trainings behind each simulated batch.
+  SearchDriver(const space::SearchSpace& space, const data::Dataset& dataset,
+               SearchConfig config, tensor::ThreadPool* pool = nullptr);
+
+  [[nodiscard]] SearchResult run();
+
+  [[nodiscard]] const SearchConfig& config() const noexcept { return config_; }
+
+ private:
+  const space::SearchSpace* space_;
+  const data::Dataset* dataset_;
+  SearchConfig config_;
+  tensor::ThreadPool* pool_;
+};
+
+}  // namespace ncnas::nas

@@ -1,0 +1,65 @@
+// ParameterServer — the coordination point of the manager/worker RL scheme
+// (paper Fig. 2).
+//
+// Agents train local copies of the controller and submit parameter *deltas*
+// (the net effect of their local PPO epochs, a gradient estimate scaled by
+// the optimizer). Two protocols:
+//
+//   kSync (A2C): the PS holds a barrier; once all N agents of a round have
+//   submitted, it applies the average delta and releases everyone. Agents
+//   idle at the barrier — the cause of A2C's sawtooth utilization.
+//
+//   kAsync (A3C): a submission is averaged with the most recent window of
+//   deltas and applied immediately; the reply carries the new parameters.
+//   No agent ever waits, at the price of gradient staleness.
+//
+// The driver invokes the PS at deterministic virtual times, so no locking is
+// needed; the PS is pure bookkeeping.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ncnas::nas {
+
+class ParameterServer {
+ public:
+  enum class Mode { kSync, kAsync };
+
+  ParameterServer(std::vector<float> initial, Mode mode, std::size_t num_agents,
+                  std::size_t async_window = 1);
+
+  [[nodiscard]] Mode mode() const noexcept { return mode_; }
+  [[nodiscard]] const std::vector<float>& params() const noexcept { return params_; }
+  [[nodiscard]] std::size_t dim() const noexcept { return params_.size(); }
+  [[nodiscard]] std::size_t updates_applied() const noexcept { return updates_applied_; }
+
+  /// Async: applies (the windowed average of) `delta` immediately; returns
+  /// true. Sync: parks the delta; returns true only when this submission
+  /// completed the barrier (the caller then releases all agents).
+  bool submit(std::size_t agent, std::span<const float> delta);
+
+  /// Sync only: true when every agent of the round has submitted.
+  [[nodiscard]] bool barrier_complete() const noexcept {
+    return pending_count_ == num_agents_;
+  }
+
+ private:
+  void apply(std::span<const float> delta, float scale);
+
+  Mode mode_;
+  std::size_t num_agents_;
+  std::size_t async_window_;
+  std::vector<float> params_;
+  // Sync barrier state.
+  std::vector<std::vector<float>> pending_;
+  std::vector<bool> submitted_;
+  std::size_t pending_count_ = 0;
+  // Async window state (ring buffer of recent deltas).
+  std::vector<std::vector<float>> recent_;
+  std::size_t recent_next_ = 0;
+  std::size_t updates_applied_ = 0;
+};
+
+}  // namespace ncnas::nas

@@ -1,0 +1,19 @@
+// Weight initialization schemes (Glorot/He), seeded explicitly.
+#pragma once
+
+#include "ncnas/tensor/rng.hpp"
+#include "ncnas/tensor/tensor.hpp"
+
+namespace ncnas::nn {
+
+/// Glorot (Xavier) uniform: U(-limit, limit), limit = sqrt(6 / (fan_in + fan_out)).
+void glorot_uniform(tensor::Tensor& w, std::size_t fan_in, std::size_t fan_out,
+                    tensor::Rng& rng);
+
+/// He normal: N(0, sqrt(2 / fan_in)); better suited to relu stacks.
+void he_normal(tensor::Tensor& w, std::size_t fan_in, tensor::Rng& rng);
+
+/// Orthogonal-ish init used for LSTM recurrent weights: scaled normal.
+void scaled_normal(tensor::Tensor& w, float stddev, tensor::Rng& rng);
+
+}  // namespace ncnas::nn

@@ -1,0 +1,35 @@
+// Losses. Each returns the scalar batch loss and the gradient w.r.t. the
+// model output (already averaged over the batch), ready for Graph::backward.
+#pragma once
+
+#include <utility>
+
+#include "ncnas/tensor/tensor.hpp"
+
+namespace ncnas::nn {
+
+enum class LossKind {
+  kMse,                ///< regression (Combo, Uno — predicting growth / dose response)
+  kCrossEntropy,       ///< classification from softmax probabilities (NT3)
+};
+
+struct LossValue {
+  float loss = 0.0f;
+  tensor::Tensor grad;  ///< dL/d(pred), same shape as pred
+};
+
+/// Mean squared error over all elements; targets shape must equal preds.
+[[nodiscard]] LossValue mse_loss(const tensor::Tensor& pred, const tensor::Tensor& target);
+
+/// Cross-entropy taking *probabilities* (softmax output layer) and one-hot or
+/// index targets. `target_index` holds the class id per row.
+/// The returned gradient is dL/d(probs); combined with the softmax layer's own
+/// Jacobian in act_backward this reproduces the standard (p - y) logit grad.
+[[nodiscard]] LossValue cross_entropy_loss(const tensor::Tensor& probs,
+                                           const std::vector<std::size_t>& target_index);
+
+/// Dispatch on kind. For kCrossEntropy, `target` holds class ids in column 0.
+[[nodiscard]] LossValue compute_loss(LossKind kind, const tensor::Tensor& pred,
+                                     const tensor::Tensor& target);
+
+}  // namespace ncnas::nn

@@ -1,0 +1,69 @@
+// LstmCell — a single-layer LSTM with explicit backpropagation through time.
+//
+// The paper's policy and value networks are "a single-layer LSTM with 32
+// units". The RL controller drives this cell step by step (one step per
+// variable node in the search space); steps push caches onto an internal
+// stack and backward_step() pops them in reverse, so a full BPTT pass is
+// `for t in reverse(T): backward_step(...)`.
+#pragma once
+
+#include <vector>
+
+#include "ncnas/nn/parameter.hpp"
+#include "ncnas/tensor/rng.hpp"
+#include "ncnas/tensor/tensor.hpp"
+
+namespace ncnas::nn {
+
+struct LstmState {
+  tensor::Tensor h;  ///< [batch, hidden]
+  tensor::Tensor c;  ///< [batch, hidden]
+};
+
+class LstmCell {
+ public:
+  LstmCell(std::size_t input_dim, std::size_t hidden_dim, tensor::Rng& rng);
+
+  [[nodiscard]] std::size_t input_dim() const noexcept { return input_dim_; }
+  [[nodiscard]] std::size_t hidden_dim() const noexcept { return hidden_dim_; }
+
+  /// Zero-filled initial state for a batch.
+  [[nodiscard]] LstmState initial_state(std::size_t batch) const;
+
+  /// One recurrent step; caches intermediates for a later backward pass.
+  [[nodiscard]] LstmState step(const tensor::Tensor& x, const LstmState& prev);
+
+  /// Like step() but without caching — for action sampling where no gradient
+  /// will ever be taken (keeps rollouts allocation-light).
+  [[nodiscard]] LstmState step_nograd(const tensor::Tensor& x, const LstmState& prev) const;
+
+  /// Pops the most recent cached step. `grad_h` / `grad_c` are dL/dh', dL/dc'
+  /// for that step's outputs; returns dL/dx and writes dL/d(prev state).
+  /// Parameter gradients are accumulated.
+  tensor::Tensor backward_step(const tensor::Tensor& grad_h, const tensor::Tensor& grad_c,
+                               tensor::Tensor& grad_h_prev, tensor::Tensor& grad_c_prev);
+
+  /// Discards any cached steps (call before starting a new sequence).
+  void clear_cache();
+  [[nodiscard]] std::size_t cached_steps() const noexcept { return cache_.size(); }
+
+  [[nodiscard]] std::vector<ParamPtr> parameters() const { return {wx_, wh_, b_}; }
+
+ private:
+  struct StepCache {
+    tensor::Tensor x, h_prev, c_prev;
+    tensor::Tensor i, f, g, o;   // post-nonlinearity gate values
+    tensor::Tensor c_new, tanh_c;
+  };
+
+  void gates(const tensor::Tensor& x, const LstmState& prev, tensor::Tensor& z) const;
+
+  std::size_t input_dim_;
+  std::size_t hidden_dim_;
+  ParamPtr wx_;  // [input, 4*hidden]   gate order: i, f, g, o
+  ParamPtr wh_;  // [hidden, 4*hidden]
+  ParamPtr b_;   // [4*hidden]
+  std::vector<StepCache> cache_;
+};
+
+}  // namespace ncnas::nn

@@ -1,0 +1,24 @@
+// Validation metrics — the paper's reward signals.
+//   Combo, Uno : R^2 (coefficient of determination) on held-out data
+//   NT3        : classification accuracy
+#pragma once
+
+#include "ncnas/tensor/tensor.hpp"
+
+namespace ncnas::nn {
+
+enum class Metric { kR2, kAccuracy };
+
+/// R^2 = 1 - SS_res / SS_tot. Perfect fit -> 1; predicting the mean -> 0;
+/// can be arbitrarily negative for bad models (the paper clips rewards at -1).
+[[nodiscard]] float r2_score(const tensor::Tensor& pred, const tensor::Tensor& target);
+
+/// Fraction of rows where argmax(pred) equals the class id in target(i, 0).
+[[nodiscard]] float accuracy_score(const tensor::Tensor& pred, const tensor::Tensor& target);
+
+[[nodiscard]] float compute_metric(Metric m, const tensor::Tensor& pred,
+                                   const tensor::Tensor& target);
+
+[[nodiscard]] const char* metric_name(Metric m);
+
+}  // namespace ncnas::nn

@@ -1,0 +1,55 @@
+// Optimizers. Adam (the paper's choice, default lr 1e-3) and plain SGD.
+// State is keyed by Parameter identity, so shared (mirrored) weights get a
+// single moment estimate no matter how many layers reference them.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "ncnas/nn/parameter.hpp"
+
+namespace ncnas::nn {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  /// Applies one update from the accumulated gradients, then leaves grads
+  /// untouched (callers zero them per step).
+  virtual void step(const std::vector<ParamPtr>& params) = 0;
+  [[nodiscard]] virtual float learning_rate() const = 0;
+  virtual void set_learning_rate(float lr) = 0;
+};
+
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(float lr = 0.01f) : lr_(lr) {}
+  void step(const std::vector<ParamPtr>& params) override;
+  [[nodiscard]] float learning_rate() const override { return lr_; }
+  void set_learning_rate(float lr) override { lr_ = lr; }
+
+ private:
+  float lr_;
+};
+
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(float lr = 0.001f, float beta1 = 0.9f, float beta2 = 0.999f,
+                float eps = 1e-7f)
+      : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+
+  void step(const std::vector<ParamPtr>& params) override;
+  [[nodiscard]] float learning_rate() const override { return lr_; }
+  void set_learning_rate(float lr) override { lr_ = lr; }
+
+ private:
+  struct Moments {
+    tensor::Tensor m;
+    tensor::Tensor v;
+  };
+
+  float lr_, beta1_, beta2_, eps_;
+  long step_count_ = 0;
+  std::unordered_map<const Parameter*, Moments> state_;
+};
+
+}  // namespace ncnas::nn

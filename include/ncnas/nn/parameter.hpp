@@ -1,0 +1,38 @@
+// Trainable parameters.
+//
+// Parameters are shared_ptr-held so that two layers can literally share the
+// same weights — this is how the search space's MirrorNode implements the
+// paper's shared drug-descriptor submodel in Combo (drug-1 and drug-2
+// descriptors flow through the same dense weights).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ncnas/tensor/tensor.hpp"
+
+namespace ncnas::nn {
+
+struct Parameter {
+  std::string name;
+  tensor::Tensor value;
+  tensor::Tensor grad;
+
+  Parameter(std::string n, tensor::Tensor v)
+      : name(std::move(n)), value(std::move(v)), grad(value.shape()) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return value.size(); }
+  void zero_grad() { grad.zero(); }
+};
+
+using ParamPtr = std::shared_ptr<Parameter>;
+
+/// Sum of element counts over a parameter list, de-duplicating shared
+/// parameters (mirrored layers must not double-count).
+[[nodiscard]] std::size_t unique_param_count(const std::vector<ParamPtr>& params);
+
+/// De-duplicates a parameter list preserving first-seen order.
+[[nodiscard]] std::vector<ParamPtr> unique_params(const std::vector<ParamPtr>& params);
+
+}  // namespace ncnas::nn

@@ -1,0 +1,93 @@
+// Controller — the paper's policy/value network: a single-layer LSTM (32
+// units) that emits one categorical action per variable node of the search
+// space, trained with clipped PPO (epochs=4, clip=0.2, lr=1e-3).
+//
+// Architecture generation is a Markov decision process: the action taken for
+// layer t is fed back (through a learned embedding) as the input at t+1, so
+// later layer choices condition on earlier ones. Heads share the LSTM state:
+// a masked softmax policy head over the largest node arity, and a scalar
+// value head used as the PPO baseline.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ncnas/nn/lstm.hpp"
+#include "ncnas/nn/optimizer.hpp"
+#include "ncnas/space/structure.hpp"
+#include "ncnas/tensor/rng.hpp"
+
+namespace ncnas::rl {
+
+/// One sampled architecture plus everything PPO needs to learn from it.
+struct Rollout {
+  space::ArchEncoding actions;
+  std::vector<float> log_probs;  ///< log pi_old(a_t | s_t), per step
+  std::vector<float> values;     ///< V_old(s_t), per step
+};
+
+struct PpoConfig {
+  int epochs = 4;           ///< the paper's PPO epochs
+  float clip = 0.2f;        ///< the paper's clip epsilon
+  float learning_rate = 0.001f;
+  float value_coef = 0.5f;
+  float entropy_coef = 0.01f;
+  bool normalize_advantages = true;
+};
+
+struct PpoStats {
+  float policy_loss = 0.0f;
+  float value_loss = 0.0f;
+  float entropy = 0.0f;
+  float approx_kl = 0.0f;
+};
+
+class Controller {
+ public:
+  /// `arities[t]` is the option count of decision t (SearchSpace::arities()).
+  Controller(std::vector<std::size_t> arities, std::uint64_t seed,
+             std::size_t hidden = 32, std::size_t embed = 16);
+
+  [[nodiscard]] std::size_t num_steps() const noexcept { return arities_.size(); }
+  [[nodiscard]] const std::vector<std::size_t>& arities() const noexcept { return arities_; }
+
+  /// Samples one architecture stochastically (no gradient bookkeeping).
+  [[nodiscard]] Rollout sample(tensor::Rng& rng) const;
+
+  /// Greedy (argmax) decode — the controller's current best guess.
+  [[nodiscard]] space::ArchEncoding greedy() const;
+
+  /// One PPO update over a batch of rollouts with terminal `rewards`
+  /// (reward b scores rollout b). Runs cfg.epochs passes with the
+  /// controller's internal Adam optimizer.
+  PpoStats ppo_update(std::span<const Rollout> rollouts, std::span<const float> rewards,
+                      const PpoConfig& cfg);
+
+  /// --- parameter-server interface ------------------------------------------
+  [[nodiscard]] std::size_t flat_size() const;
+  [[nodiscard]] std::vector<float> get_flat() const;
+  void set_flat(std::span<const float> flat);
+
+  [[nodiscard]] std::vector<nn::ParamPtr> parameters() const;
+
+ private:
+  /// Policy-head logits for one batch of hidden states, masked to `arity`.
+  void head_logits(const tensor::Tensor& h, std::size_t arity, tensor::Tensor& probs) const;
+  [[nodiscard]] float head_value(const tensor::Tensor& h, std::size_t row) const;
+
+  std::vector<std::size_t> arities_;
+  std::size_t hidden_;
+  std::size_t embed_dim_;
+  std::size_t max_arity_;
+
+  nn::ParamPtr embed_;  // [max_arity + 1, embed_dim]; row 0 = start token
+  mutable nn::LstmCell lstm_;
+  nn::ParamPtr wpi_;    // [hidden, max_arity]
+  nn::ParamPtr bpi_;    // [max_arity]
+  nn::ParamPtr wv_;     // [hidden, 1]
+  nn::ParamPtr bv_;     // [1]
+  nn::Adam adam_;
+};
+
+}  // namespace ncnas::rl

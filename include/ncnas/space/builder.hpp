@@ -1,0 +1,36 @@
+// build_model — lowers (SearchSpace, ArchEncoding) to a trainable nn::Graph.
+//
+// The builder inserts rank adapters automatically (Flatten before a Dense fed
+// by a feature map, Reshape1D before a Conv1D fed by a feature vector), skips
+// a Conv1D whose kernel exceeds the current length (degrades to Identity),
+// and realizes MirrorNodes by parameter-sharing clones of the source node's
+// built layer. The task head (scalar regression output or softmax classifier,
+// both outside the paper's search space) is appended at the end.
+#pragma once
+
+#include <span>
+
+#include "ncnas/nn/graph.hpp"
+#include "ncnas/space/search_space.hpp"
+
+namespace ncnas::space {
+
+struct TaskHead {
+  enum class Kind { kRegression, kClassification };
+  Kind kind = Kind::kRegression;
+  std::size_t classes = 1;  ///< used for kClassification
+
+  [[nodiscard]] static TaskHead regression() { return {Kind::kRegression, 1}; }
+  [[nodiscard]] static TaskHead classification(std::size_t classes) {
+    return {Kind::kClassification, classes};
+  }
+};
+
+/// `input_dims[p]` is the feature width of structure input p (one per
+/// Structure::input_names entry). `rng` seeds the weight initialization —
+/// the paper's agent-specific random initializer.
+[[nodiscard]] nn::Graph build_model(const SearchSpace& space, const ArchEncoding& arch,
+                                    std::span<const std::size_t> input_dims, TaskHead head,
+                                    tensor::Rng& rng);
+
+}  // namespace ncnas::space

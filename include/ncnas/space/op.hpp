@@ -1,0 +1,83 @@
+// Operations — the atoms of the paper's NAS search space (§3.1).
+//
+// A VariableNode's choice list is a vector of these. Dense/Dropout form the
+// MLP_Node menu used by Combo and Uno; Conv1D/MaxPool1D/Activation appear in
+// NT3; Connect options realize skip connections (each option names the set of
+// earlier tensors to splice in); Add is the ConstantNode operation used by
+// Uno's residual blocks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "ncnas/nn/layers.hpp"
+
+namespace ncnas::space {
+
+/// A reference to a tensor produced earlier in the structure — the targets a
+/// Connect/Add operation may splice in.
+struct SkipRef {
+  enum class Kind : std::uint8_t { kInput, kCellOutput, kNodeOutput };
+  Kind kind = Kind::kInput;
+  std::size_t input = 0;              ///< kInput: structure input index
+  std::size_t cell = 0;               ///< kCellOutput / kNodeOutput
+  std::size_t block = 0;              ///< kNodeOutput
+  std::size_t node = 0;               ///< kNodeOutput
+
+  [[nodiscard]] static SkipRef to_input(std::size_t p) {
+    return {Kind::kInput, p, 0, 0, 0};
+  }
+  [[nodiscard]] static SkipRef to_cell(std::size_t c) {
+    return {Kind::kCellOutput, 0, c, 0, 0};
+  }
+  [[nodiscard]] static SkipRef to_node(std::size_t c, std::size_t b, std::size_t n) {
+    return {Kind::kNodeOutput, 0, c, b, n};
+  }
+};
+
+struct IdentityOp {};
+
+struct DenseOp {
+  std::size_t units = 0;
+  nn::Act act = nn::Act::kLinear;
+};
+
+struct DropoutOp {
+  float rate = 0.0f;
+};
+
+struct Conv1DOp {
+  std::size_t filters = 8;  ///< the paper fixes NT3 search filters at 8
+  std::size_t kernel = 3;
+};
+
+struct MaxPool1DOp {
+  std::size_t size = 2;
+};
+
+struct ActivationOp {
+  nn::Act act = nn::Act::kRelu;
+};
+
+/// Concatenates the node's sequential input with every referenced tensor.
+/// An empty ref list is the paper's "Null" option (plain pass-through).
+struct ConnectOp {
+  std::vector<SkipRef> refs;
+  std::string label;  ///< e.g. "cell-expr & drug1"
+};
+
+/// Elementwise addition of the sequential input and the referenced tensors
+/// (widths aligned by zero padding; see nn::Add).
+struct AddOp {
+  std::vector<SkipRef> refs;
+};
+
+using Op = std::variant<IdentityOp, DenseOp, DropoutOp, Conv1DOp, MaxPool1DOp, ActivationOp,
+                        ConnectOp, AddOp>;
+
+/// Short printable name, e.g. "Dense(48, relu)" or "Connect(drug1 & drug2)".
+[[nodiscard]] std::string op_name(const Op& op);
+
+}  // namespace ncnas::space

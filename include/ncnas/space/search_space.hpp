@@ -1,0 +1,63 @@
+// SearchSpace — a validated Structure plus the derived quantities the rest of
+// the system needs: the ordered list of decision points (variable nodes),
+// their arities, the total space size, sampling, and pretty-printing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ncnas/space/structure.hpp"
+#include "ncnas/tensor/rng.hpp"
+
+namespace ncnas::space {
+
+/// Coordinates of one variable node inside the structure.
+struct DecisionPoint {
+  std::size_t cell = 0;
+  std::size_t block = 0;
+  std::size_t node = 0;
+  std::size_t arity = 0;
+  std::string name;
+};
+
+class SearchSpace {
+ public:
+  /// Validates the structure (mirror sources must precede their mirrors,
+  /// skip refs must point backward, every variable node needs >= 1 option).
+  explicit SearchSpace(Structure structure);
+
+  [[nodiscard]] const Structure& structure() const noexcept { return structure_; }
+  [[nodiscard]] const std::string& name() const noexcept { return structure_.name; }
+
+  [[nodiscard]] const std::vector<DecisionPoint>& decisions() const noexcept {
+    return decisions_;
+  }
+  [[nodiscard]] std::size_t num_decisions() const noexcept { return decisions_.size(); }
+  /// Arity per decision, in encoding order — what the RL controller consumes.
+  [[nodiscard]] std::vector<std::size_t> arities() const;
+  [[nodiscard]] std::size_t max_arity() const noexcept { return max_arity_; }
+
+  /// |space| as a double (the paper quotes e.g. 2.0968e14) and its log10.
+  [[nodiscard]] double size() const noexcept { return size_; }
+  [[nodiscard]] double log10_size() const noexcept { return log10_size_; }
+
+  [[nodiscard]] ArchEncoding random_arch(tensor::Rng& rng) const;
+  [[nodiscard]] bool is_valid(const ArchEncoding& arch) const;
+  /// Throws std::invalid_argument with a precise message when invalid.
+  void require_valid(const ArchEncoding& arch) const;
+
+  /// The concrete operation selected for decision `d` by `arch`.
+  [[nodiscard]] const Op& chosen_op(const ArchEncoding& arch, std::size_t d) const;
+
+  /// One line per decision: "C1/B1/N0 <- Connect(drug1 & drug2)".
+  [[nodiscard]] std::string describe(const ArchEncoding& arch) const;
+
+ private:
+  Structure structure_;
+  std::vector<DecisionPoint> decisions_;
+  std::size_t max_arity_ = 0;
+  double size_ = 1.0;
+  double log10_size_ = 0.0;
+};
+
+}  // namespace ncnas::space

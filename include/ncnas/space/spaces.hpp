@@ -1,0 +1,35 @@
+// Canned search spaces — the five spaces of the paper's §3.1.
+//
+//   combo_small : 12 MLP nodes (13-way) + 1 Connect (9-way)   |S| = 13^12 * 9
+//   combo_large : C1 replicated 8x with growing Connect menus
+//   uno_small   : 12 MLP nodes (dose block is constant)        |S| = 13^12
+//   uno_large   : 9 cells with 1 MLP + 1 Connect each
+//   nt3_small   : (Conv,Act,Pool)^2 + (Dense,Act,Drop)^2       |S| = (5*4*5)^2 * (9*4*7)^2
+//
+// Dense widths follow the global scaling of DESIGN.md §5: the paper's
+// {100, 500, 1000} units become {16, 48, 96}; NT3's dense menu
+// {10..1000} becomes {4..96}; conv filters stay at the paper's 8.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ncnas/space/search_space.hpp"
+
+namespace ncnas::space {
+
+/// The 13-option MLP_Node menu shared by Combo and Uno.
+[[nodiscard]] std::vector<Op> mlp_node_options();
+
+[[nodiscard]] SearchSpace combo_small_space();
+[[nodiscard]] SearchSpace combo_large_space();
+[[nodiscard]] SearchSpace uno_small_space();
+[[nodiscard]] SearchSpace uno_large_space();
+[[nodiscard]] SearchSpace nt3_small_space();
+
+/// Lookup by the names used throughout benches and examples:
+/// "combo-small", "combo-large", "uno-small", "uno-large", "nt3-small".
+[[nodiscard]] SearchSpace space_by_name(const std::string& name);
+[[nodiscard]] std::vector<std::string> space_names();
+
+}  // namespace ncnas::space

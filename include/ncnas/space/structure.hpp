@@ -1,0 +1,72 @@
+// Structure / Cell / Block / Node — the paper's search-space formalism (§3.1).
+//
+//   Structure S = ((I_0..I_{P-1}), (C_0..C_{K-1}), R_out)
+//   Cell C_i    = blocks {B_0..B_{L-1}} + an output rule (concatenation)
+//   Block B     = a DAG of nodes; here nodes run sequentially from the
+//                 block's input, with Connect/Add nodes splicing in earlier
+//                 tensors — this covers every space the paper defines.
+//
+// Node kinds:
+//   VariableNode - a list of candidate operations; the search space proper
+//   ConstantNode - a fixed operation (excluded from the space)
+//   MirrorNode   - reuses another node's operation *and parameters*
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "ncnas/space/op.hpp"
+
+namespace ncnas::space {
+
+struct VariableNode {
+  std::string name;
+  std::vector<Op> options;
+};
+
+struct ConstantNode {
+  std::string name;
+  Op op;
+};
+
+/// Reuses the operation chosen for — and the layer parameters built for —
+/// the node at (cell, block, node), which must precede this node.
+struct MirrorNode {
+  std::string name;
+  std::size_t cell = 0;
+  std::size_t block = 0;
+  std::size_t node = 0;
+};
+
+using NodeSpec = std::variant<VariableNode, ConstantNode, MirrorNode>;
+
+struct Block {
+  std::string name;
+  SkipRef input;                 ///< where the block's first node reads from
+  std::vector<NodeSpec> nodes;   ///< applied sequentially
+};
+
+struct Cell {
+  std::string name;
+  std::vector<Block> blocks;     ///< cell output = concat of block outputs
+};
+
+struct Structure {
+  std::string name;
+  std::vector<std::string> input_names;
+  std::vector<Cell> cells;
+  /// Cells whose outputs are concatenated into the model output; empty means
+  /// "the last cell only".
+  std::vector<std::size_t> output_cells;
+};
+
+/// Architecture encoding: one option index per VariableNode, in structure
+/// order (cells, then blocks, then nodes).
+using ArchEncoding = std::vector<std::uint16_t>;
+
+/// Hashable key for evaluation caches.
+[[nodiscard]] std::string arch_key(const ArchEncoding& arch);
+
+}  // namespace ncnas::space

@@ -1,0 +1,53 @@
+// Dense linear-algebra kernels used by the nn layers.
+//
+// All kernels are single-threaded by design: in this system parallelism lives
+// one level up (many independent architecture evaluations on a thread pool),
+// which mirrors the paper's deployment — one reward estimation per KNL node,
+// many nodes. Keeping the kernels serial keeps evaluations deterministic and
+// avoids nested oversubscription.
+#pragma once
+
+#include "ncnas/tensor/tensor.hpp"
+
+namespace ncnas::tensor {
+
+/// C = A(m,k) * B(k,n). Shapes validated; C is overwritten.
+void gemm(const Tensor& a, const Tensor& b, Tensor& c);
+
+/// C = A(m,k) * B(n,k)^T.
+void gemm_nt(const Tensor& a, const Tensor& b, Tensor& c);
+
+/// C = A(k,m)^T * B(k,n).
+void gemm_tn(const Tensor& a, const Tensor& b, Tensor& c);
+
+/// Returns A * B freshly allocated.
+[[nodiscard]] Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// y += x (same shape).
+void add_inplace(Tensor& y, const Tensor& x);
+
+/// y += alpha * x (same shape). The axpy of reference BLAS.
+void axpy(float alpha, const Tensor& x, Tensor& y);
+
+/// y *= alpha.
+void scale_inplace(Tensor& y, float alpha);
+
+/// Adds a row vector `bias`(n) to every row of `y`(m,n).
+void add_row_bias(Tensor& y, const Tensor& bias);
+
+/// Accumulates column sums of `g`(m,n) into `out`(n): out += sum_rows(g).
+void accumulate_col_sums(const Tensor& g, Tensor& out);
+
+/// Sum of all elements.
+[[nodiscard]] float sum(const Tensor& t);
+
+/// Mean of all elements (0 for empty tensors).
+[[nodiscard]] float mean(const Tensor& t);
+
+/// Dot product of two same-shape tensors viewed flat.
+[[nodiscard]] float dot(const Tensor& a, const Tensor& b);
+
+/// Squared L2 norm.
+[[nodiscard]] float squared_norm(const Tensor& t);
+
+}  // namespace ncnas::tensor

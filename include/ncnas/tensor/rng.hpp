@@ -1,0 +1,56 @@
+// Deterministic random number generation.
+//
+// Every stochastic component of the NAS (weight init, dropout masks, data
+// generation, controller sampling, cost-model noise) draws from an explicit
+// Rng instance so that runs are reproducible and agent-specific seeds behave
+// exactly as in the paper ("agent-specific random weight initialization").
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+#include <vector>
+
+namespace ncnas::tensor {
+
+/// xoshiro256** with SplitMix64 seeding. Fast, high quality, and — unlike
+/// std::mt19937 distributions — bit-reproducible across standard libraries.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  /// Uniform 64-bit integer.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double uniform();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_int(std::uint64_t n);
+
+  /// Standard normal via Box–Muller (cached second value).
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Samples an index from a discrete probability vector (assumed normalized;
+  /// falls back to the last index on accumulated rounding error).
+  std::size_t categorical(const std::vector<double>& probs);
+
+  /// Derives an independent child stream; children of distinct `stream` values
+  /// are decorrelated even under sequential seeds.
+  [[nodiscard]] Rng split(std::uint64_t stream) const;
+
+ private:
+  std::uint64_t state_[4]{};
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace ncnas::tensor

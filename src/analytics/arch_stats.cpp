@@ -1,0 +1,73 @@
+#include "ncnas/analytics/arch_stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "ncnas/analytics/report.hpp"
+
+namespace ncnas::analytics {
+
+double ArchStats::concentration() const {
+  if (decisions.empty()) return 0.0;
+  double acc = 0.0;
+  for (const DecisionHistogram& d : decisions) acc += d.modal_fraction;
+  return acc / static_cast<double>(decisions.size());
+}
+
+ArchStats compute_arch_stats(const space::SearchSpace& space,
+                             const std::vector<space::ArchEncoding>& archs) {
+  ArchStats stats;
+  stats.archs = archs.size();
+  std::unordered_set<std::string> unique;
+  for (const auto& a : archs) unique.insert(space::arch_key(a));
+  stats.unique = unique.size();
+
+  const auto& decisions = space.decisions();
+  stats.decisions.resize(decisions.size());
+  for (std::size_t d = 0; d < decisions.size(); ++d) {
+    DecisionHistogram& hist = stats.decisions[d];
+    std::ostringstream name;
+    name << 'C' << decisions[d].cell << "/B" << decisions[d].block << "/N"
+         << decisions[d].node << " (" << decisions[d].name << ')';
+    hist.decision_name = name.str();
+    hist.counts.assign(decisions[d].arity, 0);
+    for (const auto& a : archs) {
+      space.require_valid(a);
+      ++hist.counts[a[d]];
+    }
+    if (!archs.empty()) {
+      const auto it = std::ranges::max_element(hist.counts);
+      hist.modal_option = static_cast<std::size_t>(it - hist.counts.begin());
+      hist.modal_fraction =
+          static_cast<double>(*it) / static_cast<double>(archs.size());
+      // Render the modal operation via any valid arch with that choice.
+      space::ArchEncoding probe(decisions.size(), 0);
+      probe[d] = static_cast<std::uint16_t>(hist.modal_option);
+      hist.modal_op_name = space::op_name(space.chosen_op(probe, d));
+    }
+  }
+  return stats;
+}
+
+ArchStats compute_arch_stats(const space::SearchSpace& space, const nas::SearchResult& result,
+                             double t_from) {
+  std::vector<space::ArchEncoding> archs;
+  archs.reserve(result.evals.size());
+  for (const nas::EvalRecord& e : result.evals) {
+    if (e.time >= t_from) archs.push_back(e.arch);
+  }
+  return compute_arch_stats(space, archs);
+}
+
+void print_arch_stats(std::ostream& os, const ArchStats& stats) {
+  os << stats.archs << " architectures, " << stats.unique << " unique, concentration "
+     << fmt(stats.concentration()) << "\n";
+  Table table({"decision", "modal op", "share"});
+  for (const DecisionHistogram& d : stats.decisions) {
+    table.add_row({d.decision_name, d.modal_op_name, fmt(d.modal_fraction)});
+  }
+  table.print(os);
+}
+
+}  // namespace ncnas::analytics

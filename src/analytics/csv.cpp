@@ -1,0 +1,62 @@
+#include "ncnas/analytics/csv.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace ncnas::analytics {
+
+namespace {
+
+std::ofstream open_or_throw(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("csv: cannot open " + path);
+  return out;
+}
+
+}  // namespace
+
+void write_series_csv(const std::string& path, const std::vector<double>& series,
+                      double bucket_seconds, const std::string& value_header) {
+  std::ofstream out = open_or_throw(path);
+  out << "t_seconds," << value_header << '\n';
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    out << static_cast<double>(i + 1) * bucket_seconds << ',' << series[i] << '\n';
+  }
+  if (!out) throw std::runtime_error("csv: write failed for " + path);
+}
+
+void write_multi_series_csv(const std::string& path, const std::vector<std::string>& headers,
+                            const std::vector<std::vector<double>>& columns,
+                            double bucket_seconds) {
+  if (headers.size() != columns.size()) {
+    throw std::invalid_argument("csv: headers/columns count mismatch");
+  }
+  std::ofstream out = open_or_throw(path);
+  out << "t_seconds";
+  for (const std::string& h : headers) out << ',' << h;
+  out << '\n';
+  std::size_t rows = 0;
+  for (const auto& c : columns) rows = std::max(rows, c.size());
+  for (std::size_t r = 0; r < rows; ++r) {
+    out << static_cast<double>(r + 1) * bucket_seconds;
+    for (const auto& c : columns) {
+      out << ',';
+      if (r < c.size()) out << c[r];
+    }
+    out << '\n';
+  }
+  if (!out) throw std::runtime_error("csv: write failed for " + path);
+}
+
+void write_evals_csv(const std::string& path, const nas::SearchResult& result) {
+  std::ofstream out = open_or_throw(path);
+  out << "t_seconds,reward,params,sim_duration,cache_hit,timed_out,agent,arch\n";
+  for (const nas::EvalRecord& e : result.evals) {
+    out << e.time << ',' << e.reward << ',' << e.params << ',' << e.sim_duration << ','
+        << e.cache_hit << ',' << e.timed_out << ',' << e.agent << ','
+        << space::arch_key(e.arch) << '\n';
+  }
+  if (!out) throw std::runtime_error("csv: write failed for " + path);
+}
+
+}  // namespace ncnas::analytics

@@ -1,0 +1,62 @@
+#include "ncnas/analytics/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace ncnas::analytics {
+
+std::string fmt(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+void print_series(std::ostream& os, const std::string& label, const std::vector<double>& series,
+                  double bucket_seconds) {
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const double t_min = static_cast<double>(i + 1) * bucket_seconds / 60.0;
+    os << label << '\t' << fmt(t_min, 1) << '\t' << fmt(series[i], 4) << '\n';
+  }
+}
+
+void print_sparkline(std::ostream& os, const std::string& label,
+                     const std::vector<double>& series, double lo, double hi) {
+  static const char kGlyphs[] = " .:-=+*#%@";
+  constexpr int kLevels = 9;
+  os << label << " |";
+  for (double v : series) {
+    const double unit = hi > lo ? std::clamp((v - lo) / (hi - lo), 0.0, 1.0) : 0.0;
+    os << kGlyphs[static_cast<int>(std::lround(unit * kLevels))];
+  }
+  os << "|\n";
+}
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << cell;
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  std::string rule;
+  for (std::size_t c = 0; c < widths.size(); ++c) rule += std::string(widths[c], '-') + "  ";
+  os << rule << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace ncnas::analytics

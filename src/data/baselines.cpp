@@ -1,0 +1,105 @@
+#include "ncnas/data/baselines.hpp"
+
+#include <stdexcept>
+
+#include "ncnas/nn/layers.hpp"
+
+namespace ncnas::data {
+
+using nn::Act;
+using nn::Graph;
+
+namespace {
+
+/// Appends a feed-forward stack of `depth` relu dense layers; returns the
+/// last node id and collects the created layers when `mirror_from` is given.
+std::size_t dense_stack(Graph& g, std::size_t from, std::size_t depth, std::size_t width,
+                        tensor::Rng& rng) {
+  std::size_t prev = from;
+  for (std::size_t i = 0; i < depth; ++i) {
+    prev = g.add(std::make_unique<nn::Dense>(width, Act::kRelu, rng), {prev});
+  }
+  return prev;
+}
+
+}  // namespace
+
+Graph combo_baseline(const Dataset& ds, tensor::Rng& rng, const BaselineDims& dims) {
+  if (ds.input_count() != 3) throw std::invalid_argument("combo_baseline: expects 3 inputs");
+  Graph g;
+  const std::size_t expr = g.add_input(ds.input_names[0], {ds.input_dim(0)});
+  const std::size_t drug1 = g.add_input(ds.input_names[1], {ds.input_dim(1)});
+  const std::size_t drug2 = g.add_input(ds.input_names[2], {ds.input_dim(2)});
+
+  const std::size_t cell_top = dense_stack(g, expr, 3, dims.hidden, rng);
+
+  // Shared drug submodel: build three dense layers for drug 1, then mirror
+  // the exact parameter slots for drug 2 (the paper's weight sharing).
+  std::vector<const nn::Layer*> shared_layers;
+  std::size_t d1 = drug1;
+  for (std::size_t i = 0; i < 3; ++i) {
+    auto layer = std::make_unique<nn::Dense>(dims.hidden, Act::kRelu, rng);
+    shared_layers.push_back(layer.get());
+    d1 = g.add(std::move(layer), {d1});
+  }
+  std::size_t d2 = drug2;
+  for (const nn::Layer* donor : shared_layers) {
+    d2 = g.add(nn::clone_shared(*donor), {d2});
+  }
+
+  const std::size_t joined = g.add(std::make_unique<nn::Concat>(), {cell_top, d1, d2});
+  const std::size_t head = dense_stack(g, joined, 3, dims.hidden, rng);
+  const std::size_t out = g.add(std::make_unique<nn::Dense>(1, Act::kLinear, rng), {head});
+  g.set_output(out);
+  return g;
+}
+
+Graph uno_baseline(const Dataset& ds, tensor::Rng& rng, const BaselineDims& dims) {
+  if (ds.input_count() != 4) throw std::invalid_argument("uno_baseline: expects 4 inputs");
+  Graph g;
+  const std::size_t rna = g.add_input(ds.input_names[0], {ds.input_dim(0)});
+  const std::size_t dose = g.add_input(ds.input_names[1], {ds.input_dim(1)});
+  const std::size_t desc = g.add_input(ds.input_names[2], {ds.input_dim(2)});
+  const std::size_t fp = g.add_input(ds.input_names[3], {ds.input_dim(3)});
+
+  const std::size_t rna_top = dense_stack(g, rna, 3, dims.hidden, rng);
+  const std::size_t desc_top = dense_stack(g, desc, 3, dims.hidden, rng);
+  const std::size_t fp_top = dense_stack(g, fp, 3, dims.hidden, rng);
+
+  const std::size_t joined =
+      g.add(std::make_unique<nn::Concat>(), {rna_top, desc_top, fp_top, dose});
+  const std::size_t head = dense_stack(g, joined, 3, dims.hidden, rng);
+  const std::size_t out = g.add(std::make_unique<nn::Dense>(1, Act::kLinear, rng), {head});
+  g.set_output(out);
+  return g;
+}
+
+Graph nt3_baseline(const Dataset& ds, tensor::Rng& rng, const BaselineDims& dims) {
+  if (ds.input_count() != 1) throw std::invalid_argument("nt3_baseline: expects 1 input");
+  Graph g;
+  const std::size_t in = g.add_input(ds.input_names[0], {ds.input_dim(0)});
+  const std::size_t seq = g.add(std::make_unique<nn::Reshape1D>(), {in});
+  std::size_t prev = g.add(std::make_unique<nn::Conv1D>(dims.nt3_filters, 20, rng), {seq});
+  prev = g.add(std::make_unique<nn::Activation>(Act::kRelu), {prev});
+  prev = g.add(std::make_unique<nn::MaxPool1D>(1), {prev});
+  prev = g.add(std::make_unique<nn::Conv1D>(dims.nt3_filters, 10, rng), {prev});
+  prev = g.add(std::make_unique<nn::Activation>(Act::kRelu), {prev});
+  prev = g.add(std::make_unique<nn::MaxPool1D>(10), {prev});
+  prev = g.add(std::make_unique<nn::Flatten>(), {prev});
+  prev = g.add(std::make_unique<nn::Dense>(dims.nt3_dense1, Act::kRelu, rng), {prev});
+  prev = g.add(std::make_unique<nn::Dropout>(0.1f), {prev});
+  prev = g.add(std::make_unique<nn::Dense>(dims.nt3_dense2, Act::kRelu, rng), {prev});
+  prev = g.add(std::make_unique<nn::Dropout>(0.1f), {prev});
+  const std::size_t out = g.add(std::make_unique<nn::Dense>(2, Act::kSoftmax, rng), {prev});
+  g.set_output(out);
+  return g;
+}
+
+Graph baseline_for(const Dataset& ds, tensor::Rng& rng, const BaselineDims& dims) {
+  if (ds.name == "combo") return combo_baseline(ds, rng, dims);
+  if (ds.name == "uno") return uno_baseline(ds, rng, dims);
+  if (ds.name == "nt3") return nt3_baseline(ds, rng, dims);
+  throw std::invalid_argument("baseline_for: unknown dataset '" + ds.name + "'");
+}
+
+}  // namespace ncnas::data

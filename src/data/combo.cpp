@@ -1,0 +1,122 @@
+// Combo — synthetic stand-in for the NCI-ALMANAC drug-pair screening data.
+//
+// Ground truth: each sample pairs a cell line (latent u) with two drugs
+// (latents v1, v2). Growth percentage is a symmetric nonlinear function of
+// (u, v1) and (u, v2) plus a synergy term coupling all three — the structure
+// the paper's Combo DNN (shared drug submodel + concatenation) is built to
+// capture. Observed features are noisy random projections of the latents,
+// mimicking expression profiles (d=942 in the paper) and drug descriptors
+// (d=3,820), scaled per DESIGN.md.
+#include "ncnas/data/dataset.hpp"
+
+#include <cmath>
+
+#include "synth.hpp"
+
+namespace ncnas::data {
+
+using tensor::Rng;
+using tensor::Tensor;
+
+namespace {
+
+/// Per-drug sensitivity: a random *teacher network* — kTeacherUnits tanh
+/// units over the concatenated (cell, drug) latents. A sufficiently deep and
+/// wide student architecture can represent this function almost exactly, so
+/// good NAS candidates reach high R2 after post-training while shallow or
+/// degenerate candidates cannot — the reward landscape the paper's search
+/// exploits. `teacher` is [kTeacherUnits, 2*latent + 1] (weights + output).
+constexpr std::size_t kTeacherUnits = 16;
+
+float drug_effect(const Tensor& z_cell, const Tensor& z_drug, const Tensor& teacher,
+                  std::size_t row, std::size_t latent) {
+  float out = 0.0f;
+  for (std::size_t j = 0; j < kTeacherUnits; ++j) {
+    float pre = 0.0f;
+    for (std::size_t a = 0; a < latent; ++a) {
+      pre += teacher(j, a) * z_cell(row, a) + teacher(j, latent + a) * z_drug(row, a);
+    }
+    out += teacher(j, 2 * latent) * std::tanh(pre / std::sqrt(2.0f * latent));
+  }
+  return out / std::sqrt(static_cast<float>(kTeacherUnits));
+}
+
+/// Synergy: drugs interact more strongly when their latents align.
+float synergy(const Tensor& z1, const Tensor& z2, std::size_t row, std::size_t latent) {
+  float dot = 0.0f;
+  for (std::size_t a = 0; a < latent; ++a) dot += z1(row, a) * z2(row, a);
+  return std::tanh(0.5f * dot / std::sqrt(static_cast<float>(latent)));
+}
+
+/// Additive main effect of the cell line — the "easy" part of the response
+/// that even shallow models pick up, giving the reward landscape a floor
+/// above chance for reasonable architectures.
+float cell_main_effect(const Tensor& z_cell, const Tensor& w, std::size_t row,
+                       std::size_t latent) {
+  float acc = 0.0f;
+  for (std::size_t a = 0; a < latent; ++a) acc += w(0, a) * z_cell(row, a);
+  return acc / std::sqrt(static_cast<float>(latent));
+}
+
+struct Split {
+  std::vector<Tensor> x;
+  Tensor y;
+};
+
+Split generate(std::size_t rows, const ComboDims& dims, const Tensor& proj_expr,
+               const Tensor& proj_drug, const Tensor& teacher, const Tensor& w_cell,
+               Rng& rng) {
+  const std::size_t k = dims.latent;
+  const Tensor z_cell = detail::latents(rows, k, rng);
+  const Tensor z_d1 = detail::latents(rows, k, rng);
+  const Tensor z_d2 = detail::latents(rows, k, rng);
+
+  Split split;
+  split.x.push_back(detail::observe(z_cell, proj_expr, 0.05f, rng));
+  split.x.push_back(detail::observe(z_d1, proj_drug, 0.05f, rng));
+  split.x.push_back(detail::observe(z_d2, proj_drug, 0.05f, rng));
+  split.y = Tensor({rows, 1});
+  for (std::size_t i = 0; i < rows; ++i) {
+    const float e1 = drug_effect(z_cell, z_d1, teacher, i, k);
+    const float e2 = drug_effect(z_cell, z_d2, teacher, i, k);
+    const float syn = synergy(z_d1, z_d2, i, k);
+    const float lin = cell_main_effect(z_cell, w_cell, i, k);
+    split.y(i, 0) = 0.6f * (e1 + e2) + 0.4f * syn + 0.5f * lin +
+                    0.05f * static_cast<float>(rng.normal());
+  }
+  return split;
+}
+
+}  // namespace
+
+Dataset make_combo(std::uint64_t seed, const ComboDims& dims) {
+  Rng rng(seed);
+  // Fixed world: projections and the cell-drug coupling are shared by the
+  // train and validation splits (they define the underlying biology).
+  const Tensor proj_expr = detail::projection(dims.latent, dims.expression, rng);
+  const Tensor proj_drug = detail::projection(dims.latent, dims.descriptors, rng);
+  Tensor teacher({kTeacherUnits, 2 * dims.latent + 1});
+  for (float& v : teacher.flat()) v = static_cast<float>(rng.normal());
+  Tensor w_cell({1, dims.latent});
+  for (float& v : w_cell.flat()) v = static_cast<float>(rng.normal());
+
+  Split train = generate(dims.train, dims, proj_expr, proj_drug, teacher, w_cell, rng);
+  Split valid = generate(dims.valid, dims, proj_expr, proj_drug, teacher, w_cell, rng);
+
+  Dataset ds;
+  ds.name = "combo";
+  ds.input_names = {"cell.expression", "drug1.descriptors", "drug2.descriptors"};
+  for (std::size_t i = 0; i < train.x.size(); ++i) {
+    detail::standardize(train.x[i], valid.x[i]);
+  }
+  ds.x_train = std::move(train.x);
+  ds.y_train = std::move(train.y);
+  ds.x_valid = std::move(valid.x);
+  ds.y_valid = std::move(valid.y);
+  ds.metric = nn::Metric::kR2;
+  ds.loss = nn::LossKind::kMse;
+  ds.batch_size = 256;  // the paper's Combo batch size
+  return ds;
+}
+
+}  // namespace ncnas::data

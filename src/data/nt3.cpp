@@ -1,0 +1,111 @@
+// NT3 — synthetic stand-in for the tumor/normal RNA-seq classifier benchmark.
+//
+// Ground truth: two tissue classes, each defined by (a) a smooth global
+// expression template and (b) a handful of short, position-jittered local
+// motifs ("tumor signatures"). The motifs are what make 1-D convolutions the
+// right inductive bias, as in the paper's manually designed NT3 CNN.
+#include "ncnas/data/dataset.hpp"
+
+#include <cmath>
+
+#include "synth.hpp"
+
+namespace ncnas::data {
+
+using tensor::Rng;
+using tensor::Tensor;
+
+namespace {
+
+struct World {
+  std::vector<Tensor> templates;             // per-class [length]
+  std::vector<std::vector<Tensor>> motifs;   // per-class list of [motif] patterns
+  std::vector<std::vector<std::size_t>> anchor;  // nominal motif positions
+};
+
+World make_world(const Nt3Dims& dims, Rng& rng) {
+  constexpr std::size_t kClasses = 2;
+  constexpr std::size_t kMotifsPerClass = 3;
+  World world;
+  for (std::size_t c = 0; c < kClasses; ++c) {
+    Tensor tpl({dims.length});
+    // Smooth template: a few random low-frequency sinusoids.
+    for (std::size_t h = 1; h <= 4; ++h) {
+      const float amp = 0.3f * static_cast<float>(rng.normal());
+      const float phase = static_cast<float>(rng.uniform(0.0, 6.28318));
+      for (std::size_t p = 0; p < dims.length; ++p) {
+        tpl[p] += amp * std::sin(static_cast<float>(h) * 6.28318f *
+                                     static_cast<float>(p) / static_cast<float>(dims.length) +
+                                 phase);
+      }
+    }
+    world.templates.push_back(std::move(tpl));
+    std::vector<Tensor> motifs;
+    std::vector<std::size_t> anchors;
+    for (std::size_t m = 0; m < kMotifsPerClass; ++m) {
+      Tensor motif({dims.motif});
+      for (float& v : motif.flat()) v = 1.5f * static_cast<float>(rng.normal());
+      motifs.push_back(std::move(motif));
+      anchors.push_back(static_cast<std::size_t>(rng.uniform_int(dims.length - 4 * dims.motif)) +
+                        dims.motif);
+    }
+    world.motifs.push_back(std::move(motifs));
+    world.anchor.push_back(std::move(anchors));
+  }
+  return world;
+}
+
+struct Split {
+  Tensor x;
+  Tensor y;
+};
+
+Split generate(std::size_t rows, const Nt3Dims& dims, const World& world, Rng& rng) {
+  Split split;
+  split.x = Tensor({rows, dims.length});
+  split.y = Tensor({rows, 1});
+  for (std::size_t i = 0; i < rows; ++i) {
+    const std::size_t cls = static_cast<std::size_t>(rng.uniform_int(2));
+    split.y(i, 0) = static_cast<float>(cls);
+    float* row = split.x.data() + i * dims.length;
+    const Tensor& tpl = world.templates[cls];
+    for (std::size_t p = 0; p < dims.length; ++p) {
+      row[p] = tpl[p] + 0.35f * static_cast<float>(rng.normal());
+    }
+    // Stamp each class motif near its anchor with positional jitter, so only
+    // translation-tolerant feature detectors pick it up reliably.
+    const auto& motifs = world.motifs[cls];
+    for (std::size_t m = 0; m < motifs.size(); ++m) {
+      const std::size_t jitter = static_cast<std::size_t>(rng.uniform_int(2 * dims.motif));
+      const std::size_t start = world.anchor[cls][m] + jitter - dims.motif;
+      for (std::size_t p = 0; p < dims.motif && start + p < dims.length; ++p) {
+        row[start + p] += motifs[m][p];
+      }
+    }
+  }
+  return split;
+}
+
+}  // namespace
+
+Dataset make_nt3(std::uint64_t seed, const Nt3Dims& dims) {
+  Rng rng(seed);
+  const World world = make_world(dims, rng);
+  Split train = generate(dims.train, dims, world, rng);
+  Split valid = generate(dims.valid, dims, world, rng);
+
+  Dataset ds;
+  ds.name = "nt3";
+  ds.input_names = {"rna-seq.expression"};
+  detail::standardize(train.x, valid.x);
+  ds.x_train.push_back(std::move(train.x));
+  ds.y_train = std::move(train.y);
+  ds.x_valid.push_back(std::move(valid.x));
+  ds.y_valid = std::move(valid.y);
+  ds.metric = nn::Metric::kAccuracy;
+  ds.loss = nn::LossKind::kCrossEntropy;
+  ds.batch_size = 20;  // the paper's NT3 batch size
+  return ds;
+}
+
+}  // namespace ncnas::data

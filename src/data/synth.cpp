@@ -1,0 +1,50 @@
+#include "synth.hpp"
+
+#include <cmath>
+
+#include "ncnas/tensor/ops.hpp"
+
+namespace ncnas::data::detail {
+
+using tensor::Rng;
+using tensor::Tensor;
+
+Tensor projection(std::size_t latent, std::size_t out, Rng& rng) {
+  Tensor p({latent, out});
+  const float scale = 1.0f / std::sqrt(static_cast<float>(latent));
+  for (float& v : p.flat()) v = static_cast<float>(rng.normal()) * scale;
+  return p;
+}
+
+Tensor latents(std::size_t rows, std::size_t latent, Rng& rng) {
+  Tensor z({rows, latent});
+  for (float& v : z.flat()) v = static_cast<float>(rng.normal());
+  return z;
+}
+
+Tensor observe(const Tensor& z, const Tensor& proj, float noise_std, Rng& rng) {
+  Tensor x = tensor::matmul(z, proj);
+  for (float& v : x.flat()) v += noise_std * static_cast<float>(rng.normal());
+  return x;
+}
+
+void standardize(Tensor& train, Tensor& valid) {
+  const std::size_t rows = train.dim(0), cols = train.dim(1);
+  for (std::size_t j = 0; j < cols; ++j) {
+    double mean = 0.0;
+    for (std::size_t i = 0; i < rows; ++i) mean += train(i, j);
+    mean /= static_cast<double>(rows);
+    double var = 0.0;
+    for (std::size_t i = 0; i < rows; ++i) {
+      const double d = train(i, j) - mean;
+      var += d * d;
+    }
+    const double std_dev = std::sqrt(var / static_cast<double>(rows));
+    const float inv = std_dev > 1e-9 ? static_cast<float>(1.0 / std_dev) : 1.0f;
+    const float m = static_cast<float>(mean);
+    for (std::size_t i = 0; i < rows; ++i) train(i, j) = (train(i, j) - m) * inv;
+    for (std::size_t i = 0; i < valid.dim(0); ++i) valid(i, j) = (valid(i, j) - m) * inv;
+  }
+}
+
+}  // namespace ncnas::data::detail

@@ -1,0 +1,25 @@
+// Internal helpers shared by the synthetic benchmark generators.
+#pragma once
+
+#include <vector>
+
+#include "ncnas/tensor/rng.hpp"
+#include "ncnas/tensor/tensor.hpp"
+
+namespace ncnas::data::detail {
+
+/// Random projection matrix [latent, out] with N(0, 1/sqrt(latent)) entries.
+[[nodiscard]] tensor::Tensor projection(std::size_t latent, std::size_t out, tensor::Rng& rng);
+
+/// One latent vector per row: [rows, latent], N(0, 1).
+[[nodiscard]] tensor::Tensor latents(std::size_t rows, std::size_t latent, tensor::Rng& rng);
+
+/// X = Z * P + noise_std * N(0,1); the observed high-dimensional features.
+[[nodiscard]] tensor::Tensor observe(const tensor::Tensor& z, const tensor::Tensor& proj,
+                                     float noise_std, tensor::Rng& rng);
+
+/// Standardizes columns of train in place and applies the same affine map to
+/// valid — mimics the preprocessing of the CANDLE pipelines.
+void standardize(tensor::Tensor& train, tensor::Tensor& valid);
+
+}  // namespace ncnas::data::detail

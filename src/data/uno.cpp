@@ -1,0 +1,91 @@
+// Uno — synthetic stand-in for the unified dose-response benchmark.
+//
+// Ground truth: a Hill dose-response curve per (cell, drug) pair. The drug's
+// potency (ic50) and the pair's maximal effect derive nonlinearly from the
+// cell and drug latents; descriptors and fingerprints are two different noisy
+// views of the *same* drug latent, matching the paper's two drug inputs.
+#include "ncnas/data/dataset.hpp"
+
+#include <cmath>
+
+#include "synth.hpp"
+
+namespace ncnas::data {
+
+using tensor::Rng;
+using tensor::Tensor;
+
+namespace {
+
+struct Split {
+  std::vector<Tensor> x;
+  Tensor y;
+};
+
+Split generate(std::size_t rows, const UnoDims& dims, const Tensor& proj_rna,
+               const Tensor& proj_desc, const Tensor& proj_fp, const Tensor& w_ic50,
+               const Tensor& w_emax, Rng& rng) {
+  const std::size_t k = dims.latent;
+  const Tensor z_cell = detail::latents(rows, k, rng);
+  const Tensor z_drug = detail::latents(rows, k, rng);
+  Tensor dose({rows, 1});
+  for (std::size_t i = 0; i < rows; ++i) {
+    dose(i, 0) = static_cast<float>(rng.uniform(-2.0, 2.0));  // log10 concentration
+  }
+
+  Split split;
+  split.x.push_back(detail::observe(z_cell, proj_rna, 0.05f, rng));
+  split.x.push_back(dose);
+  split.x.push_back(detail::observe(z_drug, proj_desc, 0.05f, rng));
+  split.x.push_back(detail::observe(z_drug, proj_fp, 0.10f, rng));
+  split.y = Tensor({rows, 1});
+  for (std::size_t i = 0; i < rows; ++i) {
+    float ic50 = 0.0f, emax = 0.0f;
+    for (std::size_t a = 0; a < k; ++a) {
+      ic50 += w_ic50(0, a) * z_drug(i, a) + w_ic50(1, a) * z_cell(i, a);
+      emax += w_emax(0, a) * z_drug(i, a) * z_cell(i, a);
+    }
+    ic50 = std::tanh(ic50);                        // potency in [-1, 1] log-dose units
+    emax = 0.5f + 0.5f * std::tanh(emax);          // maximal effect in [0, 1]
+    const float slope = 2.5f;
+    const float response =
+        emax / (1.0f + std::exp(-slope * (dose(i, 0) - ic50)));  // Hill curve
+    split.y(i, 0) = response + 0.03f * static_cast<float>(rng.normal());
+  }
+  return split;
+}
+
+}  // namespace
+
+Dataset make_uno(std::uint64_t seed, const UnoDims& dims) {
+  Rng rng(seed);
+  const Tensor proj_rna = detail::projection(dims.latent, dims.rnaseq, rng);
+  const Tensor proj_desc = detail::projection(dims.latent, dims.descriptors, rng);
+  const Tensor proj_fp = detail::projection(dims.latent, dims.fingerprints, rng);
+  Tensor w_ic50({2, dims.latent});
+  Tensor w_emax({1, dims.latent});
+  for (float& v : w_ic50.flat()) v = static_cast<float>(rng.normal()) * 0.7f;
+  for (float& v : w_emax.flat()) v = static_cast<float>(rng.normal()) * 0.7f;
+
+  Split train = generate(dims.train, dims, proj_rna, proj_desc, proj_fp, w_ic50, w_emax, rng);
+  Split valid = generate(dims.valid, dims, proj_rna, proj_desc, proj_fp, w_ic50, w_emax, rng);
+
+  Dataset ds;
+  ds.name = "uno";
+  ds.input_names = {"cell.rna-seq", "dose", "drug.descriptors", "drug.fingerprints"};
+  // Standardize the high-dimensional views; the scalar dose stays raw (it is
+  // already in a calibrated log scale, like the paper's single-drug study).
+  detail::standardize(train.x[0], valid.x[0]);
+  detail::standardize(train.x[2], valid.x[2]);
+  detail::standardize(train.x[3], valid.x[3]);
+  ds.x_train = std::move(train.x);
+  ds.y_train = std::move(train.y);
+  ds.x_valid = std::move(valid.x);
+  ds.y_valid = std::move(valid.y);
+  ds.metric = nn::Metric::kR2;
+  ds.loss = nn::LossKind::kMse;
+  ds.batch_size = 32;  // the paper's Uno batch size
+  return ds;
+}
+
+}  // namespace ncnas::data

@@ -1,0 +1,18 @@
+#include "ncnas/exec/cost_model.hpp"
+
+#include <functional>
+
+namespace ncnas::exec {
+
+double CostModel::duration(std::size_t params, std::size_t samples, std::size_t epochs,
+                           const std::string& arch_key) const {
+  const double units = static_cast<double>(params) * static_cast<double>(samples) *
+                       static_cast<double>(epochs) / 1e6;
+  // Deterministic multiplicative jitter in [1 - jitter, 1 + jitter].
+  const std::size_t h = std::hash<std::string>{}(arch_key);
+  const double u = static_cast<double>(h % 10007u) / 10006.0;  // [0, 1]
+  const double jitter = 1.0 + jitter_frac * (2.0 * u - 1.0);
+  return startup_seconds + seconds_per_megaunit * units * jitter;
+}
+
+}  // namespace ncnas::exec

@@ -1,0 +1,141 @@
+#include "ncnas/exec/evaluator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ncnas/nn/trainer.hpp"
+
+namespace ncnas::exec {
+
+space::TaskHead head_for(const data::Dataset& ds) {
+  if (ds.metric == nn::Metric::kAccuracy) {
+    return space::TaskHead::classification(2);
+  }
+  return space::TaskHead::regression();
+}
+
+TrainingEvaluator::TrainingEvaluator(const space::SearchSpace& space,
+                                     const data::Dataset& dataset, FidelityConfig fidelity,
+                                     CostModel cost)
+    : space_(&space), dataset_(&dataset), fidelity_(fidelity), cost_(cost) {}
+
+float TrainingEvaluator::reward_floor() const noexcept {
+  return dataset_->metric == nn::Metric::kR2 ? -1.0f : 0.0f;
+}
+
+nn::Graph TrainingEvaluator::build(const space::ArchEncoding& arch, std::uint64_t seed) const {
+  tensor::Rng rng(seed);
+  std::vector<std::size_t> dims;
+  dims.reserve(dataset_->input_count());
+  for (std::size_t i = 0; i < dataset_->input_count(); ++i) dims.push_back(dataset_->input_dim(i));
+  return space::build_model(*space_, arch, dims, head_for(*dataset_), rng);
+}
+
+EvalResult TrainingEvaluator::evaluate(const space::ArchEncoding& arch,
+                                       std::uint64_t seed) const {
+  const std::string key = space::arch_key(arch);
+  nn::Graph model = build(arch, seed);
+
+  // Materialize lazily-initialized weights with a single-row forward so the
+  // trainable-parameter count (which drives the cost model) is exact.
+  {
+    std::vector<tensor::Tensor> probe;
+    probe.reserve(dataset_->input_count());
+    for (const tensor::Tensor& x : dataset_->x_train) probe.push_back(nn::slice_rows(x, 0, 1));
+    nn::ForwardCtx ctx{.training = false, .rng = nullptr};
+    (void)model.forward(probe, ctx);
+  }
+
+  EvalResult result;
+  result.params = model.param_count();
+
+  const auto samples = static_cast<std::size_t>(std::max(
+      1.0, fidelity_.subset_fraction * static_cast<double>(dataset_->train_rows())));
+  result.sim_duration = cost_.duration(result.params, samples, fidelity_.epochs, key);
+  if (cost_.times_out(result.sim_duration)) {
+    // Balsam kills the job at the timeout: the worker was occupied for the
+    // full timeout window and the agent sees the floor reward.
+    result.sim_duration = cost_.timeout_seconds;
+    result.timed_out = true;
+    result.reward = reward_floor();
+    return result;
+  }
+
+  tensor::Rng train_rng = tensor::Rng(seed).split(1);
+  nn::TrainOptions opts;
+  opts.epochs = fidelity_.epochs;
+  opts.batch_size = fidelity_.batch_size != 0 ? fidelity_.batch_size : dataset_->batch_size;
+  opts.learning_rate = fidelity_.learning_rate;
+  opts.loss = dataset_->loss;
+  opts.subset_fraction = fidelity_.subset_fraction;
+  (void)nn::fit(model, dataset_->x_train, dataset_->y_train, opts, train_rng);
+
+  const auto valid_rows = static_cast<std::size_t>(std::max(
+      1.0, fidelity_.valid_fraction * static_cast<double>(dataset_->valid_rows())));
+  float metric;
+  if (valid_rows >= dataset_->valid_rows()) {
+    metric = nn::evaluate(model, dataset_->x_valid, dataset_->y_valid, dataset_->metric);
+  } else {
+    std::vector<tensor::Tensor> xv;
+    xv.reserve(dataset_->input_count());
+    for (const tensor::Tensor& x : dataset_->x_valid) {
+      xv.push_back(nn::slice_rows(x, 0, valid_rows));
+    }
+    metric = nn::evaluate(model, xv, nn::slice_rows(dataset_->y_valid, 0, valid_rows),
+                          dataset_->metric);
+  }
+  if (reward_fn_) {
+    const RewardInputs inputs{metric, result.params, result.sim_duration};
+    result.reward = std::max(reward_fn_(inputs), reward_floor());
+  } else {
+    result.reward = std::max(metric, reward_floor());
+  }
+  return result;
+}
+
+RewardFn size_penalized_reward(float weight, std::size_t ref_params) {
+  return [weight, ref_params](const RewardInputs& in) {
+    if (in.params <= ref_params || ref_params == 0) return in.metric;
+    const float excess = std::log10(static_cast<float>(in.params) /
+                                    static_cast<float>(ref_params));
+    return in.metric - weight * excess;
+  };
+}
+
+EvalResult CachedEvaluator::evaluate(const space::ArchEncoding& arch, std::uint64_t seed) const {
+  const std::string key = space::arch_key(arch);
+  if (const auto it = cache_.find(key); it != cache_.end()) {
+    ++hits_;
+    EvalResult hit = it->second;
+    hit.cache_hit = true;
+    return hit;
+  }
+  ++misses_;
+  EvalResult result = inner_->evaluate(arch, seed);
+  cache_.emplace(key, result);
+  return result;
+}
+
+std::optional<EvalResult> CachedEvaluator::lookup(const space::ArchEncoding& arch) const {
+  const auto it = cache_.find(space::arch_key(arch));
+  if (it == cache_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  EvalResult hit = it->second;
+  hit.cache_hit = true;
+  return hit;
+}
+
+void CachedEvaluator::insert(const space::ArchEncoding& arch, const EvalResult& result) const {
+  cache_.emplace(space::arch_key(arch), result);
+}
+
+void CachedEvaluator::clear() {
+  cache_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace ncnas::exec

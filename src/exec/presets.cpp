@@ -1,0 +1,82 @@
+#include "ncnas/exec/presets.hpp"
+
+#include <stdexcept>
+
+namespace ncnas::exec {
+
+FidelityConfig default_fidelity(const std::string& dataset_name, double subset_fraction) {
+  FidelityConfig fid;
+  fid.epochs = 1;
+  if (dataset_name == "combo") {
+    // 4 scaled epochs x batch 4 over 10 % of 2048 rows ~ the optimization
+    // distance of the paper's single epoch over 10 % of 248k rows.
+    fid.epochs = 4;
+    fid.subset_fraction = subset_fraction < 0 ? 0.10 : subset_fraction;
+    fid.learning_rate = 0.01f;
+    fid.batch_size = 4;
+    fid.valid_fraction = 0.5;   // 256 of 512 validation rows
+  } else if (dataset_name == "uno") {
+    fid.subset_fraction = subset_fraction < 0 ? 1.0 : subset_fraction;
+    fid.learning_rate = 0.02f;
+    fid.batch_size = 8;
+    fid.valid_fraction = 1.0;
+  } else if (dataset_name == "nt3") {
+    fid.subset_fraction = subset_fraction < 0 ? 1.0 : subset_fraction;
+    fid.learning_rate = 0.01f;
+    fid.batch_size = 8;
+  } else {
+    throw std::invalid_argument("default_fidelity: unknown dataset '" + dataset_name + "'");
+  }
+  return fid;
+}
+
+CostModel default_cost(const std::string& dataset_name) {
+  CostModel cost;
+  cost.startup_seconds = 25.0;
+  cost.timeout_seconds = 600.0;
+  cost.jitter_frac = 0.15;
+  // Calibrated so a median architecture takes a few simulated minutes and
+  // the Fig. 11 fidelity sweep reproduces the paper's timeout crossover:
+  // at 10-20 % of Combo's data nearly everything fits in the 600 s timeout,
+  // at 30 % large architectures start dying, at 40 % the median one does.
+  if (dataset_name == "combo") {
+    cost.seconds_per_megaunit = 5.5;
+  } else if (dataset_name == "uno") {
+    cost.seconds_per_megaunit = 9.0;
+  } else if (dataset_name == "nt3") {
+    cost.seconds_per_megaunit = 25.0;
+  } else {
+    throw std::invalid_argument("default_cost: unknown dataset '" + dataset_name + "'");
+  }
+  return cost;
+}
+
+CostModel default_cost_for_space(const std::string& space_name) {
+  // Median random-architecture parameter counts (measured): combo-small 36k,
+  // combo-large 132k, uno-small 24k, uno-large 80k, nt3-small 10k. The
+  // per-space constants put each median task near 3 simulated minutes.
+  if (space_name == "combo-large") {
+    CostModel cost = default_cost("combo");
+    cost.seconds_per_megaunit = 1.6;
+    return cost;
+  }
+  if (space_name == "uno-large") {
+    CostModel cost = default_cost("uno");
+    cost.seconds_per_megaunit = 3.0;
+    return cost;
+  }
+  const auto dash = space_name.find('-');
+  return default_cost(space_name.substr(0, dash));
+}
+
+FidelityConfig default_fidelity_for_space(const std::string& space_name,
+                                          double subset_fraction) {
+  const auto dash = space_name.find('-');
+  FidelityConfig fid = default_fidelity(space_name.substr(0, dash), subset_fraction);
+  if (space_name == "combo-large") {
+    fid.learning_rate = 0.005f;  // deep replicated cells destabilize at 0.01+
+  }
+  return fid;
+}
+
+}  // namespace ncnas::exec

@@ -1,0 +1,57 @@
+#include "ncnas/exec/utilization.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ncnas::exec {
+
+UtilizationMonitor::UtilizationMonitor(std::size_t total_workers)
+    : total_workers_(total_workers) {
+  if (total_workers == 0) {
+    throw std::invalid_argument("UtilizationMonitor: need at least one worker");
+  }
+}
+
+void UtilizationMonitor::add_busy_interval(double start, double end) {
+  if (end < start) throw std::invalid_argument("UtilizationMonitor: end < start");
+  if (end == start) return;
+  intervals_.push_back({start, end});
+  busy_seconds_ += end - start;
+}
+
+std::vector<double> UtilizationMonitor::series(double t_end, double bucket_seconds) const {
+  if (bucket_seconds <= 0.0 || t_end <= 0.0) {
+    throw std::invalid_argument("UtilizationMonitor::series: positive spans required");
+  }
+  const std::size_t buckets =
+      static_cast<std::size_t>((t_end + bucket_seconds - 1e-9) / bucket_seconds);
+  std::vector<double> busy(buckets, 0.0);
+  for (const Interval& iv : intervals_) {
+    const double lo = std::max(0.0, iv.start);
+    const double hi = std::min(t_end, iv.end);
+    if (hi <= lo) continue;
+    std::size_t b = static_cast<std::size_t>(lo / bucket_seconds);
+    double cursor = lo;
+    while (cursor < hi && b < buckets) {
+      const double bucket_end = static_cast<double>(b + 1) * bucket_seconds;
+      const double seg_end = std::min(hi, bucket_end);
+      busy[b] += seg_end - cursor;
+      cursor = seg_end;
+      ++b;
+    }
+  }
+  const double denom = static_cast<double>(total_workers_) * bucket_seconds;
+  for (double& v : busy) v /= denom;
+  return busy;
+}
+
+double UtilizationMonitor::average(double t_end) const {
+  if (t_end <= 0.0) return 0.0;
+  double busy = 0.0;
+  for (const Interval& iv : intervals_) {
+    busy += std::max(0.0, std::min(t_end, iv.end) - std::max(0.0, iv.start));
+  }
+  return busy / (static_cast<double>(total_workers_) * t_end);
+}
+
+}  // namespace ncnas::exec

@@ -1,0 +1,331 @@
+#include "ncnas/nas/driver.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <queue>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "ncnas/exec/utilization.hpp"
+
+namespace ncnas::nas {
+
+const char* strategy_name(SearchStrategy s) {
+  switch (s) {
+    case SearchStrategy::kA3C: return "A3C";
+    case SearchStrategy::kA2C: return "A2C";
+    case SearchStrategy::kRandom: return "RDM";
+    case SearchStrategy::kEvolution: return "EVO";
+  }
+  return "?";
+}
+
+std::vector<std::pair<double, float>> SearchResult::best_so_far() const {
+  std::vector<std::pair<double, float>> out;
+  out.reserve(evals.size());
+  float best = -std::numeric_limits<float>::infinity();
+  for (const EvalRecord& e : evals) {
+    best = std::max(best, e.reward);
+    out.emplace_back(e.time, best);
+  }
+  return out;
+}
+
+std::vector<EvalRecord> SearchResult::top_k(std::size_t k) const {
+  std::map<std::string, EvalRecord> best_by_arch;
+  for (const EvalRecord& e : evals) {
+    if (e.timed_out) continue;
+    const std::string key = space::arch_key(e.arch);
+    const auto it = best_by_arch.find(key);
+    if (it == best_by_arch.end() || e.reward > it->second.reward) {
+      best_by_arch.insert_or_assign(key, e);
+    }
+  }
+  std::vector<EvalRecord> out;
+  out.reserve(best_by_arch.size());
+  for (auto& [key, rec] : best_by_arch) out.push_back(rec);
+  std::ranges::sort(out, [](const EvalRecord& a, const EvalRecord& b) {
+    return a.reward > b.reward;
+  });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+namespace {
+
+struct AgentState {
+  std::size_t id = 0;
+  std::optional<rl::Controller> controller;
+  // Evolution strategy: aging population (FIFO of scored architectures).
+  std::deque<std::pair<space::ArchEncoding, float>> population;
+  tensor::Rng rng{0};
+  std::uint64_t eval_seed = 0;
+  std::unique_ptr<exec::CachedEvaluator> cache;
+  std::vector<float> theta_pull;
+
+  // Current in-flight batch.
+  std::vector<rl::Rollout> rollouts;
+  std::vector<space::ArchEncoding> archs;
+  std::vector<EvalRecord> records;
+
+  std::size_t cached_streak = 0;
+  bool stopped = false;
+};
+
+struct Completion {
+  double time;
+  std::size_t seq;    // tiebreak: submission order
+  std::size_t agent;
+  bool operator>(const Completion& o) const {
+    return time != o.time ? time > o.time : seq > o.seq;
+  }
+};
+
+}  // namespace
+
+SearchDriver::SearchDriver(const space::SearchSpace& space, const data::Dataset& dataset,
+                           SearchConfig config, tensor::ThreadPool* pool)
+    : space_(&space), dataset_(&dataset), config_(std::move(config)), pool_(pool) {
+  if (config_.cluster.num_agents == 0 || config_.cluster.workers_per_agent == 0) {
+    throw std::invalid_argument("SearchDriver: agents and workers must be positive");
+  }
+  if (config_.batch_per_agent == 0) {
+    config_.batch_per_agent = config_.cluster.workers_per_agent;
+  }
+}
+
+SearchResult SearchDriver::run() {
+  const std::size_t N = config_.cluster.num_agents;
+  const std::size_t W = config_.cluster.workers_per_agent;
+  const std::size_t M = config_.batch_per_agent;
+  const bool rl_enabled = config_.strategy == SearchStrategy::kA3C ||
+                          config_.strategy == SearchStrategy::kA2C;
+  const bool evolution = config_.strategy == SearchStrategy::kEvolution;
+
+  exec::TrainingEvaluator evaluator(*space_, *dataset_, config_.fidelity, config_.cost);
+  exec::UtilizationMonitor monitor(config_.cluster.total_workers());
+
+  // All agents start from the same policy parameters, held by the PS.
+  std::optional<ParameterServer> ps;
+  if (rl_enabled) {
+    rl::Controller init(space_->arities(), config_.seed);
+    ps.emplace(init.get_flat(),
+               config_.strategy == SearchStrategy::kA2C ? ParameterServer::Mode::kSync
+                                                        : ParameterServer::Mode::kAsync,
+               N, config_.async_window);
+  }
+
+  tensor::Rng seeder(config_.seed);
+  std::vector<AgentState> agents(N);
+  for (std::size_t i = 0; i < N; ++i) {
+    agents[i].id = i;
+    agents[i].rng = seeder.split(1000 + i);
+    agents[i].eval_seed = seeder.split(5000 + i).next_u64();
+    agents[i].cache = std::make_unique<exec::CachedEvaluator>(evaluator);
+    if (rl_enabled) agents[i].controller.emplace(space_->arities(), config_.seed + 17 * i);
+  }
+
+  SearchResult result;
+  std::priority_queue<Completion, std::vector<Completion>, std::greater<>> queue;
+  std::size_t seq = 0;
+  std::size_t real_evals = 0;
+  bool budget_exhausted = false;
+  double a2c_round_time = 0.0;
+  double last_completion = 0.0;
+
+  // ---- one agent cycle: sample M, evaluate, occupy workers, schedule ----
+  const auto start_cycle = [&](AgentState& agent, double t) {
+    if (t >= config_.wall_time_seconds || budget_exhausted) {
+      agent.stopped = true;
+      return;
+    }
+    if (rl_enabled) {
+      agent.theta_pull = ps->params();
+      agent.controller->set_flat(agent.theta_pull);
+    }
+    agent.rollouts.clear();
+    agent.archs.clear();
+    agent.records.clear();
+    for (std::size_t m = 0; m < M; ++m) {
+      if (rl_enabled) {
+        agent.rollouts.push_back(agent.controller->sample(agent.rng));
+        agent.archs.push_back(agent.rollouts.back().actions);
+      } else if (evolution && agent.population.size() >= config_.evolution.population) {
+        // Tournament selection over the aging window, then a single-gene
+        // mutation (regularized-evolution child generation).
+        const auto& pop = agent.population;
+        std::size_t best_idx = agent.rng.uniform_int(pop.size());
+        for (std::size_t round = 1; round < config_.evolution.tournament; ++round) {
+          const std::size_t idx = agent.rng.uniform_int(pop.size());
+          if (pop[idx].second > pop[best_idx].second) best_idx = idx;
+        }
+        space::ArchEncoding child = pop[best_idx].first;
+        const std::size_t gene = agent.rng.uniform_int(child.size());
+        const std::size_t arity = space_->decisions()[gene].arity;
+        if (arity > 1) {
+          std::uint16_t v = child[gene];
+          while (v == child[gene]) {
+            v = static_cast<std::uint16_t>(agent.rng.uniform_int(arity));
+          }
+          child[gene] = v;
+        }
+        agent.archs.push_back(std::move(child));
+      } else {
+        agent.archs.push_back(space_->random_arch(agent.rng));
+      }
+    }
+
+    // Resolve against the agent's cache; farm unique misses out for real.
+    std::vector<std::optional<exec::EvalResult>> results(M);
+    std::vector<std::size_t> miss_index;           // batch position per unique miss
+    std::unordered_set<std::string> miss_keys;
+    for (std::size_t m = 0; m < M; ++m) {
+      if (config_.use_cache) results[m] = agent.cache->lookup(agent.archs[m]);
+      if (!results[m] && miss_keys.insert(space::arch_key(agent.archs[m])).second) {
+        miss_index.push_back(m);
+      }
+    }
+    std::vector<exec::EvalResult> fresh(miss_index.size());
+    const auto eval_one = [&](std::size_t i) {
+      fresh[i] = evaluator.evaluate(agent.archs[miss_index[i]], agent.eval_seed);
+    };
+    if (pool_ != nullptr && miss_index.size() > 1) {
+      tensor::parallel_for(*pool_, miss_index.size(), eval_one);
+    } else {
+      for (std::size_t i = 0; i < miss_index.size(); ++i) eval_one(i);
+    }
+    for (std::size_t i = 0; i < miss_index.size(); ++i) {
+      agent.cache->insert(agent.archs[miss_index[i]], fresh[i]);
+      results[miss_index[i]] = fresh[i];  // first occurrence stays a real task
+    }
+    // Within-batch duplicates of a fresh miss read the cache result.
+    for (std::size_t m = 0; m < M; ++m) {
+      if (!results[m]) results[m] = agent.cache->lookup(agent.archs[m]);
+    }
+
+    // Worker occupancy: non-cached tasks dispatch onto the agent's W
+    // dedicated nodes (earliest-free first); cached results cost nothing.
+    std::vector<double> worker_free(W, t);
+    double batch_done = t;
+    for (std::size_t m = 0; m < M; ++m) {
+      const exec::EvalResult& r = *results[m];
+      EvalRecord rec;
+      rec.reward = r.reward;
+      rec.params = r.params;
+      rec.sim_duration = r.sim_duration;
+      rec.cache_hit = r.cache_hit;
+      rec.timed_out = r.timed_out;
+      rec.agent = agent.id;
+      rec.arch = agent.archs[m];
+      if (r.cache_hit) {
+        rec.time = t;
+      } else {
+        const auto slot = static_cast<std::size_t>(
+            std::min_element(worker_free.begin(), worker_free.end()) - worker_free.begin());
+        const double start = worker_free[slot];
+        const double end = start + r.sim_duration;
+        worker_free[slot] = end;
+        monitor.add_busy_interval(start, end);
+        rec.time = end;
+        batch_done = std::max(batch_done, end);
+        ++real_evals;
+      }
+      agent.records.push_back(std::move(rec));
+    }
+    if (config_.max_evaluations != 0 && real_evals >= config_.max_evaluations) {
+      budget_exhausted = true;
+    }
+    queue.push({std::max(batch_done, t + 1e-3), seq++, agent.id});
+  };
+
+  // ---- bootstrap: every agent starts at t = 0 ----
+  for (AgentState& agent : agents) start_cycle(agent, 0.0);
+
+  // ---- event loop over batch completions ----
+  while (!queue.empty()) {
+    const Completion done = queue.top();
+    queue.pop();
+    AgentState& agent = agents[done.agent];
+    const double t = done.time;
+    last_completion = std::max(last_completion, t);
+
+    // Harvest the batch.
+    bool all_cached = true;
+    std::vector<float> rewards;
+    rewards.reserve(agent.records.size());
+    for (EvalRecord& rec : agent.records) {
+      all_cached = all_cached && rec.cache_hit;
+      if (rec.cache_hit) rec.time = t;  // resolved when the batch closes
+      rewards.push_back(rec.reward);
+      if (rec.cache_hit) ++result.cache_hits;
+      if (rec.timed_out) ++result.timeouts;
+      result.evals.push_back(rec);
+    }
+    agent.cached_streak = all_cached ? agent.cached_streak + 1 : 0;
+
+    if (config_.strategy == SearchStrategy::kEvolution) {
+      for (const EvalRecord& rec : agent.records) {
+        agent.population.emplace_back(rec.arch, rec.reward);
+        if (agent.population.size() > config_.evolution.population) {
+          agent.population.pop_front();  // aging: oldest individual dies
+        }
+      }
+    }
+
+    // Convergence: every agent keeps regenerating cached architectures.
+    const bool converged = std::ranges::all_of(agents, [&](const AgentState& a) {
+      return a.cached_streak >= config_.convergence_streak;
+    });
+    if (converged) {
+      result.converged_early = true;
+      result.end_time = t;
+      break;
+    }
+
+    if (!rl_enabled) {
+      start_cycle(agent, t + config_.agent_overhead_seconds);
+      continue;
+    }
+
+    // Local PPO epochs, then exchange the parameter delta through the PS.
+    (void)agent.controller->ppo_update(agent.rollouts, rewards, config_.ppo);
+    ++result.ppo_updates;
+    std::vector<float> delta = agent.controller->get_flat();
+    for (std::size_t i = 0; i < delta.size(); ++i) delta[i] -= agent.theta_pull[i];
+
+    if (config_.strategy == SearchStrategy::kA3C) {
+      ps->submit(agent.id, delta);
+      start_cycle(agent, t + config_.agent_overhead_seconds);
+    } else {
+      a2c_round_time = std::max(a2c_round_time, t);
+      const bool round_complete = ps->submit(agent.id, delta);
+      if (round_complete) {
+        const double resume = a2c_round_time + config_.agent_overhead_seconds;
+        a2c_round_time = 0.0;
+        for (AgentState& a : agents) start_cycle(a, resume);
+      }
+    }
+  }
+
+  if (result.end_time == 0.0) {
+    result.end_time = std::min(config_.wall_time_seconds, std::max(last_completion, 1.0));
+  }
+
+  // Order the record stream by completion time and drop post-deadline tails.
+  std::ranges::stable_sort(result.evals, [](const EvalRecord& a, const EvalRecord& b) {
+    return a.time < b.time;
+  });
+  std::erase_if(result.evals, [&](const EvalRecord& e) {
+    return e.time > config_.wall_time_seconds;
+  });
+
+  std::unordered_set<std::string> unique;
+  for (const EvalRecord& e : result.evals) unique.insert(space::arch_key(e.arch));
+  result.unique_archs = unique.size();
+
+  result.utilization = monitor.series(result.end_time, result.utilization_bucket);
+  return result;
+}
+
+}  // namespace ncnas::nas

@@ -1,0 +1,80 @@
+#include "ncnas/nas/parameter_server.hpp"
+
+#include <stdexcept>
+
+namespace ncnas::nas {
+
+ParameterServer::ParameterServer(std::vector<float> initial, Mode mode, std::size_t num_agents,
+                                 std::size_t async_window)
+    : mode_(mode),
+      num_agents_(num_agents),
+      async_window_(async_window == 0 ? 1 : async_window),
+      params_(std::move(initial)),
+      submitted_(num_agents, false) {
+  if (num_agents == 0) throw std::invalid_argument("ParameterServer: need agents");
+  if (params_.empty()) throw std::invalid_argument("ParameterServer: empty parameter vector");
+  if (mode_ == Mode::kSync) pending_.resize(num_agents);
+}
+
+void ParameterServer::apply(std::span<const float> delta, float scale) {
+  if (delta.size() != params_.size()) {
+    throw std::invalid_argument("ParameterServer: delta dimension mismatch");
+  }
+  for (std::size_t i = 0; i < params_.size(); ++i) params_[i] += scale * delta[i];
+  ++updates_applied_;
+}
+
+bool ParameterServer::submit(std::size_t agent, std::span<const float> delta) {
+  if (agent >= num_agents_) throw std::invalid_argument("ParameterServer: bad agent id");
+  if (delta.size() != params_.size()) {
+    throw std::invalid_argument("ParameterServer: delta dimension mismatch");
+  }
+
+  if (mode_ == Mode::kAsync) {
+    if (async_window_ <= 1) {
+      apply(delta, 1.0f);
+      return true;
+    }
+    // Keep the newest `window` deltas; apply their mean. Old deltas in the
+    // window model the paper's "average of recently received gradients".
+    std::vector<float> copy(delta.begin(), delta.end());
+    if (recent_.size() < async_window_) {
+      recent_.push_back(std::move(copy));
+    } else {
+      recent_[recent_next_] = std::move(copy);
+      recent_next_ = (recent_next_ + 1) % async_window_;
+    }
+    std::vector<float> avg(params_.size(), 0.0f);
+    for (const auto& d : recent_) {
+      for (std::size_t i = 0; i < avg.size(); ++i) avg[i] += d[i];
+    }
+    const float inv = 1.0f / static_cast<float>(recent_.size());
+    for (float& v : avg) v *= inv;
+    apply(avg, 1.0f);
+    return true;
+  }
+
+  // Sync barrier.
+  if (submitted_[agent]) {
+    throw std::logic_error("ParameterServer: agent submitted twice in one round");
+  }
+  submitted_[agent] = true;
+  pending_[agent].assign(delta.begin(), delta.end());
+  ++pending_count_;
+  if (pending_count_ < num_agents_) return false;
+
+  // Round complete: apply the average of all deltas, reset the barrier.
+  std::vector<float> avg(params_.size(), 0.0f);
+  for (const auto& d : pending_) {
+    for (std::size_t i = 0; i < avg.size(); ++i) avg[i] += d[i];
+  }
+  const float inv = 1.0f / static_cast<float>(num_agents_);
+  for (float& v : avg) v *= inv;
+  apply(avg, 1.0f);
+  for (auto& d : pending_) d.clear();
+  submitted_.assign(num_agents_, false);
+  pending_count_ = 0;
+  return true;
+}
+
+}  // namespace ncnas::nas

@@ -1,0 +1,98 @@
+#include "ncnas/nas/result_io.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace ncnas::nas {
+
+namespace {
+// v3: lazy layers own their init seed (weight values changed).
+constexpr const char* kMagic = "ncnas-search-log-v3";
+}
+
+void save_result(const std::string& path, const SearchResult& result,
+                 const std::string& fingerprint) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_result: cannot open " + path);
+  out << kMagic << '\n' << fingerprint << '\n';
+  out << result.end_time << ' ' << result.converged_early << ' ' << result.cache_hits << ' '
+      << result.timeouts << ' ' << result.unique_archs << ' ' << result.ppo_updates << ' '
+      << result.utilization_bucket << '\n';
+  out << result.utilization.size();
+  for (double u : result.utilization) out << ' ' << u;
+  out << '\n' << result.evals.size() << '\n';
+  for (const EvalRecord& e : result.evals) {
+    out << e.time << ' ' << e.reward << ' ' << e.params << ' ' << e.sim_duration << ' '
+        << e.cache_hit << ' ' << e.timed_out << ' ' << e.agent;
+    out << ' ' << e.arch.size();
+    for (std::uint16_t a : e.arch) out << ' ' << a;
+    out << '\n';
+  }
+  if (!out) throw std::runtime_error("save_result: write failed for " + path);
+}
+
+std::optional<SearchResult> load_result(const std::string& path,
+                                        const std::string& fingerprint) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::string magic, fp;
+  std::getline(in, magic);
+  std::getline(in, fp);
+  if (magic != kMagic || fp != fingerprint) return std::nullopt;
+
+  SearchResult res;
+  std::size_t util_count = 0, eval_count = 0;
+  in >> res.end_time >> res.converged_early >> res.cache_hits >> res.timeouts >>
+      res.unique_archs >> res.ppo_updates >> res.utilization_bucket;
+  in >> util_count;
+  res.utilization.resize(util_count);
+  for (double& u : res.utilization) in >> u;
+  in >> eval_count;
+  res.evals.resize(eval_count);
+  for (EvalRecord& e : res.evals) {
+    std::size_t arch_len = 0;
+    in >> e.time >> e.reward >> e.params >> e.sim_duration >> e.cache_hit >> e.timed_out >>
+        e.agent >> arch_len;
+    e.arch.resize(arch_len);
+    for (std::uint16_t& a : e.arch) {
+      unsigned v;
+      in >> v;
+      a = static_cast<std::uint16_t>(v);
+    }
+  }
+  if (!in) return std::nullopt;  // truncated / corrupt log
+  return res;
+}
+
+SearchResult run_or_load(const std::string& dir, const std::string& tag,
+                         const std::string& fingerprint,
+                         const std::function<SearchResult()>& run) {
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/" + tag + ".log";
+  if (auto cached = load_result(path, fingerprint)) return std::move(*cached);
+  SearchResult res = run();
+  save_result(path, res, fingerprint);
+  return res;
+}
+
+std::string config_fingerprint(const SearchConfig& cfg, const std::string& space_name) {
+  std::ostringstream os;
+  os << space_name << '|' << strategy_name(cfg.strategy) << '|' << cfg.cluster.num_agents << 'x'
+     << cfg.cluster.workers_per_agent << '|' << cfg.wall_time_seconds << '|'
+     << cfg.fidelity.epochs << ',' << cfg.fidelity.subset_fraction << ','
+     << cfg.fidelity.learning_rate << ',' << cfg.fidelity.batch_size << ','
+     << cfg.fidelity.valid_fraction << '|' << cfg.cost.startup_seconds << ','
+     << cfg.cost.seconds_per_megaunit << ',' << cfg.cost.jitter_frac << ','
+     << cfg.cost.timeout_seconds << '|' << cfg.seed << '|' << cfg.batch_per_agent << '|'
+     << cfg.agent_overhead_seconds << '|' << cfg.convergence_streak << '|'
+     << cfg.max_evaluations << '|' << cfg.async_window << '|' << cfg.use_cache;
+  if (cfg.strategy == SearchStrategy::kEvolution) {
+    // Appended only for EVO so fingerprints of existing RL/RDM logs stay
+    // stable across this addition.
+    os << "|evo:" << cfg.evolution.population << ',' << cfg.evolution.tournament;
+  }
+  return os.str();
+}
+
+}  // namespace ncnas::nas

@@ -1,0 +1,22 @@
+#include "ncnas/nn/init.hpp"
+
+#include <cmath>
+
+namespace ncnas::nn {
+
+void glorot_uniform(tensor::Tensor& w, std::size_t fan_in, std::size_t fan_out,
+                    tensor::Rng& rng) {
+  const double limit = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  for (float& v : w.flat()) v = static_cast<float>(rng.uniform(-limit, limit));
+}
+
+void he_normal(tensor::Tensor& w, std::size_t fan_in, tensor::Rng& rng) {
+  const double stddev = std::sqrt(2.0 / static_cast<double>(fan_in));
+  for (float& v : w.flat()) v = static_cast<float>(rng.normal(0.0, stddev));
+}
+
+void scaled_normal(tensor::Tensor& w, float stddev, tensor::Rng& rng) {
+  for (float& v : w.flat()) v = static_cast<float>(rng.normal(0.0, stddev));
+}
+
+}  // namespace ncnas::nn

@@ -1,0 +1,616 @@
+#include "ncnas/nn/layers.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "ncnas/nn/init.hpp"
+#include "ncnas/tensor/ops.hpp"
+
+namespace ncnas::nn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+const tensor::Tensor& single_input(std::span<const tensor::Tensor* const> inputs,
+                                   const char* what) {
+  if (inputs.size() != 1 || inputs[0] == nullptr) {
+    throw std::invalid_argument(std::string(what) + ": expects exactly one input, got " +
+                                std::to_string(inputs.size()));
+  }
+  return *inputs[0];
+}
+
+const FeatShape& single_shape(std::span<const FeatShape> in, const char* what) {
+  if (in.size() != 1) {
+    throw std::invalid_argument(std::string(what) + ": expects exactly one input shape, got " +
+                                std::to_string(in.size()));
+  }
+  return in[0];
+}
+
+const char* act_name(Act a) {
+  switch (a) {
+    case Act::kLinear: return "linear";
+    case Act::kRelu: return "relu";
+    case Act::kTanh: return "tanh";
+    case Act::kSigmoid: return "sigmoid";
+    case Act::kSoftmax: return "softmax";
+  }
+  return "?";
+}
+
+Tensor apply_act(Act a, const Tensor& z) {
+  Tensor y = z;
+  switch (a) {
+    case Act::kLinear:
+      break;
+    case Act::kRelu:
+      for (float& v : y.flat()) v = std::max(v, 0.0f);
+      break;
+    case Act::kTanh:
+      for (float& v : y.flat()) v = std::tanh(v);
+      break;
+    case Act::kSigmoid:
+      for (float& v : y.flat()) v = 1.0f / (1.0f + std::exp(-v));
+      break;
+    case Act::kSoftmax: {
+      if (y.rank() != 2) throw std::invalid_argument("softmax: expects rank-2 logits");
+      const std::size_t m = y.dim(0), n = y.dim(1);
+      for (std::size_t i = 0; i < m; ++i) {
+        float* row = y.data() + i * n;
+        const float mx = *std::max_element(row, row + n);
+        float denom = 0.0f;
+        for (std::size_t j = 0; j < n; ++j) {
+          row[j] = std::exp(row[j] - mx);
+          denom += row[j];
+        }
+        for (std::size_t j = 0; j < n; ++j) row[j] /= denom;
+      }
+      break;
+    }
+  }
+  return y;
+}
+
+Tensor act_backward(Act a, const Tensor& grad_y, const Tensor& y) {
+  Tensor g = grad_y;
+  switch (a) {
+    case Act::kLinear:
+      break;
+    case Act::kRelu:
+      for (std::size_t i = 0; i < g.size(); ++i) {
+        if (y[i] <= 0.0f) g[i] = 0.0f;
+      }
+      break;
+    case Act::kTanh:
+      for (std::size_t i = 0; i < g.size(); ++i) g[i] *= 1.0f - y[i] * y[i];
+      break;
+    case Act::kSigmoid:
+      for (std::size_t i = 0; i < g.size(); ++i) g[i] *= y[i] * (1.0f - y[i]);
+      break;
+    case Act::kSoftmax: {
+      // dz_j = y_j * (dy_j - sum_k dy_k * y_k), per row.
+      const std::size_t m = g.dim(0), n = g.dim(1);
+      for (std::size_t i = 0; i < m; ++i) {
+        const float* yr = y.data() + i * n;
+        float* gr = g.data() + i * n;
+        float s = 0.0f;
+        for (std::size_t j = 0; j < n; ++j) s += gr[j] * yr[j];
+        for (std::size_t j = 0; j < n; ++j) gr[j] = yr[j] * (gr[j] - s);
+      }
+      break;
+    }
+  }
+  return g;
+}
+
+// --- Input ------------------------------------------------------------------
+
+FeatShape Input::output_shape(std::span<const FeatShape> in) const {
+  if (!in.empty()) throw std::invalid_argument("input: takes no graph inputs");
+  return shape_;
+}
+
+Tensor Input::forward(std::span<const tensor::Tensor* const> inputs, ForwardCtx&) {
+  // The graph executor feeds the fed tensor as the sole "input".
+  return single_input(inputs, "input");
+}
+
+std::vector<Tensor> Input::backward(const Tensor& grad_out) { return {grad_out}; }
+
+std::string Input::describe() const {
+  return "input '" + name_ + "' " + tensor::to_string(shape_);
+}
+
+// --- Identity ---------------------------------------------------------------
+
+FeatShape Identity::output_shape(std::span<const FeatShape> in) const {
+  return single_shape(in, "identity");
+}
+
+Tensor Identity::forward(std::span<const tensor::Tensor* const> inputs, ForwardCtx&) {
+  return single_input(inputs, "identity");
+}
+
+std::vector<Tensor> Identity::backward(const Tensor& grad_out) { return {grad_out}; }
+
+// --- Dense ------------------------------------------------------------------
+
+Dense::Dense(std::size_t units, Act act, tensor::Rng& rng)
+    : units_(units), act_(act), init_seed_(rng.next_u64()),
+      slot_(std::make_shared<Slot>()) {
+  if (units == 0) throw std::invalid_argument("dense: units must be positive");
+}
+
+Dense::Dense(const Dense& donor, share_tag_t)
+    : units_(donor.units_), act_(donor.act_), init_seed_(donor.init_seed_),
+      slot_(donor.slot_), shared_(true) {}
+
+void Dense::ensure_params(std::size_t in_dim) {
+  if (slot_->w) {
+    if (slot_->w->value.dim(0) != in_dim) {
+      throw std::invalid_argument("dense: input width " + std::to_string(in_dim) +
+                                  " does not match weights of width " +
+                                  std::to_string(slot_->w->value.dim(0)));
+    }
+    return;
+  }
+  Tensor w({in_dim, units_});
+  tensor::Rng rng(init_seed_);
+  glorot_uniform(w, in_dim, units_, rng);
+  slot_->w = std::make_shared<Parameter>("dense.w", std::move(w));
+  slot_->b = std::make_shared<Parameter>("dense.b", Tensor({units_}));
+}
+
+FeatShape Dense::output_shape(std::span<const FeatShape> in) const {
+  const FeatShape& s = single_shape(in, "dense");
+  if (s.size() != 1) {
+    throw std::invalid_argument("dense: expects rank-1 features, got " + tensor::to_string(s));
+  }
+  return {units_};
+}
+
+Tensor Dense::forward(std::span<const tensor::Tensor* const> inputs, ForwardCtx&) {
+  const Tensor& x = single_input(inputs, "dense");
+  ensure_params(x.dim(1));
+  x_ = x;
+  Tensor z({x.dim(0), units_});
+  tensor::gemm(x, slot_->w->value, z);
+  tensor::add_row_bias(z, slot_->b->value);
+  y_ = apply_act(act_, z);
+  return y_;
+}
+
+std::vector<Tensor> Dense::backward(const Tensor& grad_out) {
+  const Tensor gz = act_backward(act_, grad_out, y_);
+  // dW += X^T gz ; db += colsum(gz) ; dX = gz W^T
+  tensor::Tensor dw({x_.dim(1), units_});
+  tensor::gemm_tn(x_, gz, dw);
+  tensor::add_inplace(slot_->w->grad, dw);
+  tensor::accumulate_col_sums(gz, slot_->b->grad);
+  Tensor dx({x_.dim(0), x_.dim(1)});
+  tensor::gemm_nt(gz, slot_->w->value, dx);
+  return {std::move(dx)};
+}
+
+std::vector<ParamPtr> Dense::parameters() const {
+  if (!slot_->w) return {};
+  return {slot_->w, slot_->b};
+}
+
+std::string Dense::describe() const {
+  std::ostringstream os;
+  os << "dense(" << units_ << ", " << act_name(act_) << (shared_ ? ", shared" : "") << ")";
+  return os.str();
+}
+
+// --- Activation ---------------------------------------------------------------
+
+FeatShape Activation::output_shape(std::span<const FeatShape> in) const {
+  return single_shape(in, "activation");
+}
+
+Tensor Activation::forward(std::span<const tensor::Tensor* const> inputs, ForwardCtx&) {
+  y_ = apply_act(act_, single_input(inputs, "activation"));
+  return y_;
+}
+
+std::vector<Tensor> Activation::backward(const Tensor& grad_out) {
+  return {act_backward(act_, grad_out, y_)};
+}
+
+std::string Activation::describe() const {
+  return std::string("activation(") + act_name(act_) + ")";
+}
+
+// --- Dropout ------------------------------------------------------------------
+
+Dropout::Dropout(float rate) : rate_(rate) {
+  if (rate < 0.0f || rate >= 1.0f) {
+    throw std::invalid_argument("dropout: rate must be in [0, 1)");
+  }
+}
+
+FeatShape Dropout::output_shape(std::span<const FeatShape> in) const {
+  return single_shape(in, "dropout");
+}
+
+Tensor Dropout::forward(std::span<const tensor::Tensor* const> inputs, ForwardCtx& ctx) {
+  const Tensor& x = single_input(inputs, "dropout");
+  if (!ctx.training || rate_ == 0.0f) {
+    masked_ = false;
+    return x;
+  }
+  if (ctx.rng == nullptr) {
+    throw std::invalid_argument("dropout: training forward requires ForwardCtx::rng");
+  }
+  mask_ = Tensor(x.shape());
+  const float keep = 1.0f - rate_;
+  const float inv_keep = 1.0f / keep;
+  Tensor y = x;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    const float m = ctx.rng->uniform() < keep ? inv_keep : 0.0f;
+    mask_[i] = m;
+    y[i] *= m;
+  }
+  masked_ = true;
+  return y;
+}
+
+std::vector<Tensor> Dropout::backward(const Tensor& grad_out) {
+  if (!masked_) return {grad_out};
+  Tensor g = grad_out;
+  for (std::size_t i = 0; i < g.size(); ++i) g[i] *= mask_[i];
+  return {std::move(g)};
+}
+
+std::string Dropout::describe() const {
+  std::ostringstream os;
+  os << "dropout(" << rate_ << ")";
+  return os.str();
+}
+
+// --- Conv1D -------------------------------------------------------------------
+
+Conv1D::Conv1D(std::size_t filters, std::size_t kernel, tensor::Rng& rng)
+    : filters_(filters), kernel_(kernel), init_seed_(rng.next_u64()),
+      slot_(std::make_shared<Slot>()) {
+  if (filters == 0 || kernel == 0) {
+    throw std::invalid_argument("conv1d: filters and kernel must be positive");
+  }
+}
+
+Conv1D::Conv1D(const Conv1D& donor, share_tag_t)
+    : filters_(donor.filters_), kernel_(donor.kernel_), init_seed_(donor.init_seed_),
+      slot_(donor.slot_), shared_(true) {}
+
+void Conv1D::ensure_params(std::size_t in_channels) {
+  const std::size_t fan_in = kernel_ * in_channels;
+  if (slot_->w) {
+    if (slot_->w->value.dim(0) != fan_in) {
+      throw std::invalid_argument("conv1d: input channels do not match shared weights");
+    }
+    return;
+  }
+  Tensor w({fan_in, filters_});
+  tensor::Rng rng(init_seed_);
+  glorot_uniform(w, fan_in, filters_, rng);
+  slot_->w = std::make_shared<Parameter>("conv1d.w", std::move(w));
+  slot_->b = std::make_shared<Parameter>("conv1d.b", Tensor({filters_}));
+}
+
+FeatShape Conv1D::output_shape(std::span<const FeatShape> in) const {
+  const FeatShape& s = single_shape(in, "conv1d");
+  if (s.size() != 2) {
+    throw std::invalid_argument("conv1d: expects [length, channels] features, got " +
+                                tensor::to_string(s));
+  }
+  if (s[0] < kernel_) {
+    throw std::invalid_argument("conv1d: input length " + std::to_string(s[0]) +
+                                " shorter than kernel " + std::to_string(kernel_));
+  }
+  return {s[0] - kernel_ + 1, filters_};
+}
+
+Tensor Conv1D::forward(std::span<const tensor::Tensor* const> inputs, ForwardCtx&) {
+  const Tensor& x = single_input(inputs, "conv1d");
+  if (x.rank() != 3) throw std::invalid_argument("conv1d: expects rank-3 batch input");
+  const std::size_t batch = x.dim(0), len = x.dim(1), cin = x.dim(2);
+  if (len < kernel_) throw std::invalid_argument("conv1d: input shorter than kernel");
+  ensure_params(cin);
+  x_ = x;
+  const std::size_t out_len = len - kernel_ + 1;
+  Tensor y({batch, out_len, filters_});
+  const float* pw = slot_->w->value.data();
+  const float* pb = slot_->b->value.data();
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t p = 0; p < out_len; ++p) {
+      float* yrow = y.data() + (b * out_len + p) * filters_;
+      for (std::size_t f = 0; f < filters_; ++f) yrow[f] = pb[f];
+      // Window [p, p + kernel) flattened over (offset, channel) pairs.
+      const float* xwin = x.data() + (b * len + p) * cin;
+      for (std::size_t t = 0; t < kernel_ * cin; ++t) {
+        const float xv = xwin[t];
+        if (xv == 0.0f) continue;
+        const float* wrow = pw + t * filters_;
+        for (std::size_t f = 0; f < filters_; ++f) yrow[f] += xv * wrow[f];
+      }
+    }
+  }
+  return y;
+}
+
+std::vector<Tensor> Conv1D::backward(const Tensor& grad_out) {
+  const std::size_t batch = x_.dim(0), len = x_.dim(1), cin = x_.dim(2);
+  const std::size_t out_len = len - kernel_ + 1;
+  Tensor dx(x_.shape());
+  float* pdx = dx.data();
+  float* pdw = slot_->w->grad.data();
+  float* pdb = slot_->b->grad.data();
+  const float* pw = slot_->w->value.data();
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t p = 0; p < out_len; ++p) {
+      const float* grow = grad_out.data() + (b * out_len + p) * filters_;
+      for (std::size_t f = 0; f < filters_; ++f) pdb[f] += grow[f];
+      const float* xwin = x_.data() + (b * len + p) * cin;
+      float* dxwin = pdx + (b * len + p) * cin;
+      for (std::size_t t = 0; t < kernel_ * cin; ++t) {
+        const float* wrow = pw + t * filters_;
+        float* dwrow = pdw + t * filters_;
+        const float xv = xwin[t];
+        float acc = 0.0f;
+        for (std::size_t f = 0; f < filters_; ++f) {
+          const float g = grow[f];
+          dwrow[f] += xv * g;
+          acc += wrow[f] * g;
+        }
+        dxwin[t] += acc;
+      }
+    }
+  }
+  return {std::move(dx)};
+}
+
+std::vector<ParamPtr> Conv1D::parameters() const {
+  if (!slot_->w) return {};
+  return {slot_->w, slot_->b};
+}
+
+std::string Conv1D::describe() const {
+  std::ostringstream os;
+  os << "conv1d(" << filters_ << " filters, k=" << kernel_ << (shared_ ? ", shared" : "") << ")";
+  return os.str();
+}
+
+// --- MaxPool1D ------------------------------------------------------------------
+
+MaxPool1D::MaxPool1D(std::size_t size) : size_(size) {
+  if (size == 0) throw std::invalid_argument("maxpool1d: size must be positive");
+}
+
+FeatShape MaxPool1D::output_shape(std::span<const FeatShape> in) const {
+  const FeatShape& s = single_shape(in, "maxpool1d");
+  if (s.size() != 2) {
+    throw std::invalid_argument("maxpool1d: expects [length, channels] features, got " +
+                                tensor::to_string(s));
+  }
+  const std::size_t out_len = std::max<std::size_t>(1, s[0] / size_);
+  return {out_len, s[1]};
+}
+
+Tensor MaxPool1D::forward(std::span<const tensor::Tensor* const> inputs, ForwardCtx&) {
+  const Tensor& x = single_input(inputs, "maxpool1d");
+  if (x.rank() != 3) throw std::invalid_argument("maxpool1d: expects rank-3 batch input");
+  const std::size_t batch = x.dim(0), len = x.dim(1), ch = x.dim(2);
+  in_shape_ = x.shape();
+  const std::size_t window = std::min(size_, len);
+  const std::size_t out_len = std::max<std::size_t>(1, len / size_);
+  Tensor y({batch, out_len, ch});
+  argmax_.assign(y.size(), 0);
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t p = 0; p < out_len; ++p) {
+      const std::size_t start = p * size_;
+      for (std::size_t c = 0; c < ch; ++c) {
+        float best = -std::numeric_limits<float>::infinity();
+        std::size_t best_idx = 0;
+        for (std::size_t t = 0; t < window && start + t < len; ++t) {
+          const std::size_t idx = (b * len + start + t) * ch + c;
+          if (x[idx] > best) {
+            best = x[idx];
+            best_idx = idx;
+          }
+        }
+        const std::size_t out_idx = (b * out_len + p) * ch + c;
+        y[out_idx] = best;
+        argmax_[out_idx] = best_idx;
+      }
+    }
+  }
+  return y;
+}
+
+std::vector<Tensor> MaxPool1D::backward(const Tensor& grad_out) {
+  Tensor dx(in_shape_);
+  for (std::size_t i = 0; i < grad_out.size(); ++i) dx[argmax_[i]] += grad_out[i];
+  return {std::move(dx)};
+}
+
+std::string MaxPool1D::describe() const {
+  std::ostringstream os;
+  os << "maxpool1d(" << size_ << ")";
+  return os.str();
+}
+
+// --- Flatten --------------------------------------------------------------------
+
+FeatShape Flatten::output_shape(std::span<const FeatShape> in) const {
+  const FeatShape& s = single_shape(in, "flatten");
+  return {tensor::numel(s)};
+}
+
+Tensor Flatten::forward(std::span<const tensor::Tensor* const> inputs, ForwardCtx&) {
+  const Tensor& x = single_input(inputs, "flatten");
+  in_shape_ = x.shape();
+  return x.reshaped({x.dim(0), x.size() / x.dim(0)});
+}
+
+std::vector<Tensor> Flatten::backward(const Tensor& grad_out) {
+  return {grad_out.reshaped(in_shape_)};
+}
+
+// --- Reshape1D ------------------------------------------------------------------
+
+FeatShape Reshape1D::output_shape(std::span<const FeatShape> in) const {
+  const FeatShape& s = single_shape(in, "reshape1d");
+  if (s.size() != 1) {
+    throw std::invalid_argument("reshape1d: expects rank-1 features, got " + tensor::to_string(s));
+  }
+  return {s[0], 1};
+}
+
+Tensor Reshape1D::forward(std::span<const tensor::Tensor* const> inputs, ForwardCtx&) {
+  const Tensor& x = single_input(inputs, "reshape1d");
+  in_shape_ = x.shape();
+  return x.reshaped({x.dim(0), x.dim(1), 1});
+}
+
+std::vector<Tensor> Reshape1D::backward(const Tensor& grad_out) {
+  return {grad_out.reshaped(in_shape_)};
+}
+
+// --- Concat ---------------------------------------------------------------------
+
+FeatShape Concat::output_shape(std::span<const FeatShape> in) const {
+  if (in.empty()) throw std::invalid_argument("concat: requires at least one input");
+  std::size_t total = 0;
+  for (const FeatShape& s : in) {
+    if (s.size() != 1) {
+      throw std::invalid_argument("concat: expects rank-1 features, got " + tensor::to_string(s));
+    }
+    total += s[0];
+  }
+  return {total};
+}
+
+Tensor Concat::forward(std::span<const tensor::Tensor* const> inputs, ForwardCtx&) {
+  if (inputs.empty()) throw std::invalid_argument("concat: requires at least one input");
+  const std::size_t batch = inputs[0]->dim(0);
+  widths_.clear();
+  std::size_t total = 0;
+  for (const Tensor* t : inputs) {
+    if (t->rank() != 2 || t->dim(0) != batch) {
+      throw std::invalid_argument("concat: inputs must be rank-2 with equal batch size");
+    }
+    widths_.push_back(t->dim(1));
+    total += t->dim(1);
+  }
+  Tensor y({batch, total});
+  for (std::size_t b = 0; b < batch; ++b) {
+    float* row = y.data() + b * total;
+    for (const Tensor* t : inputs) {
+      const std::size_t w = t->dim(1);
+      const float* src = t->data() + b * w;
+      std::copy(src, src + w, row);
+      row += w;
+    }
+  }
+  return y;
+}
+
+std::vector<Tensor> Concat::backward(const Tensor& grad_out) {
+  const std::size_t batch = grad_out.dim(0);
+  const std::size_t total = grad_out.dim(1);
+  std::vector<Tensor> grads;
+  grads.reserve(widths_.size());
+  std::size_t offset = 0;
+  for (std::size_t w : widths_) {
+    Tensor g({batch, w});
+    for (std::size_t b = 0; b < batch; ++b) {
+      const float* src = grad_out.data() + b * total + offset;
+      std::copy(src, src + w, g.data() + b * w);
+    }
+    grads.push_back(std::move(g));
+    offset += w;
+  }
+  return grads;
+}
+
+// --- Add ------------------------------------------------------------------------
+
+FeatShape Add::output_shape(std::span<const FeatShape> in) const {
+  if (in.empty()) throw std::invalid_argument("add: requires at least one input");
+  std::size_t widest = 0;
+  for (const FeatShape& s : in) {
+    if (s.size() != 1) {
+      throw std::invalid_argument("add: expects rank-1 features, got " + tensor::to_string(s));
+    }
+    widest = std::max(widest, s[0]);
+  }
+  return {widest};
+}
+
+Tensor Add::forward(std::span<const tensor::Tensor* const> inputs, ForwardCtx&) {
+  if (inputs.empty()) throw std::invalid_argument("add: requires at least one input");
+  const std::size_t batch = inputs[0]->dim(0);
+  widths_.clear();
+  std::size_t widest = 0;
+  for (const Tensor* t : inputs) {
+    if (t->rank() != 2 || t->dim(0) != batch) {
+      throw std::invalid_argument("add: inputs must be rank-2 with equal batch size");
+    }
+    widths_.push_back(t->dim(1));
+    widest = std::max(widest, t->dim(1));
+  }
+  Tensor y({batch, widest});
+  for (const Tensor* t : inputs) {
+    const std::size_t w = t->dim(1);
+    for (std::size_t b = 0; b < batch; ++b) {
+      const float* src = t->data() + b * w;
+      float* dst = y.data() + b * widest;
+      for (std::size_t j = 0; j < w; ++j) dst[j] += src[j];
+    }
+  }
+  return y;
+}
+
+std::vector<Tensor> Add::backward(const Tensor& grad_out) {
+  const std::size_t batch = grad_out.dim(0);
+  const std::size_t widest = grad_out.dim(1);
+  std::vector<Tensor> grads;
+  grads.reserve(widths_.size());
+  for (std::size_t w : widths_) {
+    Tensor g({batch, w});
+    for (std::size_t b = 0; b < batch; ++b) {
+      const float* src = grad_out.data() + b * widest;
+      std::copy(src, src + w, g.data() + b * w);
+    }
+    grads.push_back(std::move(g));
+  }
+  return grads;
+}
+
+// --- clone_shared ------------------------------------------------------------------
+
+LayerPtr clone_shared(const Layer& layer) {
+  if (const auto* d = dynamic_cast<const Dense*>(&layer)) {
+    return std::make_unique<Dense>(*d, share_tag);
+  }
+  if (const auto* c = dynamic_cast<const Conv1D*>(&layer)) {
+    return std::make_unique<Conv1D>(*c, share_tag);
+  }
+  if (const auto* dr = dynamic_cast<const Dropout*>(&layer)) {
+    return std::make_unique<Dropout>(dr->rate());
+  }
+  if (const auto* a = dynamic_cast<const Activation*>(&layer)) {
+    return std::make_unique<Activation>(a->activation());
+  }
+  if (dynamic_cast<const Identity*>(&layer) != nullptr) {
+    return std::make_unique<Identity>();
+  }
+  throw std::invalid_argument("clone_shared: unsupported layer kind '" + layer.kind() + "'");
+}
+
+}  // namespace ncnas::nn

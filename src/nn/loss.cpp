@@ -1,0 +1,66 @@
+#include "ncnas/nn/loss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ncnas::nn {
+
+using tensor::Tensor;
+
+LossValue mse_loss(const Tensor& pred, const Tensor& target) {
+  if (pred.shape() != target.shape()) {
+    throw std::invalid_argument("mse_loss: pred shape " + tensor::to_string(pred.shape()) +
+                                " vs target " + tensor::to_string(target.shape()));
+  }
+  LossValue out;
+  out.grad = Tensor(pred.shape());
+  const std::size_t n = pred.size();
+  double acc = 0.0;
+  const float inv_n = 2.0f / static_cast<float>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float d = pred[i] - target[i];
+    acc += static_cast<double>(d) * d;
+    out.grad[i] = inv_n * d;
+  }
+  out.loss = static_cast<float>(acc / static_cast<double>(n));
+  return out;
+}
+
+LossValue cross_entropy_loss(const Tensor& probs, const std::vector<std::size_t>& target_index) {
+  if (probs.rank() != 2 || probs.dim(0) != target_index.size()) {
+    throw std::invalid_argument("cross_entropy_loss: probs must be [batch, classes] matching "
+                                "target count");
+  }
+  const std::size_t batch = probs.dim(0), classes = probs.dim(1);
+  LossValue out;
+  out.grad = Tensor(probs.shape());
+  constexpr float kEps = 1e-7f;
+  double acc = 0.0;
+  const float inv_b = 1.0f / static_cast<float>(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    const std::size_t cls = target_index[i];
+    if (cls >= classes) throw std::invalid_argument("cross_entropy_loss: class id out of range");
+    const float p = std::max(probs(i, cls), kEps);
+    acc -= std::log(p);
+    out.grad(i, cls) = -inv_b / p;
+  }
+  out.loss = static_cast<float>(acc / static_cast<double>(batch));
+  return out;
+}
+
+LossValue compute_loss(LossKind kind, const Tensor& pred, const Tensor& target) {
+  switch (kind) {
+    case LossKind::kMse:
+      return mse_loss(pred, target);
+    case LossKind::kCrossEntropy: {
+      std::vector<std::size_t> idx(target.dim(0));
+      for (std::size_t i = 0; i < idx.size(); ++i) {
+        idx[i] = static_cast<std::size_t>(target(i, 0));
+      }
+      return cross_entropy_loss(pred, idx);
+    }
+  }
+  throw std::logic_error("compute_loss: unknown kind");
+}
+
+}  // namespace ncnas::nn

@@ -1,0 +1,165 @@
+#include "ncnas/nn/lstm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "ncnas/nn/init.hpp"
+#include "ncnas/tensor/ops.hpp"
+
+namespace ncnas::nn {
+
+using tensor::Tensor;
+
+namespace {
+
+float sigmoidf(float v) { return 1.0f / (1.0f + std::exp(-v)); }
+
+}  // namespace
+
+LstmCell::LstmCell(std::size_t input_dim, std::size_t hidden_dim, tensor::Rng& rng)
+    : input_dim_(input_dim), hidden_dim_(hidden_dim) {
+  if (input_dim == 0 || hidden_dim == 0) {
+    throw std::invalid_argument("LstmCell: dims must be positive");
+  }
+  Tensor wx({input_dim, 4 * hidden_dim});
+  glorot_uniform(wx, input_dim, 4 * hidden_dim, rng);
+  Tensor wh({hidden_dim, 4 * hidden_dim});
+  scaled_normal(wh, 1.0f / std::sqrt(static_cast<float>(hidden_dim)), rng);
+  Tensor b({4 * hidden_dim});
+  // Forget-gate bias 1.0: the standard trick for gradient flow early on.
+  for (std::size_t j = hidden_dim; j < 2 * hidden_dim; ++j) b[j] = 1.0f;
+  wx_ = std::make_shared<Parameter>("lstm.wx", std::move(wx));
+  wh_ = std::make_shared<Parameter>("lstm.wh", std::move(wh));
+  b_ = std::make_shared<Parameter>("lstm.b", std::move(b));
+}
+
+LstmState LstmCell::initial_state(std::size_t batch) const {
+  return {Tensor({batch, hidden_dim_}), Tensor({batch, hidden_dim_})};
+}
+
+void LstmCell::gates(const Tensor& x, const LstmState& prev, Tensor& z) const {
+  const std::size_t batch = x.dim(0);
+  z = Tensor({batch, 4 * hidden_dim_});
+  Tensor zx({batch, 4 * hidden_dim_});
+  tensor::gemm(x, wx_->value, zx);
+  Tensor zh({batch, 4 * hidden_dim_});
+  tensor::gemm(prev.h, wh_->value, zh);
+  tensor::add_inplace(z, zx);
+  tensor::add_inplace(z, zh);
+  tensor::add_row_bias(z, b_->value);
+}
+
+LstmState LstmCell::step(const Tensor& x, const LstmState& prev) {
+  const std::size_t batch = x.dim(0);
+  Tensor z;
+  gates(x, prev, z);
+
+  StepCache cache;
+  cache.x = x;
+  cache.h_prev = prev.h;
+  cache.c_prev = prev.c;
+  cache.i = Tensor({batch, hidden_dim_});
+  cache.f = Tensor({batch, hidden_dim_});
+  cache.g = Tensor({batch, hidden_dim_});
+  cache.o = Tensor({batch, hidden_dim_});
+  cache.c_new = Tensor({batch, hidden_dim_});
+  cache.tanh_c = Tensor({batch, hidden_dim_});
+
+  LstmState next{Tensor({batch, hidden_dim_}), Tensor({batch, hidden_dim_})};
+  const std::size_t H = hidden_dim_;
+  for (std::size_t r = 0; r < batch; ++r) {
+    const float* zr = z.data() + r * 4 * H;
+    for (std::size_t j = 0; j < H; ++j) {
+      const float iv = sigmoidf(zr[j]);
+      const float fv = sigmoidf(zr[H + j]);
+      const float gv = std::tanh(zr[2 * H + j]);
+      const float ov = sigmoidf(zr[3 * H + j]);
+      const float cv = fv * prev.c(r, j) + iv * gv;
+      const float tc = std::tanh(cv);
+      cache.i(r, j) = iv;
+      cache.f(r, j) = fv;
+      cache.g(r, j) = gv;
+      cache.o(r, j) = ov;
+      cache.c_new(r, j) = cv;
+      cache.tanh_c(r, j) = tc;
+      next.c(r, j) = cv;
+      next.h(r, j) = ov * tc;
+    }
+  }
+  cache_.push_back(std::move(cache));
+  return next;
+}
+
+LstmState LstmCell::step_nograd(const Tensor& x, const LstmState& prev) const {
+  const std::size_t batch = x.dim(0);
+  Tensor z;
+  gates(x, prev, z);
+  LstmState next{Tensor({batch, hidden_dim_}), Tensor({batch, hidden_dim_})};
+  const std::size_t H = hidden_dim_;
+  for (std::size_t r = 0; r < batch; ++r) {
+    const float* zr = z.data() + r * 4 * H;
+    for (std::size_t j = 0; j < H; ++j) {
+      const float iv = sigmoidf(zr[j]);
+      const float fv = sigmoidf(zr[H + j]);
+      const float gv = std::tanh(zr[2 * H + j]);
+      const float ov = sigmoidf(zr[3 * H + j]);
+      const float cv = fv * prev.c(r, j) + iv * gv;
+      next.c(r, j) = cv;
+      next.h(r, j) = ov * std::tanh(cv);
+    }
+  }
+  return next;
+}
+
+Tensor LstmCell::backward_step(const Tensor& grad_h, const Tensor& grad_c,
+                               Tensor& grad_h_prev, Tensor& grad_c_prev) {
+  if (cache_.empty()) throw std::logic_error("LstmCell::backward_step: cache empty");
+  StepCache cache = std::move(cache_.back());
+  cache_.pop_back();
+
+  const std::size_t batch = cache.x.dim(0);
+  const std::size_t H = hidden_dim_;
+  Tensor dz({batch, 4 * H});
+  grad_c_prev = Tensor({batch, H});
+  for (std::size_t r = 0; r < batch; ++r) {
+    float* dzr = dz.data() + r * 4 * H;
+    for (std::size_t j = 0; j < H; ++j) {
+      const float dh = grad_h(r, j);
+      const float o = cache.o(r, j);
+      const float tc = cache.tanh_c(r, j);
+      const float dc = grad_c(r, j) + dh * o * (1.0f - tc * tc);
+      const float i = cache.i(r, j);
+      const float f = cache.f(r, j);
+      const float g = cache.g(r, j);
+      const float do_ = dh * tc;
+      const float di = dc * g;
+      const float df = dc * cache.c_prev(r, j);
+      const float dg = dc * i;
+      dzr[j] = di * i * (1.0f - i);
+      dzr[H + j] = df * f * (1.0f - f);
+      dzr[2 * H + j] = dg * (1.0f - g * g);
+      dzr[3 * H + j] = do_ * o * (1.0f - o);
+      grad_c_prev(r, j) = dc * f;
+    }
+  }
+
+  // Parameter grads.
+  Tensor dwx({input_dim_, 4 * H});
+  tensor::gemm_tn(cache.x, dz, dwx);
+  tensor::add_inplace(wx_->grad, dwx);
+  Tensor dwh({H, 4 * H});
+  tensor::gemm_tn(cache.h_prev, dz, dwh);
+  tensor::add_inplace(wh_->grad, dwh);
+  tensor::accumulate_col_sums(dz, b_->grad);
+
+  // Input grads.
+  Tensor dx({batch, input_dim_});
+  tensor::gemm_nt(dz, wx_->value, dx);
+  grad_h_prev = Tensor({batch, H});
+  tensor::gemm_nt(dz, wh_->value, grad_h_prev);
+  return dx;
+}
+
+void LstmCell::clear_cache() { cache_.clear(); }
+
+}  // namespace ncnas::nn

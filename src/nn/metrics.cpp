@@ -1,0 +1,62 @@
+#include "ncnas/nn/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ncnas::nn {
+
+using tensor::Tensor;
+
+float r2_score(const Tensor& pred, const Tensor& target) {
+  if (pred.shape() != target.shape()) {
+    throw std::invalid_argument("r2_score: shape mismatch");
+  }
+  const std::size_t n = pred.size();
+  if (n == 0) return 0.0f;
+  double mean = 0.0;
+  for (std::size_t i = 0; i < n; ++i) mean += target[i];
+  mean /= static_cast<double>(n);
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double r = static_cast<double>(pred[i]) - target[i];
+    const double t = static_cast<double>(target[i]) - mean;
+    ss_res += r * r;
+    ss_tot += t * t;
+  }
+  if (ss_tot <= 0.0) return ss_res <= 0.0 ? 1.0f : 0.0f;
+  return static_cast<float>(1.0 - ss_res / ss_tot);
+}
+
+float accuracy_score(const Tensor& pred, const Tensor& target) {
+  if (pred.rank() != 2 || target.rank() != 2 || pred.dim(0) != target.dim(0)) {
+    throw std::invalid_argument("accuracy_score: pred [batch, classes], target [batch, 1]");
+  }
+  const std::size_t batch = pred.dim(0), classes = pred.dim(1);
+  if (batch == 0) return 0.0f;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < batch; ++i) {
+    const float* row = pred.data() + i * classes;
+    const std::size_t argmax = static_cast<std::size_t>(
+        std::max_element(row, row + classes) - row);
+    if (argmax == static_cast<std::size_t>(target(i, 0))) ++correct;
+  }
+  return static_cast<float>(correct) / static_cast<float>(batch);
+}
+
+float compute_metric(Metric m, const Tensor& pred, const Tensor& target) {
+  switch (m) {
+    case Metric::kR2: return r2_score(pred, target);
+    case Metric::kAccuracy: return accuracy_score(pred, target);
+  }
+  throw std::logic_error("compute_metric: unknown metric");
+}
+
+const char* metric_name(Metric m) {
+  switch (m) {
+    case Metric::kR2: return "R2";
+    case Metric::kAccuracy: return "ACC";
+  }
+  return "?";
+}
+
+}  // namespace ncnas::nn

@@ -1,0 +1,39 @@
+#include "ncnas/nn/optimizer.hpp"
+
+#include <cmath>
+
+namespace ncnas::nn {
+
+void Sgd::step(const std::vector<ParamPtr>& params) {
+  for (const ParamPtr& p : params) {
+    float* v = p->value.data();
+    const float* g = p->grad.data();
+    for (std::size_t i = 0; i < p->size(); ++i) v[i] -= lr_ * g[i];
+  }
+}
+
+void Adam::step(const std::vector<ParamPtr>& params) {
+  ++step_count_;
+  const float b1t = 1.0f - std::pow(beta1_, static_cast<float>(step_count_));
+  const float b2t = 1.0f - std::pow(beta2_, static_cast<float>(step_count_));
+  for (const ParamPtr& p : params) {
+    Moments& mom = state_[p.get()];
+    if (mom.m.empty()) {
+      mom.m = tensor::Tensor(p->value.shape());
+      mom.v = tensor::Tensor(p->value.shape());
+    }
+    float* val = p->value.data();
+    const float* g = p->grad.data();
+    float* m = mom.m.data();
+    float* v = mom.v.data();
+    for (std::size_t i = 0; i < p->size(); ++i) {
+      m[i] = beta1_ * m[i] + (1.0f - beta1_) * g[i];
+      v[i] = beta2_ * v[i] + (1.0f - beta2_) * g[i] * g[i];
+      const float mhat = m[i] / b1t;
+      const float vhat = v[i] / b2t;
+      val[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace ncnas::nn

@@ -1,0 +1,23 @@
+#include "ncnas/nn/parameter.hpp"
+
+#include <unordered_set>
+
+namespace ncnas::nn {
+
+std::vector<ParamPtr> unique_params(const std::vector<ParamPtr>& params) {
+  std::vector<ParamPtr> out;
+  out.reserve(params.size());
+  std::unordered_set<const Parameter*> seen;
+  for (const ParamPtr& p : params) {
+    if (p && seen.insert(p.get()).second) out.push_back(p);
+  }
+  return out;
+}
+
+std::size_t unique_param_count(const std::vector<ParamPtr>& params) {
+  std::size_t total = 0;
+  for (const ParamPtr& p : unique_params(params)) total += p->size();
+  return total;
+}
+
+}  // namespace ncnas::nn

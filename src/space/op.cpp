@@ -1,0 +1,66 @@
+#include "ncnas/space/op.hpp"
+
+#include <sstream>
+
+namespace ncnas::space {
+
+namespace {
+
+std::string ref_name(const SkipRef& r) {
+  std::ostringstream os;
+  switch (r.kind) {
+    case SkipRef::Kind::kInput: os << "in" << r.input; break;
+    case SkipRef::Kind::kCellOutput: os << "C" << r.cell; break;
+    case SkipRef::Kind::kNodeOutput:
+      os << "C" << r.cell << "/B" << r.block << "/N" << r.node;
+      break;
+  }
+  return os.str();
+}
+
+std::string refs_name(const std::vector<SkipRef>& refs) {
+  if (refs.empty()) return "null";
+  std::ostringstream os;
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    if (i != 0) os << " & ";
+    os << ref_name(refs[i]);
+  }
+  return os.str();
+}
+
+struct Namer {
+  std::string operator()(const IdentityOp&) const { return "Identity"; }
+  std::string operator()(const DenseOp& op) const {
+    std::ostringstream os;
+    os << "Dense(" << op.units << ", " << nn::act_name(op.act) << ")";
+    return os.str();
+  }
+  std::string operator()(const DropoutOp& op) const {
+    std::ostringstream os;
+    os << "Dropout(" << op.rate << ")";
+    return os.str();
+  }
+  std::string operator()(const Conv1DOp& op) const {
+    std::ostringstream os;
+    os << "Conv1D(k=" << op.kernel << ", f=" << op.filters << ")";
+    return os.str();
+  }
+  std::string operator()(const MaxPool1DOp& op) const {
+    std::ostringstream os;
+    os << "MaxPooling1D(" << op.size << ")";
+    return os.str();
+  }
+  std::string operator()(const ActivationOp& op) const {
+    return std::string("Activation(") + nn::act_name(op.act) + ")";
+  }
+  std::string operator()(const ConnectOp& op) const {
+    return "Connect(" + (op.label.empty() ? refs_name(op.refs) : op.label) + ")";
+  }
+  std::string operator()(const AddOp& op) const { return "Add(" + refs_name(op.refs) + ")"; }
+};
+
+}  // namespace
+
+std::string op_name(const Op& op) { return std::visit(Namer{}, op); }
+
+}  // namespace ncnas::space

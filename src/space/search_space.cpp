@@ -1,0 +1,175 @@
+#include "ncnas/space/search_space.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace ncnas::space {
+
+namespace {
+
+/// True when (c2,b2,n2) strictly precedes (c1,b1,n1) in structure order.
+bool precedes(std::size_t c2, std::size_t b2, std::size_t n2, std::size_t c1, std::size_t b1,
+              std::size_t n1) {
+  if (c2 != c1) return c2 < c1;
+  if (b2 != b1) return b2 < b1;
+  return n2 < n1;
+}
+
+void validate_ref(const Structure& s, const SkipRef& r, std::size_t cell, std::size_t block,
+                  std::size_t node, const char* what) {
+  switch (r.kind) {
+    case SkipRef::Kind::kInput:
+      if (r.input >= s.input_names.size()) {
+        throw std::invalid_argument(std::string(what) + ": input ref out of range");
+      }
+      return;
+    case SkipRef::Kind::kCellOutput:
+      if (r.cell < cell) return;  // strictly earlier cell
+      throw std::invalid_argument(std::string(what) +
+                                  ": cell-output ref must point to an earlier cell");
+    case SkipRef::Kind::kNodeOutput:
+      if (r.cell >= s.cells.size() || r.block >= s.cells[r.cell].blocks.size() ||
+          r.node >= s.cells[r.cell].blocks[r.block].nodes.size()) {
+        throw std::invalid_argument(std::string(what) + ": node ref out of range");
+      }
+      if (!precedes(r.cell, r.block, r.node, cell, block, node)) {
+        throw std::invalid_argument(std::string(what) + ": node ref must point backward");
+      }
+      return;
+  }
+}
+
+void validate_op_refs(const Structure& s, const Op& op, std::size_t cell, std::size_t block,
+                      std::size_t node) {
+  if (const auto* c = std::get_if<ConnectOp>(&op)) {
+    for (const SkipRef& r : c->refs) validate_ref(s, r, cell, block, node, "Connect");
+  } else if (const auto* a = std::get_if<AddOp>(&op)) {
+    for (const SkipRef& r : a->refs) validate_ref(s, r, cell, block, node, "Add");
+  }
+}
+
+}  // namespace
+
+SearchSpace::SearchSpace(Structure structure) : structure_(std::move(structure)) {
+  const Structure& s = structure_;
+  if (s.input_names.empty()) throw std::invalid_argument("SearchSpace: no inputs");
+  if (s.cells.empty()) throw std::invalid_argument("SearchSpace: no cells");
+  for (std::size_t out : s.output_cells) {
+    if (out >= s.cells.size()) throw std::invalid_argument("SearchSpace: output cell oob");
+  }
+
+  double log10_size = 0.0;
+  for (std::size_t c = 0; c < s.cells.size(); ++c) {
+    const Cell& cell = s.cells[c];
+    if (cell.blocks.empty()) throw std::invalid_argument("SearchSpace: empty cell");
+    for (std::size_t b = 0; b < cell.blocks.size(); ++b) {
+      const Block& block = cell.blocks[b];
+      // Block inputs may reference any earlier cell output / any input; a
+      // block reading its own cell's output would be circular.
+      if (block.input.kind == SkipRef::Kind::kCellOutput && block.input.cell >= c) {
+        throw std::invalid_argument("SearchSpace: block input must be an earlier cell");
+      }
+      for (std::size_t n = 0; n < block.nodes.size(); ++n) {
+        const NodeSpec& spec = block.nodes[n];
+        if (const auto* var = std::get_if<VariableNode>(&spec)) {
+          if (var->options.empty()) {
+            throw std::invalid_argument("SearchSpace: variable node '" + var->name +
+                                        "' has no options");
+          }
+          for (const Op& op : var->options) validate_op_refs(s, op, c, b, n);
+          decisions_.push_back({c, b, n, var->options.size(),
+                                var->name.empty() ? "node" : var->name});
+          max_arity_ = std::max(max_arity_, var->options.size());
+          log10_size += std::log10(static_cast<double>(var->options.size()));
+        } else if (const auto* cst = std::get_if<ConstantNode>(&spec)) {
+          validate_op_refs(s, cst->op, c, b, n);
+        } else {
+          const auto& mirror = std::get<MirrorNode>(spec);
+          if (mirror.cell >= s.cells.size() ||
+              mirror.block >= s.cells[mirror.cell].blocks.size() ||
+              mirror.node >= s.cells[mirror.cell].blocks[mirror.block].nodes.size()) {
+            throw std::invalid_argument("SearchSpace: mirror source out of range");
+          }
+          if (!precedes(mirror.cell, mirror.block, mirror.node, c, b, n)) {
+            throw std::invalid_argument("SearchSpace: mirror must follow its source");
+          }
+          if (std::holds_alternative<MirrorNode>(
+                  s.cells[mirror.cell].blocks[mirror.block].nodes[mirror.node])) {
+            throw std::invalid_argument("SearchSpace: mirror of a mirror is not allowed");
+          }
+        }
+      }
+    }
+  }
+  log10_size_ = log10_size;
+  size_ = std::pow(10.0, log10_size);
+}
+
+std::vector<std::size_t> SearchSpace::arities() const {
+  std::vector<std::size_t> out;
+  out.reserve(decisions_.size());
+  for (const DecisionPoint& d : decisions_) out.push_back(d.arity);
+  return out;
+}
+
+ArchEncoding SearchSpace::random_arch(tensor::Rng& rng) const {
+  ArchEncoding arch;
+  arch.reserve(decisions_.size());
+  for (const DecisionPoint& d : decisions_) {
+    arch.push_back(static_cast<std::uint16_t>(rng.uniform_int(d.arity)));
+  }
+  return arch;
+}
+
+bool SearchSpace::is_valid(const ArchEncoding& arch) const {
+  if (arch.size() != decisions_.size()) return false;
+  for (std::size_t i = 0; i < arch.size(); ++i) {
+    if (arch[i] >= decisions_[i].arity) return false;
+  }
+  return true;
+}
+
+void SearchSpace::require_valid(const ArchEncoding& arch) const {
+  if (arch.size() != decisions_.size()) {
+    throw std::invalid_argument("arch has " + std::to_string(arch.size()) + " choices, space '" +
+                                name() + "' expects " + std::to_string(decisions_.size()));
+  }
+  for (std::size_t i = 0; i < arch.size(); ++i) {
+    if (arch[i] >= decisions_[i].arity) {
+      throw std::invalid_argument("arch choice " + std::to_string(i) + " = " +
+                                  std::to_string(arch[i]) + " exceeds arity " +
+                                  std::to_string(decisions_[i].arity));
+    }
+  }
+}
+
+const Op& SearchSpace::chosen_op(const ArchEncoding& arch, std::size_t d) const {
+  const DecisionPoint& dp = decisions_.at(d);
+  const auto& var = std::get<VariableNode>(
+      structure_.cells[dp.cell].blocks[dp.block].nodes[dp.node]);
+  return var.options.at(arch.at(d));
+}
+
+std::string SearchSpace::describe(const ArchEncoding& arch) const {
+  require_valid(arch);
+  std::ostringstream os;
+  for (std::size_t d = 0; d < decisions_.size(); ++d) {
+    const DecisionPoint& dp = decisions_[d];
+    os << "C" << dp.cell << "/B" << dp.block << "/N" << dp.node << " (" << dp.name
+       << ") <- " << op_name(chosen_op(arch, d)) << '\n';
+  }
+  return os.str();
+}
+
+std::string arch_key(const ArchEncoding& arch) {
+  std::string key;
+  key.reserve(arch.size() * 3);
+  for (std::uint16_t v : arch) {
+    key += std::to_string(v);
+    key += ',';
+  }
+  return key;
+}
+
+}  // namespace ncnas::space

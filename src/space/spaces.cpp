@@ -1,0 +1,231 @@
+#include "ncnas/space/spaces.hpp"
+
+#include <stdexcept>
+
+namespace ncnas::space {
+
+using nn::Act;
+
+std::vector<Op> mlp_node_options() {
+  // Order follows the paper's listing: Identity, the 100-unit family,
+  // Dropout(0.05), the 500-unit family, Dropout(0.1), the 1000-unit family,
+  // Dropout(0.2) — with units scaled 100/500/1000 -> 16/48/96.
+  return {
+      IdentityOp{},
+      DenseOp{16, Act::kRelu},  DenseOp{16, Act::kTanh},  DenseOp{16, Act::kSigmoid},
+      DropoutOp{0.05f},
+      DenseOp{48, Act::kRelu},  DenseOp{48, Act::kTanh},  DenseOp{48, Act::kSigmoid},
+      DropoutOp{0.1f},
+      DenseOp{96, Act::kRelu},  DenseOp{96, Act::kTanh},  DenseOp{96, Act::kSigmoid},
+      DropoutOp{0.2f},
+  };
+}
+
+namespace {
+
+VariableNode mlp_node(std::string name) { return {std::move(name), mlp_node_options()}; }
+
+Block mlp_block(std::string name, SkipRef input, std::size_t depth) {
+  Block b{std::move(name), input, {}};
+  for (std::size_t i = 0; i < depth; ++i) {
+    b.nodes.emplace_back(mlp_node("mlp" + std::to_string(i)));
+  }
+  return b;
+}
+
+/// The Combo Connect menu: Null, each single input, cell-0 output, all
+/// inputs, and each input pair — 9 options, as in the paper. `extra_cells`
+/// appends outputs of cells C1..C{i-1} for the large space.
+std::vector<Op> combo_connect_options(std::size_t extra_cells_from, std::size_t extra_cells_to) {
+  std::vector<Op> ops;
+  ops.push_back(ConnectOp{{}, "null"});
+  ops.push_back(ConnectOp{{SkipRef::to_input(0)}, "cell-expr"});
+  ops.push_back(ConnectOp{{SkipRef::to_input(1)}, "drug1"});
+  ops.push_back(ConnectOp{{SkipRef::to_input(2)}, "drug2"});
+  ops.push_back(ConnectOp{{SkipRef::to_cell(0)}, "cell0-out"});
+  ops.push_back(ConnectOp{{SkipRef::to_input(0), SkipRef::to_input(1), SkipRef::to_input(2)},
+                          "all-inputs"});
+  ops.push_back(ConnectOp{{SkipRef::to_input(0), SkipRef::to_input(1)}, "cell-expr & drug1"});
+  ops.push_back(ConnectOp{{SkipRef::to_input(0), SkipRef::to_input(2)}, "cell-expr & drug2"});
+  ops.push_back(ConnectOp{{SkipRef::to_input(1), SkipRef::to_input(2)}, "drug1 & drug2"});
+  for (std::size_t c = extra_cells_from; c < extra_cells_to; ++c) {
+    ops.push_back(ConnectOp{{SkipRef::to_cell(c)}, "cell" + std::to_string(c) + "-out"});
+  }
+  return ops;
+}
+
+Cell combo_input_cell() {
+  Cell c0{"C0", {}};
+  c0.blocks.push_back(mlp_block("cell-expr", SkipRef::to_input(0), 3));
+  c0.blocks.push_back(mlp_block("drug1", SkipRef::to_input(1), 3));
+  // drug2 mirrors drug1's submodel: shared weights (paper's MirrorNodes).
+  Block drug2{"drug2", SkipRef::to_input(2), {}};
+  for (std::size_t n = 0; n < 3; ++n) {
+    drug2.nodes.emplace_back(MirrorNode{"mirror" + std::to_string(n), 0, 1, n});
+  }
+  c0.blocks.push_back(std::move(drug2));
+  return c0;
+}
+
+Structure combo_structure(std::size_t middle_cells) {
+  Structure s;
+  s.name = middle_cells == 1 ? "combo-small" : "combo-large";
+  s.input_names = {"cell.expression", "drug1.descriptors", "drug2.descriptors"};
+  s.cells.push_back(combo_input_cell());
+  for (std::size_t i = 1; i <= middle_cells; ++i) {
+    Cell ci{"C" + std::to_string(i), {}};
+    ci.blocks.push_back(mlp_block("mlp", SkipRef::to_cell(i - 1), 3));
+    Block skip{"skip", SkipRef::to_cell(i - 1), {}};
+    skip.nodes.emplace_back(VariableNode{"connect", combo_connect_options(1, i)});
+    ci.blocks.push_back(std::move(skip));
+    s.cells.push_back(std::move(ci));
+  }
+  Cell last{"C" + std::to_string(middle_cells + 1), {}};
+  last.blocks.push_back(mlp_block("mlp", SkipRef::to_cell(middle_cells), 3));
+  s.cells.push_back(std::move(last));
+  // Output rule: concatenate every cell's output (paper: C0, C1, C2).
+  for (std::size_t c = 0; c < s.cells.size(); ++c) s.output_cells.push_back(c);
+  return s;
+}
+
+Cell uno_input_cell() {
+  Cell c0{"C0", {}};
+  c0.blocks.push_back(mlp_block("rna-seq", SkipRef::to_input(0), 3));
+  // The dose is a calibrated scalar: it flows through unchanged (constant
+  // node), which keeps |S| = 13^12 exactly as the paper reports.
+  Block dose{"dose", SkipRef::to_input(1), {}};
+  dose.nodes.emplace_back(ConstantNode{"dose-pass", IdentityOp{}});
+  c0.blocks.push_back(std::move(dose));
+  c0.blocks.push_back(mlp_block("descriptors", SkipRef::to_input(2), 3));
+  c0.blocks.push_back(mlp_block("fingerprints", SkipRef::to_input(3), 3));
+  return c0;
+}
+
+Structure uno_small_structure() {
+  Structure s;
+  s.name = "uno-small";
+  s.input_names = {"cell.rna-seq", "dose", "drug.descriptors", "drug.fingerprints"};
+  s.cells.push_back(uno_input_cell());
+
+  // C1: N0 -> N1 -> N2(Add: N0) -> N3 -> N4(Add: N2), a residual stack.
+  Cell c1{"C1", {}};
+  Block b{"residual", SkipRef::to_cell(0), {}};
+  b.nodes.emplace_back(mlp_node("n0"));
+  b.nodes.emplace_back(mlp_node("n1"));
+  b.nodes.emplace_back(ConstantNode{"n2-add", AddOp{{SkipRef::to_node(1, 0, 0)}}});
+  b.nodes.emplace_back(mlp_node("n3"));
+  b.nodes.emplace_back(ConstantNode{"n4-add", AddOp{{SkipRef::to_node(1, 0, 2)}}});
+  c1.blocks.push_back(std::move(b));
+  s.cells.push_back(std::move(c1));
+  s.output_cells = {1};
+  return s;
+}
+
+/// All 15 non-empty subsets of the four Uno inputs, in bitmask order.
+void append_uno_input_combos(std::vector<Op>& ops) {
+  static const char* kNames[4] = {"rna", "dose", "desc", "fp"};
+  for (unsigned mask = 1; mask < 16; ++mask) {
+    ConnectOp op;
+    for (unsigned p = 0; p < 4; ++p) {
+      if ((mask >> p) & 1u) {
+        op.refs.push_back(SkipRef::to_input(p));
+        if (!op.label.empty()) op.label += " & ";
+        op.label += kNames[p];
+      }
+    }
+    ops.push_back(std::move(op));
+  }
+}
+
+Structure uno_large_structure() {
+  Structure s;
+  s.name = "uno-large";
+  s.input_names = {"cell.rna-seq", "dose", "drug.descriptors", "drug.fingerprints"};
+  s.cells.push_back(uno_input_cell());
+  for (std::size_t i = 1; i <= 8; ++i) {
+    Cell ci{"C" + std::to_string(i), {}};
+    Block mlp{"mlp", SkipRef::to_cell(i - 1), {}};
+    mlp.nodes.emplace_back(mlp_node("n0"));
+    ci.blocks.push_back(std::move(mlp));
+
+    Block skip{"skip", SkipRef::to_cell(i - 1), {}};
+    std::vector<Op> ops;
+    ops.push_back(ConnectOp{{}, "null"});
+    append_uno_input_combos(ops);
+    // Outputs of all previous cells (C0 .. C_{i-1}).
+    for (std::size_t c = 0; c < i; ++c) {
+      ops.push_back(ConnectOp{{SkipRef::to_cell(c)}, "cell" + std::to_string(c) + "-out"});
+    }
+    // N0 of previous cells except C0.
+    for (std::size_t c = 1; c < i; ++c) {
+      ops.push_back(ConnectOp{{SkipRef::to_node(c, 0, 0)}, "cell" + std::to_string(c) + "-n0"});
+    }
+    skip.nodes.emplace_back(VariableNode{"connect", std::move(ops)});
+    ci.blocks.push_back(std::move(skip));
+    s.cells.push_back(std::move(ci));
+  }
+  s.output_cells = {8};
+  return s;
+}
+
+Structure nt3_structure() {
+  Structure s;
+  s.name = "nt3-small";
+  s.input_names = {"rna-seq.expression"};
+
+  const std::vector<Op> conv_opts = {IdentityOp{}, Conv1DOp{8, 3}, Conv1DOp{8, 4},
+                                     Conv1DOp{8, 5}, Conv1DOp{8, 6}};
+  const std::vector<Op> act_opts = {IdentityOp{}, ActivationOp{Act::kRelu},
+                                    ActivationOp{Act::kTanh}, ActivationOp{Act::kSigmoid}};
+  const std::vector<Op> pool_opts = {IdentityOp{}, MaxPool1DOp{3}, MaxPool1DOp{4},
+                                     MaxPool1DOp{5}, MaxPool1DOp{6}};
+  // Paper menu {10,50,100,200,250,500,750,1000} scaled to {4..96}.
+  const std::vector<Op> dense_opts = {
+      IdentityOp{},           DenseOp{4, Act::kLinear},  DenseOp{8, Act::kLinear},
+      DenseOp{16, Act::kLinear}, DenseOp{24, Act::kLinear}, DenseOp{32, Act::kLinear},
+      DenseOp{48, Act::kLinear}, DenseOp{64, Act::kLinear}, DenseOp{96, Act::kLinear}};
+  const std::vector<Op> drop_opts = {IdentityOp{},     DropoutOp{0.5f}, DropoutOp{0.4f},
+                                     DropoutOp{0.3f},  DropoutOp{0.2f}, DropoutOp{0.1f},
+                                     DropoutOp{0.05f}};
+
+  for (std::size_t c = 0; c < 4; ++c) {
+    Cell cell{"C" + std::to_string(c), {}};
+    Block b{"b0", c == 0 ? SkipRef::to_input(0) : SkipRef::to_cell(c - 1), {}};
+    if (c < 2) {
+      b.nodes.emplace_back(VariableNode{"conv", conv_opts});
+      b.nodes.emplace_back(VariableNode{"act", act_opts});
+      b.nodes.emplace_back(VariableNode{"pool", pool_opts});
+    } else {
+      b.nodes.emplace_back(VariableNode{"dense", dense_opts});
+      b.nodes.emplace_back(VariableNode{"act", act_opts});
+      b.nodes.emplace_back(VariableNode{"drop", drop_opts});
+    }
+    cell.blocks.push_back(std::move(b));
+    s.cells.push_back(std::move(cell));
+  }
+  s.output_cells = {3};
+  return s;
+}
+
+}  // namespace
+
+SearchSpace combo_small_space() { return SearchSpace(combo_structure(1)); }
+SearchSpace combo_large_space() { return SearchSpace(combo_structure(8)); }
+SearchSpace uno_small_space() { return SearchSpace(uno_small_structure()); }
+SearchSpace uno_large_space() { return SearchSpace(uno_large_structure()); }
+SearchSpace nt3_small_space() { return SearchSpace(nt3_structure()); }
+
+SearchSpace space_by_name(const std::string& name) {
+  if (name == "combo-small") return combo_small_space();
+  if (name == "combo-large") return combo_large_space();
+  if (name == "uno-small") return uno_small_space();
+  if (name == "uno-large") return uno_large_space();
+  if (name == "nt3-small") return nt3_small_space();
+  throw std::invalid_argument("space_by_name: unknown space '" + name + "'");
+}
+
+std::vector<std::string> space_names() {
+  return {"combo-small", "combo-large", "uno-small", "uno-large", "nt3-small"};
+}
+
+}  // namespace ncnas::space

@@ -1,0 +1,166 @@
+#include "ncnas/tensor/ops.hpp"
+
+#include <stdexcept>
+
+namespace ncnas::tensor {
+
+namespace {
+
+void require_rank2(const Tensor& t, const char* what) {
+  if (t.rank() != 2) {
+    throw std::invalid_argument(std::string(what) + ": expected rank-2 tensor, got shape " +
+                                to_string(t.shape()));
+  }
+}
+
+}  // namespace
+
+void gemm(const Tensor& a, const Tensor& b, Tensor& c) {
+  require_rank2(a, "gemm A");
+  require_rank2(b, "gemm B");
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  if (b.dim(0) != k) {
+    throw std::invalid_argument("gemm: inner dims mismatch " + to_string(a.shape()) + " x " +
+                                to_string(b.shape()));
+  }
+  c.require_shape({m, n}, "gemm C");
+  c.zero();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  // i-k-j loop order: streams through B and C rows, vectorizes on j.
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float aik = pa[i * k + kk];
+      if (aik == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      float* crow = pc + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+void gemm_nt(const Tensor& a, const Tensor& b, Tensor& c) {
+  require_rank2(a, "gemm_nt A");
+  require_rank2(b, "gemm_nt B");
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  if (b.dim(1) != k) {
+    throw std::invalid_argument("gemm_nt: inner dims mismatch " + to_string(a.shape()) + " x " +
+                                to_string(b.shape()) + "^T");
+  }
+  c.require_shape({m, n}, "gemm_nt C");
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* arow = pa + i * k;
+      const float* brow = pb + j * k;
+      float acc = 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      pc[i * n + j] = acc;
+    }
+  }
+}
+
+void gemm_tn(const Tensor& a, const Tensor& b, Tensor& c) {
+  require_rank2(a, "gemm_tn A");
+  require_rank2(b, "gemm_tn B");
+  const std::size_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  if (b.dim(0) != k) {
+    throw std::invalid_argument("gemm_tn: inner dims mismatch " + to_string(a.shape()) + "^T x " +
+                                to_string(b.shape()));
+  }
+  c.require_shape({m, n}, "gemm_tn C");
+  c.zero();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const float* arow = pa + kk * m;
+    const float* brow = pb + kk * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float aki = arow[i];
+      if (aki == 0.0f) continue;
+      float* crow = pc + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aki * brow[j];
+    }
+  }
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  Tensor c({a.dim(0), b.dim(1)});
+  gemm(a, b, c);
+  return c;
+}
+
+void add_inplace(Tensor& y, const Tensor& x) { axpy(1.0f, x, y); }
+
+void axpy(float alpha, const Tensor& x, Tensor& y) {
+  if (x.shape() != y.shape()) {
+    throw std::invalid_argument("axpy: shape mismatch " + to_string(x.shape()) + " vs " +
+                                to_string(y.shape()));
+  }
+  float* py = y.data();
+  const float* px = x.data();
+  for (std::size_t i = 0; i < y.size(); ++i) py[i] += alpha * px[i];
+}
+
+void scale_inplace(Tensor& y, float alpha) {
+  for (float& v : y.flat()) v *= alpha;
+}
+
+void add_row_bias(Tensor& y, const Tensor& bias) {
+  require_rank2(y, "add_row_bias y");
+  if (bias.rank() != 1 || bias.dim(0) != y.dim(1)) {
+    throw std::invalid_argument("add_row_bias: bias shape " + to_string(bias.shape()) +
+                                " incompatible with " + to_string(y.shape()));
+  }
+  const std::size_t m = y.dim(0), n = y.dim(1);
+  float* py = y.data();
+  const float* pb = bias.data();
+  for (std::size_t i = 0; i < m; ++i) {
+    float* row = py + i * n;
+    for (std::size_t j = 0; j < n; ++j) row[j] += pb[j];
+  }
+}
+
+void accumulate_col_sums(const Tensor& g, Tensor& out) {
+  require_rank2(g, "accumulate_col_sums g");
+  if (out.rank() != 1 || out.dim(0) != g.dim(1)) {
+    throw std::invalid_argument("accumulate_col_sums: out shape " + to_string(out.shape()) +
+                                " incompatible with " + to_string(g.shape()));
+  }
+  const std::size_t m = g.dim(0), n = g.dim(1);
+  const float* pg = g.data();
+  float* po = out.data();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* row = pg + i * n;
+    for (std::size_t j = 0; j < n; ++j) po[j] += row[j];
+  }
+}
+
+float sum(const Tensor& t) {
+  double acc = 0.0;
+  for (float v : t.flat()) acc += v;
+  return static_cast<float>(acc);
+}
+
+float mean(const Tensor& t) {
+  return t.size() == 0 ? 0.0f : sum(t) / static_cast<float>(t.size());
+}
+
+float dot(const Tensor& a, const Tensor& b) {
+  if (a.shape() != b.shape()) {
+    throw std::invalid_argument("dot: shape mismatch");
+  }
+  double acc = 0.0;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (std::size_t i = 0; i < a.size(); ++i) acc += static_cast<double>(pa[i]) * pb[i];
+  return static_cast<float>(acc);
+}
+
+float squared_norm(const Tensor& t) { return dot(t, t); }
+
+}  // namespace ncnas::tensor

@@ -1,0 +1,87 @@
+#include "ncnas/tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace ncnas::tensor {
+
+std::size_t numel(const Shape& shape) {
+  if (shape.empty()) return 0;
+  std::size_t n = 1;
+  for (std::size_t d : shape) n *= d;
+  return n;
+}
+
+std::string to_string(const Shape& shape) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << shape[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+Tensor::Tensor(Shape shape) : shape_(std::move(shape)), data_(numel(shape_), 0.0f) {}
+
+Tensor::Tensor(Shape shape, float value) : shape_(std::move(shape)), data_(numel(shape_), value) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  if (data_.size() != numel(shape_)) {
+    throw std::invalid_argument("Tensor: data size " + std::to_string(data_.size()) +
+                                " does not match shape " + to_string(shape_));
+  }
+}
+
+Tensor Tensor::of(std::initializer_list<float> values) {
+  return Tensor({values.size()}, std::vector<float>(values));
+}
+
+Tensor Tensor::of2d(std::initializer_list<std::initializer_list<float>> rows) {
+  const std::size_t r = rows.size();
+  const std::size_t c = r == 0 ? 0 : rows.begin()->size();
+  std::vector<float> data;
+  data.reserve(r * c);
+  for (const auto& row : rows) {
+    if (row.size() != c) throw std::invalid_argument("Tensor::of2d: ragged rows");
+    data.insert(data.end(), row.begin(), row.end());
+  }
+  return Tensor({r, c}, std::move(data));
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  if (numel(new_shape) != data_.size()) {
+    throw std::invalid_argument("Tensor::reshaped: cannot view " + to_string(shape_) + " as " +
+                                to_string(new_shape));
+  }
+  return Tensor(std::move(new_shape), data_);
+}
+
+void Tensor::fill(float value) { std::ranges::fill(data_, value); }
+
+void Tensor::require_shape(const Shape& expected, const char* what) const {
+  if (shape_ != expected) {
+    throw std::invalid_argument(std::string(what) + ": expected shape " + to_string(expected) +
+                                ", got " + to_string(shape_));
+  }
+}
+
+bool operator==(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape() &&
+         std::equal(a.flat().begin(), a.flat().end(), b.flat().begin());
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  if (a.shape() != b.shape()) {
+    throw std::invalid_argument("max_abs_diff: shape mismatch " + to_string(a.shape()) + " vs " +
+                                to_string(b.shape()));
+  }
+  float m = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) m = std::max(m, std::fabs(a[i] - b[i]));
+  return m;
+}
+
+}  // namespace ncnas::tensor

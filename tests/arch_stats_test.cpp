@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ncnas/analytics/arch_stats.hpp"
+#include "ncnas/space/spaces.hpp"
+
+namespace ncnas::analytics {
+namespace {
+
+TEST(ArchStats, CountsUniqueAndModal) {
+  const space::SearchSpace sp = space::nt3_small_space();
+  space::ArchEncoding a(sp.num_decisions(), 0);
+  space::ArchEncoding b = a;
+  b[0] = 1;
+  const ArchStats stats = compute_arch_stats(sp, {a, a, b});
+  EXPECT_EQ(stats.archs, 3u);
+  EXPECT_EQ(stats.unique, 2u);
+  ASSERT_EQ(stats.decisions.size(), sp.num_decisions());
+  EXPECT_EQ(stats.decisions[0].counts[0], 2u);
+  EXPECT_EQ(stats.decisions[0].counts[1], 1u);
+  EXPECT_EQ(stats.decisions[0].modal_option, 0u);
+  EXPECT_NEAR(stats.decisions[0].modal_fraction, 2.0 / 3.0, 1e-9);
+  // Decision 1 (and all others) are unanimous.
+  EXPECT_NEAR(stats.decisions[1].modal_fraction, 1.0, 1e-9);
+  EXPECT_EQ(stats.decisions[0].modal_op_name, "Identity");
+}
+
+TEST(ArchStats, ConcentrationBounds) {
+  const space::SearchSpace sp = space::nt3_small_space();
+  // All identical: concentration 1.0.
+  space::ArchEncoding a(sp.num_decisions(), 2);
+  const ArchStats converged = compute_arch_stats(sp, {a, a, a, a});
+  EXPECT_NEAR(converged.concentration(), 1.0, 1e-9);
+  // Spread over options: concentration < 1.
+  tensor::Rng rng(3);
+  std::vector<space::ArchEncoding> random;
+  for (int i = 0; i < 50; ++i) random.push_back(sp.random_arch(rng));
+  const ArchStats diffuse = compute_arch_stats(sp, random);
+  EXPECT_LT(diffuse.concentration(), 0.7);
+  EXPECT_GT(diffuse.concentration(), 0.1);
+}
+
+TEST(ArchStats, FromSearchResultFiltersByTime) {
+  const space::SearchSpace sp = space::nt3_small_space();
+  nas::SearchResult res;
+  nas::EvalRecord early;
+  early.time = 10.0;
+  early.arch = space::ArchEncoding(sp.num_decisions(), 0);
+  nas::EvalRecord late;
+  late.time = 100.0;
+  late.arch = space::ArchEncoding(sp.num_decisions(), 1);
+  res.evals = {early, late};
+  const ArchStats all = compute_arch_stats(sp, res, 0.0);
+  EXPECT_EQ(all.archs, 2u);
+  const ArchStats tail = compute_arch_stats(sp, res, 50.0);
+  EXPECT_EQ(tail.archs, 1u);
+  EXPECT_EQ(tail.decisions[0].modal_option, 1u);
+}
+
+TEST(ArchStats, EmptyInputIsSafe) {
+  const space::SearchSpace sp = space::nt3_small_space();
+  const ArchStats stats = compute_arch_stats(sp, std::vector<space::ArchEncoding>{});
+  EXPECT_EQ(stats.archs, 0u);
+  EXPECT_EQ(stats.unique, 0u);
+  std::ostringstream os;
+  print_arch_stats(os, stats);  // must not crash
+  EXPECT_FALSE(os.str().empty());
+}
+
+TEST(ArchStats, PrintMentionsDecisions) {
+  const space::SearchSpace sp = space::nt3_small_space();
+  const ArchStats stats =
+      compute_arch_stats(sp, {space::ArchEncoding(sp.num_decisions(), 1)});
+  std::ostringstream os;
+  print_arch_stats(os, stats);
+  EXPECT_NE(os.str().find("C0/B0/N0"), std::string::npos);
+  EXPECT_NE(os.str().find("Conv1D"), std::string::npos);
+}
+
+TEST(ArchStats, RejectsInvalidEncodings) {
+  const space::SearchSpace sp = space::nt3_small_space();
+  space::ArchEncoding bad(sp.num_decisions(), 0);
+  bad[0] = 99;
+  EXPECT_THROW((void)compute_arch_stats(sp, {bad}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ncnas::analytics

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "ncnas/analytics/csv.hpp"
+#include "ncnas/ncnas.hpp"  // umbrella header must compile standalone
+
+namespace ncnas::analytics {
+namespace {
+
+struct TempDir {
+  std::filesystem::path path;
+  TempDir() {
+    path = std::filesystem::temp_directory_path() /
+           ("ncnas_csv_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(path);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+};
+
+std::string slurp(const std::filesystem::path& p) {
+  std::ifstream in(p);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(Csv, SeriesRowsAndHeader) {
+  TempDir dir;
+  const auto file = dir.path / "s.csv";
+  write_series_csv(file.string(), {0.5, 0.75}, 60.0, "util");
+  const std::string content = slurp(file);
+  EXPECT_NE(content.find("t_seconds,util"), std::string::npos);
+  EXPECT_NE(content.find("60,0.5"), std::string::npos);
+  EXPECT_NE(content.find("120,0.75"), std::string::npos);
+}
+
+TEST(Csv, MultiSeriesPadsRagged) {
+  TempDir dir;
+  const auto file = dir.path / "m.csv";
+  write_multi_series_csv(file.string(), {"a", "b"}, {{1.0, 2.0}, {9.0}}, 10.0);
+  const std::string content = slurp(file);
+  EXPECT_NE(content.find("t_seconds,a,b"), std::string::npos);
+  EXPECT_NE(content.find("10,1,9"), std::string::npos);
+  EXPECT_NE(content.find("20,2,"), std::string::npos);  // padded cell
+}
+
+TEST(Csv, MultiSeriesValidatesShape) {
+  TempDir dir;
+  EXPECT_THROW(
+      write_multi_series_csv((dir.path / "x.csv").string(), {"a"}, {{1.0}, {2.0}}, 1.0),
+      std::invalid_argument);
+}
+
+TEST(Csv, EvalRows) {
+  TempDir dir;
+  const auto file = dir.path / "e.csv";
+  nas::SearchResult res;
+  nas::EvalRecord e;
+  e.time = 30.0;
+  e.reward = 0.5f;
+  e.params = 123;
+  e.sim_duration = 90.0;
+  e.agent = 2;
+  e.arch = {1, 2};
+  res.evals.push_back(e);
+  write_evals_csv(file.string(), res);
+  const std::string content = slurp(file);
+  EXPECT_NE(content.find("t_seconds,reward,params"), std::string::npos);
+  EXPECT_NE(content.find("30,0.5,123,90,0,0,2,1,2,"), std::string::npos);
+}
+
+TEST(Csv, UnwritablePathThrows) {
+  EXPECT_THROW(write_series_csv("/nonexistent/dir/x.csv", {1.0}, 1.0), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ncnas::analytics

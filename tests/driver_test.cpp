@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "ncnas/nas/driver.hpp"
+#include "ncnas/space/spaces.hpp"
+
+namespace ncnas::nas {
+namespace {
+
+data::Dataset tiny_nt3() {
+  data::Nt3Dims dims;
+  dims.train = 64;
+  dims.valid = 32;
+  dims.length = 64;
+  dims.motif = 6;
+  return data::make_nt3(5, dims);
+}
+
+SearchConfig small_config(SearchStrategy strategy) {
+  SearchConfig cfg;
+  cfg.strategy = strategy;
+  cfg.cluster = {.num_agents = 3, .workers_per_agent = 4};
+  cfg.wall_time_seconds = 1800.0;  // 30 simulated minutes
+  cfg.fidelity = {.epochs = 1, .subset_fraction = 1.0};
+  cfg.cost = {.startup_seconds = 20.0, .seconds_per_megaunit = 1.0, .timeout_seconds = 600.0};
+  cfg.seed = 11;
+  return cfg;
+}
+
+TEST(Driver, RandomSearchProducesOrderedEvaluations) {
+  const space::SearchSpace s = space::nt3_small_space();
+  const data::Dataset ds = tiny_nt3();
+  SearchDriver driver(s, ds, small_config(SearchStrategy::kRandom));
+  const SearchResult res = driver.run();
+  EXPECT_GT(res.evals.size(), 10u);
+  for (std::size_t i = 1; i < res.evals.size(); ++i) {
+    EXPECT_LE(res.evals[i - 1].time, res.evals[i].time);
+  }
+  EXPECT_LE(res.end_time, 1800.0 + 1e-6);
+  EXPECT_GT(res.unique_archs, 0u);
+  EXPECT_EQ(res.ppo_updates, 0u);
+}
+
+TEST(Driver, A3CRunsPpoUpdates) {
+  const space::SearchSpace s = space::nt3_small_space();
+  const data::Dataset ds = tiny_nt3();
+  SearchDriver driver(s, ds, small_config(SearchStrategy::kA3C));
+  const SearchResult res = driver.run();
+  EXPECT_GT(res.ppo_updates, 0u);
+  EXPECT_GT(res.evals.size(), 10u);
+}
+
+TEST(Driver, A2CRoundsAreSynchronized) {
+  const space::SearchSpace s = space::nt3_small_space();
+  const data::Dataset ds = tiny_nt3();
+  SearchDriver driver(s, ds, small_config(SearchStrategy::kA2C));
+  const SearchResult res = driver.run();
+  // Synchronous rounds: PPO update count is a multiple of the agent count,
+  // unless the convergence stop fired mid-round (which is legitimate).
+  EXPECT_GT(res.ppo_updates, 0u);
+  if (!res.converged_early) EXPECT_EQ(res.ppo_updates % 3, 0u);
+}
+
+TEST(Driver, DeterministicAcrossRuns) {
+  const space::SearchSpace s = space::nt3_small_space();
+  const data::Dataset ds = tiny_nt3();
+  SearchConfig cfg = small_config(SearchStrategy::kA3C);
+  cfg.wall_time_seconds = 600.0;
+  const SearchResult a = SearchDriver(s, ds, cfg).run();
+  const SearchResult b = SearchDriver(s, ds, cfg).run();
+  ASSERT_EQ(a.evals.size(), b.evals.size());
+  for (std::size_t i = 0; i < a.evals.size(); ++i) {
+    EXPECT_EQ(a.evals[i].reward, b.evals[i].reward);
+    EXPECT_EQ(a.evals[i].arch, b.evals[i].arch);
+    EXPECT_DOUBLE_EQ(a.evals[i].time, b.evals[i].time);
+  }
+}
+
+TEST(Driver, DeterministicWithThreadPool) {
+  const space::SearchSpace s = space::nt3_small_space();
+  const data::Dataset ds = tiny_nt3();
+  SearchConfig cfg = small_config(SearchStrategy::kA3C);
+  cfg.wall_time_seconds = 600.0;
+  tensor::ThreadPool pool(4);
+  const SearchResult serial = SearchDriver(s, ds, cfg).run();
+  const SearchResult parallel = SearchDriver(s, ds, cfg, &pool).run();
+  ASSERT_EQ(serial.evals.size(), parallel.evals.size());
+  for (std::size_t i = 0; i < serial.evals.size(); ++i) {
+    EXPECT_EQ(serial.evals[i].reward, parallel.evals[i].reward);
+  }
+}
+
+TEST(Driver, UtilizationBounded) {
+  const space::SearchSpace s = space::nt3_small_space();
+  const data::Dataset ds = tiny_nt3();
+  SearchDriver driver(s, ds, small_config(SearchStrategy::kRandom));
+  const SearchResult res = driver.run();
+  ASSERT_FALSE(res.utilization.empty());
+  for (double u : res.utilization) {
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 1.0 + 1e-9);
+  }
+}
+
+TEST(Driver, MaxEvaluationsCapRespected) {
+  const space::SearchSpace s = space::nt3_small_space();
+  const data::Dataset ds = tiny_nt3();
+  SearchConfig cfg = small_config(SearchStrategy::kRandom);
+  cfg.max_evaluations = 20;
+  const SearchResult res = SearchDriver(s, ds, cfg).run();
+  std::size_t real = 0;
+  for (const EvalRecord& e : res.evals) real += !e.cache_hit;
+  EXPECT_LE(real, 20u + cfg.cluster.num_agents * cfg.cluster.workers_per_agent);
+}
+
+TEST(Driver, FreshEvaluationsAreNotMarkedCached) {
+  // Regression: first-occurrence evaluations must count as real worker tasks,
+  // not cache hits (random search over a ~6e8 space basically never repeats).
+  const space::SearchSpace s = space::nt3_small_space();
+  const data::Dataset ds = tiny_nt3();
+  SearchConfig cfg = small_config(SearchStrategy::kRandom);
+  cfg.wall_time_seconds = 600.0;
+  const SearchResult res = SearchDriver(s, ds, cfg).run();
+  ASSERT_GT(res.evals.size(), 0u);
+  EXPECT_EQ(res.cache_hits, 0u);
+  EXPECT_FALSE(res.converged_early);
+  for (const EvalRecord& e : res.evals) EXPECT_FALSE(e.cache_hit);
+}
+
+TEST(Driver, BestSoFarIsMonotone) {
+  const space::SearchSpace s = space::nt3_small_space();
+  const data::Dataset ds = tiny_nt3();
+  const SearchResult res = SearchDriver(s, ds, small_config(SearchStrategy::kRandom)).run();
+  const auto best = res.best_so_far();
+  for (std::size_t i = 1; i < best.size(); ++i) {
+    EXPECT_GE(best[i].second, best[i - 1].second);
+  }
+}
+
+TEST(Driver, TopKUniqueAndSorted) {
+  const space::SearchSpace s = space::nt3_small_space();
+  const data::Dataset ds = tiny_nt3();
+  const SearchResult res = SearchDriver(s, ds, small_config(SearchStrategy::kRandom)).run();
+  const auto top = res.top_k(5);
+  ASSERT_LE(top.size(), 5u);
+  for (std::size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].reward, top[i].reward);
+    EXPECT_NE(space::arch_key(top[i - 1].arch), space::arch_key(top[i].arch));
+  }
+}
+
+TEST(Driver, RejectsEmptyCluster) {
+  const space::SearchSpace s = space::nt3_small_space();
+  const data::Dataset ds = tiny_nt3();
+  SearchConfig cfg = small_config(SearchStrategy::kRandom);
+  cfg.cluster.num_agents = 0;
+  EXPECT_THROW(SearchDriver(s, ds, cfg), std::invalid_argument);
+}
+
+TEST(StrategyName, AllNamed) {
+  EXPECT_STREQ(strategy_name(SearchStrategy::kA3C), "A3C");
+  EXPECT_STREQ(strategy_name(SearchStrategy::kA2C), "A2C");
+  EXPECT_STREQ(strategy_name(SearchStrategy::kRandom), "RDM");
+}
+
+}  // namespace
+}  // namespace ncnas::nas

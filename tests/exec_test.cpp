@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "ncnas/exec/evaluator.hpp"
+#include "ncnas/exec/utilization.hpp"
+#include "ncnas/space/spaces.hpp"
+
+namespace ncnas::exec {
+namespace {
+
+data::Dataset tiny_nt3() {
+  data::Nt3Dims dims;
+  dims.train = 64;
+  dims.valid = 32;
+  dims.length = 64;
+  dims.motif = 6;
+  return data::make_nt3(5, dims);
+}
+
+TEST(CostModel, DeterministicAndMonotone) {
+  const CostModel cm{.startup_seconds = 10.0, .seconds_per_megaunit = 2.0};
+  const double d1 = cm.duration(10000, 100, 1, "a");
+  EXPECT_DOUBLE_EQ(d1, cm.duration(10000, 100, 1, "a"));
+  EXPECT_GT(cm.duration(20000, 100, 1, "a"), d1);
+  EXPECT_GT(cm.duration(10000, 200, 1, "a"), d1);
+  EXPECT_GT(cm.duration(10000, 100, 2, "a"), d1);
+}
+
+TEST(CostModel, JitterStaysInBand) {
+  const CostModel cm{.startup_seconds = 0.0, .seconds_per_megaunit = 1.0, .jitter_frac = 0.2};
+  const double base = 1.0;  // 1e6 units
+  for (const char* key : {"a", "b", "c", "d", "e", "f"}) {
+    const double d = cm.duration(1000, 1000, 1, key);
+    EXPECT_GE(d, base * 0.8 - 1e-9);
+    EXPECT_LE(d, base * 1.2 + 1e-9);
+  }
+}
+
+TEST(CostModel, TimeoutPredicate) {
+  const CostModel cm{.timeout_seconds = 600.0};
+  EXPECT_FALSE(cm.times_out(599.0));
+  EXPECT_TRUE(cm.times_out(601.0));
+}
+
+TEST(TrainingEvaluator, ProducesRealRewards) {
+  const space::SearchSpace s = space::nt3_small_space();
+  const data::Dataset ds = tiny_nt3();
+  const TrainingEvaluator eval(s, ds, {.epochs = 1, .subset_fraction = 1.0}, CostModel{});
+  tensor::Rng rng(1);
+  const space::ArchEncoding arch = s.random_arch(rng);
+  const EvalResult r = eval.evaluate(arch, 99);
+  EXPECT_GE(r.reward, 0.0f);  // accuracy metric
+  EXPECT_LE(r.reward, 1.0f);
+  EXPECT_GT(r.params, 0u);
+  EXPECT_GT(r.sim_duration, 0.0);
+  EXPECT_FALSE(r.cache_hit);
+}
+
+TEST(TrainingEvaluator, DeterministicPerSeed) {
+  const space::SearchSpace s = space::nt3_small_space();
+  const data::Dataset ds = tiny_nt3();
+  const TrainingEvaluator eval(s, ds, {.epochs = 1, .subset_fraction = 0.5}, CostModel{});
+  tensor::Rng rng(2);
+  const space::ArchEncoding arch = s.random_arch(rng);
+  const EvalResult a = eval.evaluate(arch, 7);
+  const EvalResult b = eval.evaluate(arch, 7);
+  EXPECT_EQ(a.reward, b.reward);
+  EXPECT_EQ(a.params, b.params);
+  // Agent-specific seeds: a different seed may yield a different reward
+  // (paper: same arch from different agents gets different rewards).
+  const EvalResult c = eval.evaluate(arch, 8);
+  EXPECT_EQ(a.params, c.params);  // same architecture, same size
+}
+
+TEST(TrainingEvaluator, TimeoutYieldsFloorRewardAndSkipsTraining) {
+  const space::SearchSpace s = space::nt3_small_space();
+  const data::Dataset ds = tiny_nt3();
+  CostModel cm;
+  cm.timeout_seconds = 1.0;       // everything times out
+  cm.startup_seconds = 50.0;
+  const TrainingEvaluator eval(s, ds, {.epochs = 1, .subset_fraction = 1.0}, cm);
+  tensor::Rng rng(3);
+  const EvalResult r = eval.evaluate(s.random_arch(rng), 1);
+  EXPECT_TRUE(r.timed_out);
+  EXPECT_EQ(r.reward, 0.0f);                       // ACC floor
+  EXPECT_DOUBLE_EQ(r.sim_duration, cm.timeout_seconds);  // worker held till kill
+}
+
+TEST(TrainingEvaluator, R2FloorIsMinusOne) {
+  data::ComboDims dims;
+  dims.train = 64;
+  dims.valid = 32;
+  dims.expression = 8;
+  dims.descriptors = 8;
+  const data::Dataset ds = data::make_combo(5, dims);
+  const space::SearchSpace s = space::combo_small_space();
+  CostModel cm;
+  cm.timeout_seconds = 0.5;
+  const TrainingEvaluator eval(s, ds, {.epochs = 1, .subset_fraction = 0.1}, cm);
+  tensor::Rng rng(4);
+  const EvalResult r = eval.evaluate(s.random_arch(rng), 1);
+  EXPECT_TRUE(r.timed_out);
+  EXPECT_EQ(r.reward, -1.0f);
+}
+
+TEST(CachedEvaluator, HitsAndMisses) {
+  const space::SearchSpace s = space::nt3_small_space();
+  const data::Dataset ds = tiny_nt3();
+  const TrainingEvaluator inner(s, ds, {.epochs = 1, .subset_fraction = 1.0}, CostModel{});
+  const CachedEvaluator cache(inner);
+  tensor::Rng rng(5);
+  const space::ArchEncoding arch = s.random_arch(rng);
+  const EvalResult first = cache.evaluate(arch, 1);
+  EXPECT_FALSE(first.cache_hit);
+  const EvalResult second = cache.evaluate(arch, 1);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.reward, first.reward);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.unique_archs(), 1u);
+}
+
+TEST(CachedEvaluator, SplitPhaseLookupInsert) {
+  const space::SearchSpace s = space::nt3_small_space();
+  const data::Dataset ds = tiny_nt3();
+  const TrainingEvaluator inner(s, ds, {.epochs = 1, .subset_fraction = 1.0}, CostModel{});
+  const CachedEvaluator cache(inner);
+  tensor::Rng rng(6);
+  const space::ArchEncoding arch = s.random_arch(rng);
+  EXPECT_FALSE(cache.lookup(arch).has_value());
+  EvalResult r;
+  r.reward = 0.5f;
+  cache.insert(arch, r);
+  const auto hit = cache.lookup(arch);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->cache_hit);
+  EXPECT_EQ(hit->reward, 0.5f);
+}
+
+TEST(HeadFor, PicksTaskByMetric) {
+  const data::Dataset nt3 = tiny_nt3();
+  EXPECT_EQ(head_for(nt3).kind, space::TaskHead::Kind::kClassification);
+  data::ComboDims dims;
+  dims.train = 16;
+  dims.valid = 8;
+  dims.expression = 4;
+  dims.descriptors = 4;
+  const data::Dataset combo = data::make_combo(1, dims);
+  EXPECT_EQ(head_for(combo).kind, space::TaskHead::Kind::kRegression);
+}
+
+TEST(Utilization, SingleWorkerFullyBusy) {
+  UtilizationMonitor mon(1);
+  mon.add_busy_interval(0.0, 100.0);
+  EXPECT_DOUBLE_EQ(mon.average(100.0), 1.0);
+  const auto series = mon.series(100.0, 10.0);
+  ASSERT_EQ(series.size(), 10u);
+  for (double v : series) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(Utilization, PartialBusyFractions) {
+  UtilizationMonitor mon(2);
+  mon.add_busy_interval(0.0, 50.0);   // worker A, first half
+  mon.add_busy_interval(0.0, 100.0);  // worker B, whole window
+  EXPECT_DOUBLE_EQ(mon.average(100.0), 0.75);
+  const auto series = mon.series(100.0, 50.0);
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_DOUBLE_EQ(series[0], 1.0);
+  EXPECT_DOUBLE_EQ(series[1], 0.5);
+}
+
+TEST(Utilization, IntervalSpanningBuckets) {
+  UtilizationMonitor mon(1);
+  mon.add_busy_interval(5.0, 25.0);
+  const auto series = mon.series(30.0, 10.0);
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_DOUBLE_EQ(series[0], 0.5);
+  EXPECT_DOUBLE_EQ(series[1], 1.0);
+  EXPECT_DOUBLE_EQ(series[2], 0.5);
+}
+
+TEST(Utilization, RejectsBadInputs) {
+  EXPECT_THROW(UtilizationMonitor(0), std::invalid_argument);
+  UtilizationMonitor mon(1);
+  EXPECT_THROW(mon.add_busy_interval(5.0, 4.0), std::invalid_argument);
+  EXPECT_THROW((void)mon.series(0.0, 10.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ncnas::exec

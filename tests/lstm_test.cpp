@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "gradcheck.hpp"
+#include "ncnas/nn/lstm.hpp"
+#include "ncnas/tensor/ops.hpp"
+
+namespace ncnas::nn {
+namespace {
+
+using tensor::Rng;
+using tensor::Tensor;
+using testing::numeric_derivative;
+using testing::probe_grad;
+using testing::probe_loss;
+using testing::rel_err;
+
+Tensor random_tensor(tensor::Shape shape, Rng& rng) {
+  Tensor t(std::move(shape));
+  for (float& v : t.flat()) v = 0.5f * static_cast<float>(rng.normal());
+  return t;
+}
+
+TEST(Lstm, ShapesAndInitialState) {
+  Rng rng(1);
+  LstmCell cell(3, 5, rng);
+  EXPECT_EQ(cell.input_dim(), 3u);
+  EXPECT_EQ(cell.hidden_dim(), 5u);
+  const LstmState s0 = cell.initial_state(2);
+  EXPECT_EQ(s0.h.shape(), tensor::Shape({2, 5}));
+  for (float v : s0.h.flat()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Lstm, StepAndNogradAgree) {
+  Rng rng(2);
+  LstmCell cell(3, 4, rng);
+  const Tensor x = random_tensor({2, 3}, rng);
+  const LstmState s0 = cell.initial_state(2);
+  const LstmState a = cell.step(x, s0);
+  const LstmState b = cell.step_nograd(x, s0);
+  EXPECT_LT(tensor::max_abs_diff(a.h, b.h), 1e-6f);
+  EXPECT_LT(tensor::max_abs_diff(a.c, b.c), 1e-6f);
+  EXPECT_EQ(cell.cached_steps(), 1u);
+  cell.clear_cache();
+  EXPECT_EQ(cell.cached_steps(), 0u);
+}
+
+TEST(Lstm, HiddenStateBounded) {
+  // h = o * tanh(c) is bounded by (-1, 1).
+  Rng rng(3);
+  LstmCell cell(2, 6, rng);
+  LstmState s = cell.initial_state(1);
+  for (int t = 0; t < 20; ++t) {
+    const Tensor x = random_tensor({1, 2}, rng);
+    s = cell.step_nograd(x, s);
+    for (float v : s.h.flat()) {
+      EXPECT_GT(v, -1.0f);
+      EXPECT_LT(v, 1.0f);
+    }
+  }
+}
+
+TEST(Lstm, BpttGradcheckThreeSteps) {
+  Rng rng(4);
+  LstmCell cell(2, 3, rng);
+  std::vector<Tensor> xs;
+  for (int t = 0; t < 3; ++t) xs.push_back(random_tensor({2, 2}, rng));
+
+  // Loss: probe over the final hidden state.
+  const auto loss_fn = [&] {
+    LstmState s = cell.initial_state(2);
+    for (const Tensor& x : xs) s = cell.step_nograd(x, s);
+    return probe_loss(s.h);
+  };
+
+  cell.clear_cache();
+  LstmState s = cell.initial_state(2);
+  for (const Tensor& x : xs) s = cell.step(x, s);
+  for (const ParamPtr& p : cell.parameters()) p->zero_grad();
+
+  Tensor dh = probe_grad(s.h);
+  Tensor dc({2, 3});
+  std::vector<Tensor> dxs(3);
+  for (std::size_t t = 3; t-- > 0;) {
+    Tensor dh_prev, dc_prev;
+    dxs[t] = cell.backward_step(dh, dc, dh_prev, dc_prev);
+    dh = std::move(dh_prev);
+    dc = std::move(dc_prev);
+  }
+
+  // Parameter gradients vs finite differences.
+  for (const ParamPtr& p : cell.parameters()) {
+    for (std::size_t i = 0; i < p->size(); i += std::max<std::size_t>(1, p->size() / 11)) {
+      const float num = numeric_derivative(p->value[i], loss_fn);
+      EXPECT_LT(rel_err(p->grad[i], num), 3e-2f) << p->name << " slot " << i;
+    }
+  }
+  // Input gradients at each time step.
+  for (std::size_t t = 0; t < 3; ++t) {
+    for (std::size_t i = 0; i < xs[t].size(); ++i) {
+      const float num = numeric_derivative(xs[t][i], loss_fn);
+      EXPECT_LT(rel_err(dxs[t][i], num), 3e-2f) << "x[" << t << "] slot " << i;
+    }
+  }
+}
+
+TEST(Lstm, BackwardWithoutCacheThrows) {
+  Rng rng(5);
+  LstmCell cell(2, 3, rng);
+  Tensor dh({1, 3}), dc({1, 3}), dh_prev, dc_prev;
+  EXPECT_THROW((void)cell.backward_step(dh, dc, dh_prev, dc_prev), std::logic_error);
+}
+
+TEST(Lstm, ForgetGateBiasInitializedToOne) {
+  Rng rng(6);
+  LstmCell cell(2, 4, rng);
+  const ParamPtr b = cell.parameters()[2];
+  for (std::size_t j = 4; j < 8; ++j) EXPECT_FLOAT_EQ(b->value[j], 1.0f);
+  EXPECT_FLOAT_EQ(b->value[0], 0.0f);
+}
+
+}  // namespace
+}  // namespace ncnas::nn

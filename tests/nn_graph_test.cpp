@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "ncnas/nn/graph.hpp"
+#include "ncnas/nn/layers.hpp"
+
+namespace ncnas::nn {
+namespace {
+
+using tensor::Rng;
+using tensor::Tensor;
+
+TEST(Graph, SingleChainForward) {
+  Rng rng(1);
+  Graph g;
+  const std::size_t in = g.add_input("x", {3});
+  const std::size_t d = g.add(std::make_unique<Dense>(2, Act::kLinear, rng), {in});
+  g.set_output(d);
+  Tensor x({4, 3});
+  ForwardCtx ctx{};
+  const Tensor y = g.forward(std::vector<Tensor>{x}, ctx);
+  EXPECT_EQ(y.shape(), tensor::Shape({4, 2}));
+  EXPECT_EQ(g.output_shape(), FeatShape({2}));
+}
+
+TEST(Graph, MultiInputConcatModel) {
+  Rng rng(2);
+  Graph g;
+  const std::size_t a = g.add_input("a", {2});
+  const std::size_t b = g.add_input("b", {3});
+  const std::size_t cat = g.add(std::make_unique<Concat>(), {a, b});
+  g.set_output(cat);
+  Tensor xa = Tensor::of2d({{1, 2}});
+  Tensor xb = Tensor::of2d({{3, 4, 5}});
+  ForwardCtx ctx{};
+  const Tensor y = g.forward(std::vector<Tensor>{xa, xb}, ctx);
+  EXPECT_EQ(y.shape(), tensor::Shape({1, 5}));
+  EXPECT_FLOAT_EQ(y(0, 4), 5.0f);
+}
+
+TEST(Graph, ForwardValidatesInputCountAndShape) {
+  Rng rng(3);
+  Graph g;
+  (void)g.add_input("x", {3});
+  ForwardCtx ctx{};
+  EXPECT_THROW((void)g.forward(std::vector<Tensor>{}, ctx), std::invalid_argument);
+  Tensor wrong({2, 4});
+  EXPECT_THROW((void)g.forward(std::vector<Tensor>{wrong}, ctx), std::invalid_argument);
+}
+
+TEST(Graph, TopologicalOrderEnforced) {
+  Rng rng(4);
+  Graph g;
+  const std::size_t in = g.add_input("x", {2});
+  EXPECT_THROW((void)g.add(std::make_unique<Identity>(), {in + 5}), std::invalid_argument);
+}
+
+TEST(Graph, FanOutAccumulatesGradients) {
+  // x -> dense -> {identity, identity} -> add; the dense's grad must be the
+  // sum of both branch gradients (numeric check via training one step).
+  Rng rng(5);
+  Graph g;
+  const std::size_t in = g.add_input("x", {2});
+  const std::size_t d = g.add(std::make_unique<Dense>(2, Act::kLinear, rng), {in});
+  const std::size_t i1 = g.add(std::make_unique<Identity>(), {d});
+  const std::size_t i2 = g.add(std::make_unique<Identity>(), {d});
+  const std::size_t sum = g.add(std::make_unique<Add>(), {i1, i2});
+  g.set_output(sum);
+  Tensor x = Tensor::of2d({{1, 1}});
+  ForwardCtx ctx{};
+  (void)g.forward(std::vector<Tensor>{x}, ctx);
+  g.zero_grad();
+  Tensor grad_out = Tensor::full({1, 2}, 1.0f);
+  g.backward(grad_out);
+  // dL/d(dense out) = 2 (two identity consumers of the same tensor).
+  // dW[i][j] = x_i * 2 = 2.
+  const auto params = g.parameters();
+  ASSERT_FALSE(params.empty());
+  for (std::size_t i = 0; i < params[0]->size(); ++i) {
+    EXPECT_FLOAT_EQ(params[0]->grad[i], 2.0f);
+  }
+}
+
+TEST(Graph, DeadBranchesAreSkippedInBackward) {
+  Rng rng(6);
+  Graph g;
+  const std::size_t in = g.add_input("x", {2});
+  const std::size_t live = g.add(std::make_unique<Dense>(2, Act::kLinear, rng), {in});
+  const std::size_t dead = g.add(std::make_unique<Dense>(2, Act::kLinear, rng), {in});
+  g.set_output(live);
+  Tensor x = Tensor::of2d({{1, 2}});
+  ForwardCtx ctx{};
+  (void)g.forward(std::vector<Tensor>{x}, ctx);
+  g.zero_grad();
+  g.backward(Tensor::full({1, 2}, 1.0f));
+  const Layer& dead_layer = g.layer(dead);
+  for (const ParamPtr& p : dead_layer.parameters()) {
+    for (std::size_t i = 0; i < p->size(); ++i) EXPECT_FLOAT_EQ(p->grad[i], 0.0f);
+  }
+}
+
+TEST(Graph, SharedParametersCountedOnce) {
+  Rng rng(7);
+  Graph g;
+  const std::size_t a = g.add_input("a", {3});
+  const std::size_t b = g.add_input("b", {3});
+  auto donor = std::make_unique<Dense>(4, Act::kLinear, rng);
+  const Dense* donor_ptr = donor.get();
+  const std::size_t d1 = g.add(std::move(donor), {a});
+  const std::size_t d2 = g.add(clone_shared(*donor_ptr), {b});
+  const std::size_t cat = g.add(std::make_unique<Concat>(), {d1, d2});
+  g.set_output(cat);
+  Tensor xa({2, 3}), xb({2, 3});
+  ForwardCtx ctx{};
+  (void)g.forward(std::vector<Tensor>{xa, xb}, ctx);
+  // 3*4 weights + 4 biases, shared across both branches => counted once.
+  EXPECT_EQ(g.param_count(), 3u * 4u + 4u);
+}
+
+TEST(Graph, SummaryMentionsEveryNode) {
+  Rng rng(8);
+  Graph g;
+  const std::size_t in = g.add_input("x", {2});
+  (void)g.add(std::make_unique<Dense>(3, Act::kRelu, rng), {in});
+  const std::string s = g.summary();
+  EXPECT_NE(s.find("input 'x'"), std::string::npos);
+  EXPECT_NE(s.find("dense(3, relu)"), std::string::npos);
+  EXPECT_NE(s.find("[output]"), std::string::npos);
+}
+
+TEST(Graph, SetOutputValidatesId) {
+  Graph g;
+  (void)g.add_input("x", {1});
+  EXPECT_THROW(g.set_output(99), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ncnas::nn

@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "ncnas/nas/parameter_server.hpp"
+
+namespace ncnas::nas {
+namespace {
+
+TEST(ParameterServer, AsyncAppliesImmediately) {
+  ParameterServer ps({1.0f, 2.0f}, ParameterServer::Mode::kAsync, 3);
+  const std::vector<float> delta{0.5f, -1.0f};
+  EXPECT_TRUE(ps.submit(0, delta));
+  EXPECT_FLOAT_EQ(ps.params()[0], 1.5f);
+  EXPECT_FLOAT_EQ(ps.params()[1], 1.0f);
+  EXPECT_EQ(ps.updates_applied(), 1u);
+}
+
+TEST(ParameterServer, SyncWaitsForAllAgents) {
+  ParameterServer ps({0.0f}, ParameterServer::Mode::kSync, 3);
+  EXPECT_FALSE(ps.submit(0, std::vector<float>{3.0f}));
+  EXPECT_FALSE(ps.submit(1, std::vector<float>{6.0f}));
+  EXPECT_FLOAT_EQ(ps.params()[0], 0.0f);  // nothing applied yet
+  EXPECT_TRUE(ps.submit(2, std::vector<float>{0.0f}));
+  EXPECT_FLOAT_EQ(ps.params()[0], 3.0f);  // mean of {3, 6, 0}
+  EXPECT_EQ(ps.updates_applied(), 1u);
+}
+
+TEST(ParameterServer, SyncBarrierResetsBetweenRounds) {
+  ParameterServer ps({0.0f}, ParameterServer::Mode::kSync, 2);
+  EXPECT_FALSE(ps.submit(0, std::vector<float>{2.0f}));
+  EXPECT_TRUE(ps.submit(1, std::vector<float>{4.0f}));
+  EXPECT_FLOAT_EQ(ps.params()[0], 3.0f);
+  // Next round works the same way.
+  EXPECT_FALSE(ps.submit(1, std::vector<float>{1.0f}));
+  EXPECT_TRUE(ps.submit(0, std::vector<float>{1.0f}));
+  EXPECT_FLOAT_EQ(ps.params()[0], 4.0f);
+}
+
+TEST(ParameterServer, SyncDoubleSubmitRejected) {
+  ParameterServer ps({0.0f}, ParameterServer::Mode::kSync, 2);
+  EXPECT_FALSE(ps.submit(0, std::vector<float>{1.0f}));
+  EXPECT_THROW((void)ps.submit(0, std::vector<float>{1.0f}), std::logic_error);
+}
+
+TEST(ParameterServer, AsyncWindowAveragesRecentDeltas) {
+  ParameterServer ps({0.0f}, ParameterServer::Mode::kAsync, 2, /*async_window=*/2);
+  (void)ps.submit(0, std::vector<float>{4.0f});  // window {4}: apply 4
+  EXPECT_FLOAT_EQ(ps.params()[0], 4.0f);
+  (void)ps.submit(1, std::vector<float>{0.0f});  // window {4, 0}: apply 2
+  EXPECT_FLOAT_EQ(ps.params()[0], 6.0f);
+}
+
+TEST(ParameterServer, ValidatesInput) {
+  EXPECT_THROW(ParameterServer({}, ParameterServer::Mode::kAsync, 2), std::invalid_argument);
+  EXPECT_THROW(ParameterServer({1.0f}, ParameterServer::Mode::kAsync, 0),
+               std::invalid_argument);
+  ParameterServer ps({1.0f, 2.0f}, ParameterServer::Mode::kAsync, 2);
+  EXPECT_THROW((void)ps.submit(5, std::vector<float>{1.0f, 1.0f}), std::invalid_argument);
+  EXPECT_THROW((void)ps.submit(0, std::vector<float>{1.0f}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ncnas::nas

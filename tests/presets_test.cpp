@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "ncnas/exec/presets.hpp"
+
+namespace ncnas::exec {
+namespace {
+
+TEST(Presets, ComboDefaultsMatchPaperKnobs) {
+  const FidelityConfig fid = default_fidelity("combo");
+  EXPECT_DOUBLE_EQ(fid.subset_fraction, 0.10);  // paper: 10 % of Combo data
+  const CostModel cost = default_cost("combo");
+  EXPECT_DOUBLE_EQ(cost.timeout_seconds, 600.0);  // paper: 10-minute timeout
+}
+
+TEST(Presets, SpaceAwareVariantsDiffer) {
+  // The large Combo space gets a gentler learning rate and a cheaper
+  // per-megaunit constant (its median architecture is ~4x larger).
+  EXPECT_LT(default_fidelity_for_space("combo-large").learning_rate,
+            default_fidelity_for_space("combo-small").learning_rate);
+  EXPECT_LT(default_cost_for_space("combo-large").seconds_per_megaunit,
+            default_cost_for_space("combo-small").seconds_per_megaunit);
+  EXPECT_DOUBLE_EQ(default_cost_for_space("nt3-small").seconds_per_megaunit,
+                   default_cost("nt3").seconds_per_megaunit);
+}
+
+TEST(Presets, UnoAndNt3UseFullTrainingData) {
+  EXPECT_DOUBLE_EQ(default_fidelity("uno").subset_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(default_fidelity("nt3").subset_fraction, 1.0);
+}
+
+TEST(Presets, SubsetOverrideForFidelitySweeps) {
+  const FidelityConfig fid = default_fidelity("combo", 0.4);
+  EXPECT_DOUBLE_EQ(fid.subset_fraction, 0.4);
+}
+
+TEST(Presets, UnknownDatasetRejected) {
+  EXPECT_THROW((void)default_fidelity("bogus"), std::invalid_argument);
+  EXPECT_THROW((void)default_cost("bogus"), std::invalid_argument);
+}
+
+TEST(Presets, Fig11TimeoutCrossover) {
+  // The calibration property behind Fig. 11 (run on combo-large): a
+  // median-size large-space architecture (~132k params on 2048 rows) fits
+  // the 600 s timeout at 10-30 % of the training data and exceeds it at 40 %.
+  const CostModel cost = default_cost_for_space("combo-large");
+  const FidelityConfig fid = default_fidelity_for_space("combo-large");
+  const std::size_t params = 132000;
+  const auto dur = [&](double frac) {
+    return cost.duration(params, static_cast<std::size_t>(2048 * frac), fid.epochs,
+                         "median-arch");
+  };
+  EXPECT_FALSE(cost.times_out(dur(0.10)));
+  EXPECT_FALSE(cost.times_out(dur(0.20)));
+  EXPECT_FALSE(cost.times_out(dur(0.30)));
+  EXPECT_TRUE(cost.times_out(dur(0.40)));
+}
+
+}  // namespace
+}  // namespace ncnas::exec

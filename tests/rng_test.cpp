@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ncnas/tensor/rng.hpp"
+
+namespace ncnas::tensor {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double mn = 1.0, mx = 0.0, mean = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double u = rng.uniform();
+    mn = std::min(mn, u);
+    mx = std::max(mx, u);
+    mean += u;
+  }
+  mean /= kN;
+  EXPECT_GE(mn, 0.0);
+  EXPECT_LT(mx, 1.0);
+  EXPECT_NEAR(mean, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversAllValuesUnbiased) {
+  Rng rng(11);
+  std::vector<int> counts(7, 0);
+  constexpr int kN = 70000;
+  for (int i = 0; i < kN; ++i) ++counts[rng.uniform_int(7)];
+  for (int c : counts) EXPECT_NEAR(c, kN / 7, kN / 70);  // within 10 %
+}
+
+TEST(Rng, UniformIntRejectsZero) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.uniform_int(0), std::invalid_argument);
+}
+
+TEST(Rng, NormalMomentsRoughlyStandard) {
+  Rng rng(13);
+  double mean = 0.0, m2 = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    const double z = rng.normal();
+    mean += z;
+    m2 += z * z;
+  }
+  mean /= kN;
+  m2 /= kN;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(m2, 1.0, 0.05);
+}
+
+TEST(Rng, NormalWithMeanAndStd) {
+  Rng rng(17);
+  double mean = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) mean += rng.normal(10.0, 0.5);
+  EXPECT_NEAR(mean / kN, 10.0, 0.05);
+}
+
+TEST(Rng, CategoricalFollowsDistribution) {
+  Rng rng(19);
+  const std::vector<double> probs{0.1, 0.6, 0.3};
+  std::vector<int> counts(3, 0);
+  constexpr int kN = 30000;
+  for (int i = 0; i < kN; ++i) ++counts[rng.categorical(probs)];
+  EXPECT_NEAR(counts[0], 0.1 * kN, 0.02 * kN);
+  EXPECT_NEAR(counts[1], 0.6 * kN, 0.02 * kN);
+  EXPECT_NEAR(counts[2], 0.3 * kN, 0.02 * kN);
+}
+
+TEST(Rng, CategoricalRejectsEmpty) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.categorical({}), std::invalid_argument);
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndDeterministic) {
+  const Rng base(42);
+  Rng a = base.split(0);
+  Rng b = base.split(1);
+  Rng a2 = base.split(0);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+  Rng a3 = base.split(0);
+  EXPECT_EQ(a2.next_u64(), a3.next_u64());
+}
+
+TEST(Rng, ReseedResetsSequence) {
+  Rng rng(5);
+  const std::uint64_t first = rng.next_u64();
+  rng.reseed(5);
+  EXPECT_EQ(rng.next_u64(), first);
+}
+
+}  // namespace
+}  // namespace ncnas::tensor

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ncnas/space/spaces.hpp"
+
+namespace ncnas::space {
+namespace {
+
+TEST(MlpNode, ThirteenOptionsAsInPaper) {
+  const auto opts = mlp_node_options();
+  EXPECT_EQ(opts.size(), 13u);
+  EXPECT_TRUE(std::holds_alternative<IdentityOp>(opts[0]));
+  // 3 widths x 3 activations = 9 dense options + 3 dropouts + identity.
+  std::size_t dense = 0, dropout = 0;
+  for (const Op& op : opts) {
+    dense += std::holds_alternative<DenseOp>(op);
+    dropout += std::holds_alternative<DropoutOp>(op);
+  }
+  EXPECT_EQ(dense, 9u);
+  EXPECT_EQ(dropout, 3u);
+}
+
+TEST(ComboSmall, SizeMatchesPaperExactly) {
+  const SearchSpace s = combo_small_space();
+  // Paper: |S| = 2.0968e14 = 13^12 * 9.
+  EXPECT_EQ(s.num_decisions(), 13u);
+  const double expected = std::pow(13.0, 12.0) * 9.0;
+  EXPECT_NEAR(s.size() / expected, 1.0, 1e-9);
+  EXPECT_NEAR(s.size(), 2.0968e14, 0.001e14);
+}
+
+TEST(UnoSmall, SizeMatchesPaperExactly) {
+  const SearchSpace s = uno_small_space();
+  // Paper: |S| = 2.3298e13 = 13^12 (dose block is constant).
+  EXPECT_EQ(s.num_decisions(), 12u);
+  EXPECT_NEAR(s.size(), 2.3298e13, 0.001e13);
+}
+
+TEST(Nt3Small, SizeMatchesPaperExactly) {
+  const SearchSpace s = nt3_small_space();
+  // Paper: |S| = 6.3504e8 = (5*4*5)^2 * (9*4*7)^2.
+  EXPECT_EQ(s.num_decisions(), 12u);
+  EXPECT_NEAR(s.size(), 6.3504e8, 1.0);
+}
+
+TEST(ComboLarge, StructureAndScale) {
+  const SearchSpace s = combo_large_space();
+  // 8 replicated middle cells: 6 + 8*3 + 3 = 33 MLP decisions + 8 connects.
+  EXPECT_EQ(s.num_decisions(), 41u);
+  // The paper quotes ~2.987e44; our derivable construction lands within ~2
+  // orders of magnitude (documented in EXPERIMENTS.md).
+  EXPECT_GT(s.log10_size(), 42.0);
+  EXPECT_LT(s.log10_size(), 48.0);
+  // Connect menus grow cell by cell: 9, 10, ..., 16.
+  std::vector<std::size_t> connect_arities;
+  for (const DecisionPoint& d : s.decisions()) {
+    if (d.name == "connect") connect_arities.push_back(d.arity);
+  }
+  ASSERT_EQ(connect_arities.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(connect_arities[i], 9u + i);
+}
+
+TEST(UnoLarge, StructureAndScale) {
+  const SearchSpace s = uno_large_space();
+  // 9 MLP decisions in C0 + 8 cells x (1 MLP + 1 connect).
+  EXPECT_EQ(s.num_decisions(), 25u);
+  EXPECT_GT(s.log10_size(), 27.0);
+  EXPECT_LT(s.log10_size(), 32.0);
+  // Connect arity of cell i: 1 null + 15 input combos + i cell outputs +
+  // (i-1) N0 refs.
+  std::vector<std::size_t> connect_arities;
+  for (const DecisionPoint& d : s.decisions()) {
+    if (d.name == "connect") connect_arities.push_back(d.arity);
+  }
+  ASSERT_EQ(connect_arities.size(), 8u);
+  for (std::size_t i = 1; i <= 8; ++i) EXPECT_EQ(connect_arities[i - 1], 15u + 2u * i);
+}
+
+TEST(SearchSpace, AritiesMatchDecisions) {
+  const SearchSpace s = nt3_small_space();
+  const auto arities = s.arities();
+  ASSERT_EQ(arities.size(), s.num_decisions());
+  // NT3 pattern: (conv 5, act 4, pool 5) x2 then (dense 9, act 4, drop 7) x2.
+  const std::vector<std::size_t> expected{5, 4, 5, 5, 4, 5, 9, 4, 7, 9, 4, 7};
+  EXPECT_EQ(arities, expected);
+  EXPECT_EQ(s.max_arity(), 9u);
+}
+
+TEST(SearchSpace, RandomArchitecturesAreValid) {
+  const SearchSpace s = combo_small_space();
+  tensor::Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const ArchEncoding arch = s.random_arch(rng);
+    EXPECT_TRUE(s.is_valid(arch));
+    EXPECT_NO_THROW(s.require_valid(arch));
+  }
+}
+
+TEST(SearchSpace, InvalidEncodingsRejected) {
+  const SearchSpace s = uno_small_space();
+  ArchEncoding too_short(s.num_decisions() - 1, 0);
+  EXPECT_FALSE(s.is_valid(too_short));
+  EXPECT_THROW(s.require_valid(too_short), std::invalid_argument);
+  ArchEncoding oob(s.num_decisions(), 0);
+  oob[0] = 13;  // arity is 13, valid range [0, 12]
+  EXPECT_FALSE(s.is_valid(oob));
+  EXPECT_THROW(s.require_valid(oob), std::invalid_argument);
+}
+
+TEST(SearchSpace, DescribeNamesEveryDecision) {
+  const SearchSpace s = nt3_small_space();
+  const ArchEncoding arch(s.num_decisions(), 0);
+  const std::string desc = s.describe(arch);
+  EXPECT_NE(desc.find("C0/B0/N0"), std::string::npos);
+  EXPECT_NE(desc.find("Identity"), std::string::npos);
+}
+
+TEST(SearchSpace, ChosenOpReflectsEncoding) {
+  const SearchSpace s = combo_small_space();
+  ArchEncoding arch(s.num_decisions(), 0);
+  arch[0] = 1;  // Dense(16, relu) per the menu order
+  const Op& op = s.chosen_op(arch, 0);
+  ASSERT_TRUE(std::holds_alternative<DenseOp>(op));
+  EXPECT_EQ(std::get<DenseOp>(op).units, 16u);
+}
+
+TEST(SearchSpace, ValidationCatchesBadStructures) {
+  // Mirror pointing forward.
+  Structure bad;
+  bad.name = "bad";
+  bad.input_names = {"x"};
+  Cell c{"C0", {}};
+  Block b{"b", SkipRef::to_input(0), {}};
+  b.nodes.emplace_back(MirrorNode{"m", 0, 0, 1});  // mirrors a later node
+  b.nodes.emplace_back(VariableNode{"v", {IdentityOp{}}});
+  c.blocks.push_back(std::move(b));
+  bad.cells.push_back(std::move(c));
+  EXPECT_THROW(SearchSpace{bad}, std::invalid_argument);
+
+  // Variable node with no options.
+  Structure empty_opts;
+  empty_opts.name = "bad2";
+  empty_opts.input_names = {"x"};
+  Cell c2{"C0", {}};
+  Block b2{"b", SkipRef::to_input(0), {}};
+  b2.nodes.emplace_back(VariableNode{"v", {}});
+  c2.blocks.push_back(std::move(b2));
+  empty_opts.cells.push_back(std::move(c2));
+  EXPECT_THROW(SearchSpace{empty_opts}, std::invalid_argument);
+
+  // Connect ref pointing at a non-earlier cell.
+  Structure bad_ref;
+  bad_ref.name = "bad3";
+  bad_ref.input_names = {"x"};
+  Cell c3{"C0", {}};
+  Block b3{"b", SkipRef::to_input(0), {}};
+  b3.nodes.emplace_back(VariableNode{"v", {ConnectOp{{SkipRef::to_cell(0)}, "self"}}});
+  c3.blocks.push_back(std::move(b3));
+  bad_ref.cells.push_back(std::move(c3));
+  EXPECT_THROW(SearchSpace{bad_ref}, std::invalid_argument);
+}
+
+TEST(SpaceRegistry, AllNamesResolve) {
+  for (const std::string& name : space_names()) {
+    EXPECT_EQ(space_by_name(name).name(), name);
+  }
+  EXPECT_THROW((void)space_by_name("nope"), std::invalid_argument);
+}
+
+TEST(ArchKey, DistinctArchsDistinctKeys) {
+  EXPECT_EQ(arch_key({1, 2, 3}), "1,2,3,");
+  EXPECT_NE(arch_key({1, 2, 3}), arch_key({1, 2, 4}));
+  EXPECT_NE(arch_key({1, 23}), arch_key({12, 3}));
+}
+
+TEST(OpName, Rendering) {
+  EXPECT_EQ(op_name(IdentityOp{}), "Identity");
+  EXPECT_EQ(op_name(DenseOp{48, nn::Act::kTanh}), "Dense(48, tanh)");
+  EXPECT_EQ(op_name(Conv1DOp{8, 5}), "Conv1D(k=5, f=8)");
+  EXPECT_EQ(op_name(ConnectOp{{}, ""}), "Connect(null)");
+  EXPECT_EQ(op_name(ConnectOp{{SkipRef::to_input(1)}, ""}), "Connect(in1)");
+  EXPECT_EQ(op_name(AddOp{{SkipRef::to_node(1, 0, 2)}}), "Add(C1/B0/N2)");
+}
+
+}  // namespace
+}  // namespace ncnas::space

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_fidelity_posttrain.dir/bench_fig12_fidelity_posttrain.cpp.o"
+  "CMakeFiles/bench_fig12_fidelity_posttrain.dir/bench_fig12_fidelity_posttrain.cpp.o.d"
+  "bench_fig12_fidelity_posttrain"
+  "bench_fig12_fidelity_posttrain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_fidelity_posttrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_randomness.dir/bench_fig13_randomness.cpp.o"
+  "CMakeFiles/bench_fig13_randomness.dir/bench_fig13_randomness.cpp.o.d"
+  "bench_fig13_randomness"
+  "bench_fig13_randomness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_randomness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_space.dir/custom_space.cpp.o"
+  "CMakeFiles/custom_space.dir/custom_space.cpp.o.d"
+  "custom_space"
+  "custom_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drug_response_search.dir/drug_response_search.cpp.o"
+  "CMakeFiles/drug_response_search.dir/drug_response_search.cpp.o.d"
+  "drug_response_search"
+  "drug_response_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drug_response_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_model.dir/export_model.cpp.o"
+  "CMakeFiles/export_model.dir/export_model.cpp.o.d"
+  "export_model"
+  "export_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reward_landscape.dir/reward_landscape.cpp.o"
+  "CMakeFiles/reward_landscape.dir/reward_landscape.cpp.o.d"
+  "reward_landscape"
+  "reward_landscape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reward_landscape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

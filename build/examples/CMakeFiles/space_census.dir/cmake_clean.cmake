@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/space_census.dir/space_census.cpp.o"
+  "CMakeFiles/space_census.dir/space_census.cpp.o.d"
+  "space_census"
+  "space_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/space_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytics/arch_stats.cpp" "src/analytics/CMakeFiles/ncnas_analytics.dir/arch_stats.cpp.o" "gcc" "src/analytics/CMakeFiles/ncnas_analytics.dir/arch_stats.cpp.o.d"
+  "/root/repo/src/analytics/csv.cpp" "src/analytics/CMakeFiles/ncnas_analytics.dir/csv.cpp.o" "gcc" "src/analytics/CMakeFiles/ncnas_analytics.dir/csv.cpp.o.d"
+  "/root/repo/src/analytics/posttrain.cpp" "src/analytics/CMakeFiles/ncnas_analytics.dir/posttrain.cpp.o" "gcc" "src/analytics/CMakeFiles/ncnas_analytics.dir/posttrain.cpp.o.d"
+  "/root/repo/src/analytics/report.cpp" "src/analytics/CMakeFiles/ncnas_analytics.dir/report.cpp.o" "gcc" "src/analytics/CMakeFiles/ncnas_analytics.dir/report.cpp.o.d"
+  "/root/repo/src/analytics/series.cpp" "src/analytics/CMakeFiles/ncnas_analytics.dir/series.cpp.o" "gcc" "src/analytics/CMakeFiles/ncnas_analytics.dir/series.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nas/CMakeFiles/ncnas_nas.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/ncnas_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/ncnas_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/space/CMakeFiles/ncnas_space.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ncnas_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ncnas_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ncnas_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

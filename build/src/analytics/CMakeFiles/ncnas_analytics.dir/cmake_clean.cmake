@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncnas_analytics.dir/arch_stats.cpp.o"
+  "CMakeFiles/ncnas_analytics.dir/arch_stats.cpp.o.d"
+  "CMakeFiles/ncnas_analytics.dir/csv.cpp.o"
+  "CMakeFiles/ncnas_analytics.dir/csv.cpp.o.d"
+  "CMakeFiles/ncnas_analytics.dir/posttrain.cpp.o"
+  "CMakeFiles/ncnas_analytics.dir/posttrain.cpp.o.d"
+  "CMakeFiles/ncnas_analytics.dir/report.cpp.o"
+  "CMakeFiles/ncnas_analytics.dir/report.cpp.o.d"
+  "CMakeFiles/ncnas_analytics.dir/series.cpp.o"
+  "CMakeFiles/ncnas_analytics.dir/series.cpp.o.d"
+  "libncnas_analytics.a"
+  "libncnas_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncnas_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/baselines.cpp" "src/data/CMakeFiles/ncnas_data.dir/baselines.cpp.o" "gcc" "src/data/CMakeFiles/ncnas_data.dir/baselines.cpp.o.d"
+  "/root/repo/src/data/combo.cpp" "src/data/CMakeFiles/ncnas_data.dir/combo.cpp.o" "gcc" "src/data/CMakeFiles/ncnas_data.dir/combo.cpp.o.d"
+  "/root/repo/src/data/nt3.cpp" "src/data/CMakeFiles/ncnas_data.dir/nt3.cpp.o" "gcc" "src/data/CMakeFiles/ncnas_data.dir/nt3.cpp.o.d"
+  "/root/repo/src/data/synth.cpp" "src/data/CMakeFiles/ncnas_data.dir/synth.cpp.o" "gcc" "src/data/CMakeFiles/ncnas_data.dir/synth.cpp.o.d"
+  "/root/repo/src/data/uno.cpp" "src/data/CMakeFiles/ncnas_data.dir/uno.cpp.o" "gcc" "src/data/CMakeFiles/ncnas_data.dir/uno.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/ncnas_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ncnas_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

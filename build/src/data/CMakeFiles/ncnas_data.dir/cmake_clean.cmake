@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncnas_data.dir/baselines.cpp.o"
+  "CMakeFiles/ncnas_data.dir/baselines.cpp.o.d"
+  "CMakeFiles/ncnas_data.dir/combo.cpp.o"
+  "CMakeFiles/ncnas_data.dir/combo.cpp.o.d"
+  "CMakeFiles/ncnas_data.dir/nt3.cpp.o"
+  "CMakeFiles/ncnas_data.dir/nt3.cpp.o.d"
+  "CMakeFiles/ncnas_data.dir/synth.cpp.o"
+  "CMakeFiles/ncnas_data.dir/synth.cpp.o.d"
+  "CMakeFiles/ncnas_data.dir/uno.cpp.o"
+  "CMakeFiles/ncnas_data.dir/uno.cpp.o.d"
+  "libncnas_data.a"
+  "libncnas_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncnas_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

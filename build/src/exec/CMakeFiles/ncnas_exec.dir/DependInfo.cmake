@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/cost_model.cpp" "src/exec/CMakeFiles/ncnas_exec.dir/cost_model.cpp.o" "gcc" "src/exec/CMakeFiles/ncnas_exec.dir/cost_model.cpp.o.d"
+  "/root/repo/src/exec/evaluator.cpp" "src/exec/CMakeFiles/ncnas_exec.dir/evaluator.cpp.o" "gcc" "src/exec/CMakeFiles/ncnas_exec.dir/evaluator.cpp.o.d"
+  "/root/repo/src/exec/presets.cpp" "src/exec/CMakeFiles/ncnas_exec.dir/presets.cpp.o" "gcc" "src/exec/CMakeFiles/ncnas_exec.dir/presets.cpp.o.d"
+  "/root/repo/src/exec/utilization.cpp" "src/exec/CMakeFiles/ncnas_exec.dir/utilization.cpp.o" "gcc" "src/exec/CMakeFiles/ncnas_exec.dir/utilization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/space/CMakeFiles/ncnas_space.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ncnas_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ncnas_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ncnas_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncnas_exec.dir/cost_model.cpp.o"
+  "CMakeFiles/ncnas_exec.dir/cost_model.cpp.o.d"
+  "CMakeFiles/ncnas_exec.dir/evaluator.cpp.o"
+  "CMakeFiles/ncnas_exec.dir/evaluator.cpp.o.d"
+  "CMakeFiles/ncnas_exec.dir/presets.cpp.o"
+  "CMakeFiles/ncnas_exec.dir/presets.cpp.o.d"
+  "CMakeFiles/ncnas_exec.dir/utilization.cpp.o"
+  "CMakeFiles/ncnas_exec.dir/utilization.cpp.o.d"
+  "libncnas_exec.a"
+  "libncnas_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncnas_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nas/driver.cpp" "src/nas/CMakeFiles/ncnas_nas.dir/driver.cpp.o" "gcc" "src/nas/CMakeFiles/ncnas_nas.dir/driver.cpp.o.d"
+  "/root/repo/src/nas/parameter_server.cpp" "src/nas/CMakeFiles/ncnas_nas.dir/parameter_server.cpp.o" "gcc" "src/nas/CMakeFiles/ncnas_nas.dir/parameter_server.cpp.o.d"
+  "/root/repo/src/nas/result_io.cpp" "src/nas/CMakeFiles/ncnas_nas.dir/result_io.cpp.o" "gcc" "src/nas/CMakeFiles/ncnas_nas.dir/result_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rl/CMakeFiles/ncnas_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/ncnas_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/space/CMakeFiles/ncnas_space.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ncnas_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ncnas_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ncnas_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

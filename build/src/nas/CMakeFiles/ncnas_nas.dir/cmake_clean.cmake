@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncnas_nas.dir/driver.cpp.o"
+  "CMakeFiles/ncnas_nas.dir/driver.cpp.o.d"
+  "CMakeFiles/ncnas_nas.dir/parameter_server.cpp.o"
+  "CMakeFiles/ncnas_nas.dir/parameter_server.cpp.o.d"
+  "CMakeFiles/ncnas_nas.dir/result_io.cpp.o"
+  "CMakeFiles/ncnas_nas.dir/result_io.cpp.o.d"
+  "libncnas_nas.a"
+  "libncnas_nas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncnas_nas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

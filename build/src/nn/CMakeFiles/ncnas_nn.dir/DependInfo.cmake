@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/graph.cpp" "src/nn/CMakeFiles/ncnas_nn.dir/graph.cpp.o" "gcc" "src/nn/CMakeFiles/ncnas_nn.dir/graph.cpp.o.d"
+  "/root/repo/src/nn/init.cpp" "src/nn/CMakeFiles/ncnas_nn.dir/init.cpp.o" "gcc" "src/nn/CMakeFiles/ncnas_nn.dir/init.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "src/nn/CMakeFiles/ncnas_nn.dir/layers.cpp.o" "gcc" "src/nn/CMakeFiles/ncnas_nn.dir/layers.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/ncnas_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/ncnas_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/lstm.cpp" "src/nn/CMakeFiles/ncnas_nn.dir/lstm.cpp.o" "gcc" "src/nn/CMakeFiles/ncnas_nn.dir/lstm.cpp.o.d"
+  "/root/repo/src/nn/metrics.cpp" "src/nn/CMakeFiles/ncnas_nn.dir/metrics.cpp.o" "gcc" "src/nn/CMakeFiles/ncnas_nn.dir/metrics.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/ncnas_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/ncnas_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/parameter.cpp" "src/nn/CMakeFiles/ncnas_nn.dir/parameter.cpp.o" "gcc" "src/nn/CMakeFiles/ncnas_nn.dir/parameter.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/ncnas_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/ncnas_nn.dir/serialize.cpp.o.d"
+  "/root/repo/src/nn/trainer.cpp" "src/nn/CMakeFiles/ncnas_nn.dir/trainer.cpp.o" "gcc" "src/nn/CMakeFiles/ncnas_nn.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/ncnas_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncnas_nn.dir/graph.cpp.o"
+  "CMakeFiles/ncnas_nn.dir/graph.cpp.o.d"
+  "CMakeFiles/ncnas_nn.dir/init.cpp.o"
+  "CMakeFiles/ncnas_nn.dir/init.cpp.o.d"
+  "CMakeFiles/ncnas_nn.dir/layers.cpp.o"
+  "CMakeFiles/ncnas_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/ncnas_nn.dir/loss.cpp.o"
+  "CMakeFiles/ncnas_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/ncnas_nn.dir/lstm.cpp.o"
+  "CMakeFiles/ncnas_nn.dir/lstm.cpp.o.d"
+  "CMakeFiles/ncnas_nn.dir/metrics.cpp.o"
+  "CMakeFiles/ncnas_nn.dir/metrics.cpp.o.d"
+  "CMakeFiles/ncnas_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/ncnas_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/ncnas_nn.dir/parameter.cpp.o"
+  "CMakeFiles/ncnas_nn.dir/parameter.cpp.o.d"
+  "CMakeFiles/ncnas_nn.dir/serialize.cpp.o"
+  "CMakeFiles/ncnas_nn.dir/serialize.cpp.o.d"
+  "CMakeFiles/ncnas_nn.dir/trainer.cpp.o"
+  "CMakeFiles/ncnas_nn.dir/trainer.cpp.o.d"
+  "libncnas_nn.a"
+  "libncnas_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncnas_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

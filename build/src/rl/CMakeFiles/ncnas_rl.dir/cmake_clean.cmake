@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncnas_rl.dir/controller.cpp.o"
+  "CMakeFiles/ncnas_rl.dir/controller.cpp.o.d"
+  "libncnas_rl.a"
+  "libncnas_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncnas_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

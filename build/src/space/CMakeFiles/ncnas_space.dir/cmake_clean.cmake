@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncnas_space.dir/builder.cpp.o"
+  "CMakeFiles/ncnas_space.dir/builder.cpp.o.d"
+  "CMakeFiles/ncnas_space.dir/op.cpp.o"
+  "CMakeFiles/ncnas_space.dir/op.cpp.o.d"
+  "CMakeFiles/ncnas_space.dir/search_space.cpp.o"
+  "CMakeFiles/ncnas_space.dir/search_space.cpp.o.d"
+  "CMakeFiles/ncnas_space.dir/spaces.cpp.o"
+  "CMakeFiles/ncnas_space.dir/spaces.cpp.o.d"
+  "libncnas_space.a"
+  "libncnas_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncnas_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncnas_tensor.dir/ops.cpp.o"
+  "CMakeFiles/ncnas_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/ncnas_tensor.dir/rng.cpp.o"
+  "CMakeFiles/ncnas_tensor.dir/rng.cpp.o.d"
+  "CMakeFiles/ncnas_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/ncnas_tensor.dir/tensor.cpp.o.d"
+  "CMakeFiles/ncnas_tensor.dir/thread_pool.cpp.o"
+  "CMakeFiles/ncnas_tensor.dir/thread_pool.cpp.o.d"
+  "libncnas_tensor.a"
+  "libncnas_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncnas_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

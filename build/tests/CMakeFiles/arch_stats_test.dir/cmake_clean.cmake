@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arch_stats_test.dir/arch_stats_test.cpp.o"
+  "CMakeFiles/arch_stats_test.dir/arch_stats_test.cpp.o.d"
+  "arch_stats_test"
+  "arch_stats_test.pdb"
+  "arch_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arch_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parameter_server_test.dir/parameter_server_test.cpp.o"
+  "CMakeFiles/parameter_server_test.dir/parameter_server_test.cpp.o.d"
+  "parameter_server_test"
+  "parameter_server_test.pdb"
+  "parameter_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parameter_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

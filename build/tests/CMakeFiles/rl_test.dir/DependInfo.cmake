@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rl_test.cpp" "tests/CMakeFiles/rl_test.dir/rl_test.cpp.o" "gcc" "tests/CMakeFiles/rl_test.dir/rl_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analytics/CMakeFiles/ncnas_analytics.dir/DependInfo.cmake"
+  "/root/repo/build/src/nas/CMakeFiles/ncnas_nas.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/ncnas_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/ncnas_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/space/CMakeFiles/ncnas_space.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ncnas_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ncnas_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ncnas_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/space_property_test.dir/space_property_test.cpp.o"
+  "CMakeFiles/space_property_test.dir/space_property_test.cpp.o.d"
+  "space_property_test"
+  "space_property_test.pdb"
+  "space_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/space_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/utilization_shape_test.dir/utilization_shape_test.cpp.o"
+  "CMakeFiles/utilization_shape_test.dir/utilization_shape_test.cpp.o.d"
+  "utilization_shape_test"
+  "utilization_shape_test.pdb"
+  "utilization_shape_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/utilization_shape_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/tensor_test[1]_include.cmake")
+include("/root/repo/build/tests/rng_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_layers_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_gradcheck_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_graph_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_train_test[1]_include.cmake")
+include("/root/repo/build/tests/lstm_test[1]_include.cmake")
+include("/root/repo/build/tests/data_test[1]_include.cmake")
+include("/root/repo/build/tests/space_test[1]_include.cmake")
+include("/root/repo/build/tests/builder_test[1]_include.cmake")
+include("/root/repo/build/tests/rl_test[1]_include.cmake")
+include("/root/repo/build/tests/exec_test[1]_include.cmake")
+include("/root/repo/build/tests/presets_test[1]_include.cmake")
+include("/root/repo/build/tests/result_io_test[1]_include.cmake")
+include("/root/repo/build/tests/parameter_server_test[1]_include.cmake")
+include("/root/repo/build/tests/driver_test[1]_include.cmake")
+include("/root/repo/build/tests/analytics_test[1]_include.cmake")
+include("/root/repo/build/tests/space_property_test[1]_include.cmake")
+include("/root/repo/build/tests/activation_property_test[1]_include.cmake")
+include("/root/repo/build/tests/serialize_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/arch_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/csv_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_gradcheck_test[1]_include.cmake")
+include("/root/repo/build/tests/utilization_shape_test[1]_include.cmake")

@@ -1,0 +1,106 @@
+// Telemetry overhead proof: the same small search scenario bench_micro uses,
+// run (a) with SearchConfig::telemetry null — which must cost nothing beyond
+// the seed driver — and (b) with a live Telemetry sink, which must stay
+// within a few percent. Compare the two BM_SearchRun counters directly:
+//
+//   ./build/bench/bench_telemetry_overhead --benchmark_repetitions=3
+#include <benchmark/benchmark.h>
+
+#include "ncnas/nas/driver.hpp"
+#include "ncnas/obs/telemetry.hpp"
+#include "ncnas/space/spaces.hpp"
+
+namespace {
+
+using namespace ncnas;
+
+const data::Dataset& small_dataset() {
+  static const data::Dataset ds = [] {
+    data::Nt3Dims dims;
+    dims.train = 64;
+    dims.valid = 32;
+    dims.length = 64;
+    dims.motif = 6;
+    return data::make_nt3(5, dims);
+  }();
+  return ds;
+}
+
+nas::SearchConfig small_search_config() {
+  nas::SearchConfig cfg;
+  cfg.strategy = nas::SearchStrategy::kA3C;
+  cfg.cluster = {.num_agents = 3, .workers_per_agent = 4};
+  cfg.wall_time_seconds = 900.0;
+  cfg.fidelity = {.epochs = 1, .subset_fraction = 1.0};
+  cfg.cost = {.startup_seconds = 20.0, .seconds_per_megaunit = 1.0, .timeout_seconds = 600.0};
+  cfg.seed = 11;
+  return cfg;
+}
+
+void BM_SearchRun_NullTelemetry(benchmark::State& state) {
+  const space::SearchSpace sp = space::nt3_small_space();
+  const data::Dataset& ds = small_dataset();
+  const nas::SearchConfig cfg = small_search_config();
+  std::size_t evals = 0;
+  for (auto _ : state) {
+    nas::SearchResult res = nas::SearchDriver(sp, ds, cfg).run();
+    evals += res.evals.size();
+    benchmark::DoNotOptimize(res.end_time);
+  }
+  state.counters["evals"] =
+      benchmark::Counter(static_cast<double>(evals), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_SearchRun_NullTelemetry)->Unit(benchmark::kMillisecond);
+
+void BM_SearchRun_WithTelemetry(benchmark::State& state) {
+  const space::SearchSpace sp = space::nt3_small_space();
+  const data::Dataset& ds = small_dataset();
+  std::size_t evals = 0;
+  for (auto _ : state) {
+    obs::Telemetry telemetry;  // fresh sink per run, like a real deployment
+    nas::SearchConfig cfg = small_search_config();
+    cfg.telemetry = &telemetry;
+    nas::SearchResult res = nas::SearchDriver(sp, ds, cfg).run();
+    evals += res.evals.size();
+    benchmark::DoNotOptimize(res.end_time);
+    benchmark::DoNotOptimize(telemetry.trace().recorded());
+  }
+  state.counters["evals"] =
+      benchmark::Counter(static_cast<double>(evals), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_SearchRun_WithTelemetry)->Unit(benchmark::kMillisecond);
+
+// The instrument primitives themselves, for the per-event cost picture.
+void BM_CounterInc(benchmark::State& state) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("c");
+  for (auto _ : state) c.inc();
+  benchmark::DoNotOptimize(c.value());
+}
+BENCHMARK(BM_CounterInc);
+
+void BM_HistogramObserve(benchmark::State& state) {
+  obs::MetricsRegistry reg;
+  obs::Histogram& h = reg.histogram("h", obs::exp_buckets(0.001, 2.0, 20));
+  double v = 0.0;
+  for (auto _ : state) {
+    h.observe(v);
+    v += 0.37;
+    if (v > 1000.0) v = 0.0;
+  }
+  benchmark::DoNotOptimize(h.count());
+}
+BENCHMARK(BM_HistogramObserve);
+
+void BM_TraceSpanRecord(benchmark::State& state) {
+  obs::TraceRecorder rec(1 << 16);
+  double t = 0.0;
+  for (auto _ : state) {
+    rec.span("agent_cycle", "driver", t, 1.0, 0, {{"batch", 11.0}});
+    t += 1.0;
+  }
+  benchmark::DoNotOptimize(rec.recorded());
+}
+BENCHMARK(BM_TraceSpanRecord);
+
+}  // namespace

@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "ncnas/obs/metrics.hpp"
+
 namespace ncnas::analytics {
 
 /// "t(min), value" rows: one line per bucket, prefixed with `label`.
@@ -32,5 +34,9 @@ class Table {
 
 /// Formats a double with the given precision (benches share one style).
 [[nodiscard]] std::string fmt(double value, int precision = 3);
+
+/// Renders a telemetry metrics snapshot as report tables: one for counters
+/// and gauges, one summarizing each histogram (count/mean/p50/p90/max edge).
+void print_telemetry(std::ostream& os, const obs::MetricsSnapshot& snapshot);
 
 }  // namespace ncnas::analytics

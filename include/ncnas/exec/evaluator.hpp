@@ -20,6 +20,7 @@
 
 #include "ncnas/data/dataset.hpp"
 #include "ncnas/exec/cost_model.hpp"
+#include "ncnas/obs/telemetry.hpp"
 #include "ncnas/space/builder.hpp"
 #include "ncnas/space/search_space.hpp"
 
@@ -86,6 +87,11 @@ class TrainingEvaluator final : public Evaluator {
   /// Installs a custom reward; pass nullptr to restore the plain metric.
   void set_reward_fn(RewardFn fn) { reward_fn_ = std::move(fn); }
 
+  /// Attach a telemetry sink (null to detach). evaluate() then records real
+  /// training wall time and training/timeout counts; the registry is
+  /// thread-safe, so pool-parallel evaluations share one sink.
+  void set_telemetry(obs::Telemetry* telemetry);
+
   [[nodiscard]] EvalResult evaluate(const space::ArchEncoding& arch,
                                     std::uint64_t seed) const override;
 
@@ -106,6 +112,9 @@ class TrainingEvaluator final : public Evaluator {
   FidelityConfig fidelity_;
   CostModel cost_;
   RewardFn reward_fn_;
+  obs::Histogram* train_wall_ms_ = nullptr;
+  obs::Counter* trainings_ = nullptr;
+  obs::Counter* training_timeouts_ = nullptr;
 };
 
 /// Per-agent cache keyed by architecture encoding. NOT thread-safe by design:
@@ -115,6 +124,10 @@ class CachedEvaluator final : public Evaluator {
  public:
   /// `inner` must outlive the cache.
   explicit CachedEvaluator(const Evaluator& inner) : inner_(&inner) {}
+
+  /// Attach a telemetry sink (null to detach) counting lookups/hits/inserts
+  /// across all caches sharing the sink.
+  void set_telemetry(obs::Telemetry* telemetry);
 
   [[nodiscard]] EvalResult evaluate(const space::ArchEncoding& arch,
                                     std::uint64_t seed) const override;
@@ -135,6 +148,9 @@ class CachedEvaluator final : public Evaluator {
   mutable std::unordered_map<std::string, EvalResult> cache_;
   mutable std::size_t hits_ = 0;
   mutable std::size_t misses_ = 0;
+  obs::Counter* lookup_hits_ = nullptr;
+  obs::Counter* lookup_misses_ = nullptr;
+  obs::Counter* inserts_ = nullptr;
 };
 
 /// Task head implied by a dataset's metric (classification for ACC).

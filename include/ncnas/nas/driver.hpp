@@ -15,11 +15,13 @@
 // Combo and NT3).
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "ncnas/exec/evaluator.hpp"
 #include "ncnas/nas/parameter_server.hpp"
+#include "ncnas/obs/telemetry.hpp"
 #include "ncnas/rl/controller.hpp"
 #include "ncnas/tensor/thread_pool.hpp"
 
@@ -78,6 +80,11 @@ struct SearchConfig {
   bool use_cache = true;
   /// Settings for SearchStrategy::kEvolution.
   EvolutionConfig evolution;
+  /// Optional telemetry sink (not owned; must outlive the driver). Null
+  /// disables all instrumentation — zero overhead, bit-identical results.
+  /// Deliberately excluded from config_fingerprint(): observing a search
+  /// never changes it.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 /// One completed reward estimation, stamped with its virtual completion time.
@@ -102,6 +109,11 @@ struct SearchResult {
   std::size_t ppo_updates = 0;
   std::vector<double> utilization;     ///< per-minute worker utilization
   double utilization_bucket = 60.0;
+  /// Whether the run was instrumented (recorded in saved logs so replayed
+  /// analyses stay comparable across versions).
+  bool telemetry_enabled = false;
+  /// End-of-run capture of SearchConfig::telemetry; null when disabled.
+  std::shared_ptr<const obs::TelemetrySnapshot> telemetry;
 
   /// Best reward seen up to each eval (handy for trajectory plots).
   [[nodiscard]] std::vector<std::pair<double, float>> best_so_far() const;

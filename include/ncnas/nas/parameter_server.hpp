@@ -14,12 +14,17 @@
 //   No agent ever waits, at the price of gradient staleness.
 //
 // The driver invokes the PS at deterministic virtual times, so no locking is
-// needed; the PS is pure bookkeeping.
+// needed; the PS is pure bookkeeping. When a Telemetry sink is attached the
+// PS reports barrier-wait time (A2C), gradient staleness and async-window
+// depth (A3C), and delta-apply counts; `now` on submit() carries the
+// driver's virtual clock for those measurements.
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <vector>
+
+#include "ncnas/obs/telemetry.hpp"
 
 namespace ncnas::nas {
 
@@ -35,10 +40,19 @@ class ParameterServer {
   [[nodiscard]] std::size_t dim() const noexcept { return params_.size(); }
   [[nodiscard]] std::size_t updates_applied() const noexcept { return updates_applied_; }
 
+  /// Attach a telemetry sink (null to detach). Pure observation.
+  void set_telemetry(obs::Telemetry* telemetry);
+
+  /// Parameter pull that remembers which version `agent` saw, so the PS can
+  /// report the gradient staleness of its next submission. Identical payload
+  /// to params().
+  [[nodiscard]] const std::vector<float>& pull(std::size_t agent);
+
   /// Async: applies (the windowed average of) `delta` immediately; returns
   /// true. Sync: parks the delta; returns true only when this submission
   /// completed the barrier (the caller then releases all agents).
-  bool submit(std::size_t agent, std::span<const float> delta);
+  /// `now` is the submitting agent's virtual time, used only for telemetry.
+  bool submit(std::size_t agent, std::span<const float> delta, double now = 0.0);
 
   /// Sync only: true when every agent of the round has submitted.
   [[nodiscard]] bool barrier_complete() const noexcept {
@@ -60,6 +74,15 @@ class ParameterServer {
   std::vector<std::vector<float>> recent_;
   std::size_t recent_next_ = 0;
   std::size_t updates_applied_ = 0;
+  // Telemetry bookkeeping (kept current even when detached — a handful of
+  // scalar writes — so attaching mid-run still reports sane staleness).
+  std::vector<std::size_t> pulled_version_;
+  std::vector<double> arrival_time_;
+  obs::Telemetry* telemetry_ = nullptr;
+  obs::Counter* delta_applies_ = nullptr;
+  obs::Histogram* staleness_ = nullptr;
+  obs::Histogram* barrier_wait_ = nullptr;
+  obs::Gauge* window_depth_ = nullptr;
 };
 
 }  // namespace ncnas::nas

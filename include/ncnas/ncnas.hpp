@@ -5,6 +5,7 @@
 //   #include <ncnas/ncnas.hpp>
 //
 // The library layers, bottom to top:
+//   obs       telemetry: metrics registry, trace recorder, stopwatches
 //   tensor    dense math + deterministic RNG + thread pool
 //   nn        layers, DAG graphs with autodiff, trainer, metrics, LSTM
 //   data      synthetic CANDLE benchmarks + manually designed baselines
@@ -30,6 +31,10 @@
 #include "ncnas/nas/parameter_server.hpp"
 #include "ncnas/nas/result_io.hpp"
 #include "ncnas/nn/graph.hpp"
+#include "ncnas/obs/metrics.hpp"
+#include "ncnas/obs/stopwatch.hpp"
+#include "ncnas/obs/telemetry.hpp"
+#include "ncnas/obs/trace.hpp"
 #include "ncnas/nn/layers.hpp"
 #include "ncnas/nn/loss.hpp"
 #include "ncnas/nn/lstm.hpp"

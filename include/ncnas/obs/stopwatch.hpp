@@ -1,0 +1,47 @@
+// Real wall-time measurement alongside the virtual clock. The driver's
+// simulated timeline says how long an evaluation *would* take on Theta; a
+// Stopwatch says how long the host actually spent computing it — the pair is
+// what makes host-throughput regressions visible without touching results.
+#pragma once
+
+#include <chrono>
+
+#include "ncnas/obs/metrics.hpp"
+
+namespace ncnas::obs {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  [[nodiscard]] double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  [[nodiscard]] double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// RAII timer: observes the elapsed wall milliseconds into `hist` on scope
+/// exit. Null histogram = no-op, so call sites stay branch-free.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* hist) : hist_(hist) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    if (hist_ != nullptr) hist_->observe(watch_.elapsed_ms());
+  }
+
+  [[nodiscard]] double elapsed_ms() const { return watch_.elapsed_ms(); }
+
+ private:
+  Histogram* hist_;
+  Stopwatch watch_;
+};
+
+}  // namespace ncnas::obs

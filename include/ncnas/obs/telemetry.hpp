@@ -1,0 +1,53 @@
+// Telemetry — the bundle handed to the search stack via
+// SearchConfig::telemetry: one MetricsRegistry plus one TraceRecorder.
+// A null pointer disables all instrumentation (zero overhead, bit-identical
+// search results); a live instance collects both signals for the whole run.
+//
+// Canonical metric names emitted by the instrumented internals are documented
+// in README.md §Observability.
+#pragma once
+
+#include <ostream>
+
+#include "ncnas/obs/metrics.hpp"
+#include "ncnas/obs/stopwatch.hpp"
+#include "ncnas/obs/trace.hpp"
+
+namespace ncnas::obs {
+
+/// Plain-data capture of a Telemetry instance at one point in time; safe to
+/// keep in a SearchResult after the registry itself is gone.
+struct TelemetrySnapshot {
+  MetricsSnapshot metrics;
+  std::vector<TraceEvent> trace;
+};
+
+class Telemetry {
+ public:
+  explicit Telemetry(std::size_t trace_capacity = 1 << 16) : trace_(trace_capacity) {}
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  [[nodiscard]] MetricsRegistry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const noexcept { return metrics_; }
+  [[nodiscard]] TraceRecorder& trace() noexcept { return trace_; }
+  [[nodiscard]] const TraceRecorder& trace() const noexcept { return trace_; }
+
+  [[nodiscard]] TelemetrySnapshot snapshot() const {
+    return {metrics_.snapshot(), trace_.snapshot()};
+  }
+
+  void dump_prometheus(std::ostream& os) const { metrics_.dump_prometheus(os); }
+  void export_chrome_trace(std::ostream& os) const {
+    TraceRecorder::export_chrome(trace_.snapshot(), os);
+  }
+  void export_trace_jsonl(std::ostream& os) const {
+    TraceRecorder::export_jsonl(trace_.snapshot(), os);
+  }
+
+ private:
+  MetricsRegistry metrics_;
+  TraceRecorder trace_;
+};
+
+}  // namespace ncnas::obs

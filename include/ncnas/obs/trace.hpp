@@ -1,0 +1,73 @@
+// TraceRecorder — structured span/instant events from the search internals
+// (agent cycles, PPO updates, PS round trips, evaluations) into a bounded
+// ring buffer, exportable as Chrome about://tracing JSON or JSONL.
+//
+// Timestamps are the driver's *virtual* clock (simulated seconds, stored as
+// microseconds per the Chrome trace format); `tid` is the agent id, so the
+// trace viewer lays the run out as one row per agent — the in-process
+// equivalent of the paper's Balsam job timeline. record() takes one short
+// mutex-protected slot write; when the buffer wraps, the oldest events are
+// overwritten and counted in dropped().
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ncnas::obs {
+
+/// One numeric annotation on an event (flags are encoded as 0/1).
+struct TraceArg {
+  std::string key;
+  double value = 0.0;
+};
+
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  char phase = 'X';     ///< 'X' = complete span, 'i' = instant
+  double ts_us = 0.0;   ///< virtual-clock timestamp, microseconds
+  double dur_us = 0.0;  ///< span duration, microseconds (0 for instants)
+  std::uint32_t tid = 0;  ///< agent id
+  std::vector<TraceArg> args;
+};
+
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(std::size_t capacity = 1 << 16);
+
+  void record(TraceEvent e);
+  /// Convenience constructors; times in virtual seconds.
+  void span(std::string name, std::string cat, double start_s, double dur_s, std::uint32_t tid,
+            std::vector<TraceArg> args = {});
+  void instant(std::string name, std::string cat, double ts_s, std::uint32_t tid,
+               std::vector<TraceArg> args = {});
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// Total events ever recorded (including since-overwritten ones).
+  [[nodiscard]] std::uint64_t recorded() const;
+  /// Events lost to ring wraparound.
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// Copies the retained events, oldest first.
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+  void clear();
+
+  /// Chrome trace format: {"traceEvents": [...]} — load via about://tracing
+  /// or https://ui.perfetto.dev.
+  static void export_chrome(const std::vector<TraceEvent>& events, std::ostream& os);
+  /// One JSON object per line (no wrapper), for log-pipeline ingestion.
+  static void export_jsonl(const std::vector<TraceEvent>& events, std::ostream& os);
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  std::size_t capacity_;
+  std::size_t next_ = 0;       ///< overwrite cursor once full
+  std::uint64_t recorded_ = 0;
+};
+
+}  // namespace ncnas::obs

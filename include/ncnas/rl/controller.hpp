@@ -15,6 +15,7 @@
 
 #include "ncnas/nn/lstm.hpp"
 #include "ncnas/nn/optimizer.hpp"
+#include "ncnas/obs/telemetry.hpp"
 #include "ncnas/space/structure.hpp"
 #include "ncnas/tensor/rng.hpp"
 
@@ -64,6 +65,10 @@ class Controller {
   PpoStats ppo_update(std::span<const Rollout> rollouts, std::span<const float> rewards,
                       const PpoConfig& cfg);
 
+  /// Attach a telemetry sink (null to detach). ppo_update() then records its
+  /// real wall time and publishes the latest loss/entropy/KL as gauges.
+  void set_telemetry(obs::Telemetry* telemetry);
+
   /// --- parameter-server interface ------------------------------------------
   [[nodiscard]] std::size_t flat_size() const;
   [[nodiscard]] std::vector<float> get_flat() const;
@@ -88,6 +93,12 @@ class Controller {
   nn::ParamPtr wv_;     // [hidden, 1]
   nn::ParamPtr bv_;     // [1]
   nn::Adam adam_;
+
+  obs::Histogram* ppo_wall_ms_ = nullptr;
+  obs::Gauge* ppo_policy_loss_ = nullptr;
+  obs::Gauge* ppo_value_loss_ = nullptr;
+  obs::Gauge* ppo_entropy_ = nullptr;
+  obs::Gauge* ppo_approx_kl_ = nullptr;
 };
 
 }  // namespace ncnas::rl

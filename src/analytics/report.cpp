@@ -59,4 +59,26 @@ void Table::print(std::ostream& os) const {
   for (const auto& row : rows_) print_row(row);
 }
 
+void print_telemetry(std::ostream& os, const obs::MetricsSnapshot& snapshot) {
+  if (!snapshot.counters.empty() || !snapshot.gauges.empty()) {
+    Table scalars({"metric", "type", "value"});
+    for (const obs::CounterSample& c : snapshot.counters) {
+      scalars.add_row({c.name, "counter", std::to_string(c.value)});
+    }
+    for (const obs::GaugeSample& g : snapshot.gauges) {
+      scalars.add_row({g.name, "gauge", fmt(g.value)});
+    }
+    scalars.print(os);
+  }
+  if (!snapshot.histograms.empty()) {
+    os << '\n';
+    Table hists({"histogram", "count", "mean", "p50", "p90"});
+    for (const obs::HistogramSample& h : snapshot.histograms) {
+      hists.add_row({h.name, std::to_string(h.count), fmt(h.mean()), fmt(h.quantile(0.5)),
+                     fmt(h.quantile(0.9))});
+    }
+    hists.print(os);
+  }
+}
+
 }  // namespace ncnas::analytics

@@ -19,6 +19,19 @@ TrainingEvaluator::TrainingEvaluator(const space::SearchSpace& space,
                                      CostModel cost)
     : space_(&space), dataset_(&dataset), fidelity_(fidelity), cost_(cost) {}
 
+void TrainingEvaluator::set_telemetry(obs::Telemetry* telemetry) {
+  if (telemetry == nullptr) {
+    train_wall_ms_ = nullptr;
+    trainings_ = nullptr;
+    training_timeouts_ = nullptr;
+    return;
+  }
+  obs::MetricsRegistry& m = telemetry->metrics();
+  train_wall_ms_ = &m.histogram("ncnas_train_wall_ms", obs::exp_buckets(0.25, 2.0, 18));
+  trainings_ = &m.counter("ncnas_trainings_total");
+  training_timeouts_ = &m.counter("ncnas_training_timeouts_total");
+}
+
 float TrainingEvaluator::reward_floor() const noexcept {
   return dataset_->metric == nn::Metric::kR2 ? -1.0f : 0.0f;
 }
@@ -58,9 +71,12 @@ EvalResult TrainingEvaluator::evaluate(const space::ArchEncoding& arch,
     result.sim_duration = cost_.timeout_seconds;
     result.timed_out = true;
     result.reward = reward_floor();
+    if (training_timeouts_ != nullptr) training_timeouts_->inc();
     return result;
   }
 
+  obs::ScopedTimer train_timer(train_wall_ms_);
+  if (trainings_ != nullptr) trainings_->inc();
   tensor::Rng train_rng = tensor::Rng(seed).split(1);
   nn::TrainOptions opts;
   opts.epochs = fidelity_.epochs;
@@ -102,17 +118,33 @@ RewardFn size_penalized_reward(float weight, std::size_t ref_params) {
   };
 }
 
+void CachedEvaluator::set_telemetry(obs::Telemetry* telemetry) {
+  if (telemetry == nullptr) {
+    lookup_hits_ = nullptr;
+    lookup_misses_ = nullptr;
+    inserts_ = nullptr;
+    return;
+  }
+  obs::MetricsRegistry& m = telemetry->metrics();
+  lookup_hits_ = &m.counter("ncnas_cache_lookup_hits_total");
+  lookup_misses_ = &m.counter("ncnas_cache_lookup_misses_total");
+  inserts_ = &m.counter("ncnas_cache_inserts_total");
+}
+
 EvalResult CachedEvaluator::evaluate(const space::ArchEncoding& arch, std::uint64_t seed) const {
   const std::string key = space::arch_key(arch);
   if (const auto it = cache_.find(key); it != cache_.end()) {
     ++hits_;
+    if (lookup_hits_ != nullptr) lookup_hits_->inc();
     EvalResult hit = it->second;
     hit.cache_hit = true;
     return hit;
   }
   ++misses_;
+  if (lookup_misses_ != nullptr) lookup_misses_->inc();
   EvalResult result = inner_->evaluate(arch, seed);
   cache_.emplace(key, result);
+  if (inserts_ != nullptr) inserts_->inc();
   return result;
 }
 
@@ -120,9 +152,11 @@ std::optional<EvalResult> CachedEvaluator::lookup(const space::ArchEncoding& arc
   const auto it = cache_.find(space::arch_key(arch));
   if (it == cache_.end()) {
     ++misses_;
+    if (lookup_misses_ != nullptr) lookup_misses_->inc();
     return std::nullopt;
   }
   ++hits_;
+  if (lookup_hits_ != nullptr) lookup_hits_->inc();
   EvalResult hit = it->second;
   hit.cache_hit = true;
   return hit;
@@ -130,6 +164,7 @@ std::optional<EvalResult> CachedEvaluator::lookup(const space::ArchEncoding& arc
 
 void CachedEvaluator::insert(const space::ArchEncoding& arch, const EvalResult& result) const {
   cache_.emplace(space::arch_key(arch), result);
+  if (inserts_ != nullptr) inserts_->inc();
 }
 
 void CachedEvaluator::clear() {

@@ -82,6 +82,36 @@ struct Completion {
   }
 };
 
+/// Pre-resolved instrument handles so the hot loop never touches the
+/// registry maps. Only constructed when SearchConfig::telemetry is set; all
+/// instrumentation sites are guarded on this, keeping the null path free.
+struct Instruments {
+  obs::Counter* evals;
+  obs::Counter* cache_hits;
+  obs::Counter* real_evals;
+  obs::Counter* timeouts;
+  obs::Counter* cycles;
+  obs::Counter* ppo_updates;
+  obs::Gauge* streak_min;
+  obs::Histogram* cycle_latency;
+  obs::Histogram* eval_sim;
+  obs::TraceRecorder* trace;
+
+  explicit Instruments(obs::Telemetry& t) {
+    obs::MetricsRegistry& m = t.metrics();
+    evals = &m.counter("ncnas_evals_total");
+    cache_hits = &m.counter("ncnas_cache_hits_total");
+    real_evals = &m.counter("ncnas_real_evals_total");
+    timeouts = &m.counter("ncnas_eval_timeouts_total");
+    cycles = &m.counter("ncnas_agent_cycles_total");
+    ppo_updates = &m.counter("ncnas_ppo_updates_total");
+    streak_min = &m.gauge("ncnas_convergence_streak_min");
+    cycle_latency = &m.histogram("ncnas_cycle_latency_seconds", obs::exp_buckets(4.0, 2.0, 14));
+    eval_sim = &m.histogram("ncnas_eval_sim_duration_seconds", obs::exp_buckets(4.0, 2.0, 14));
+    trace = &t.trace();
+  }
+};
+
 }  // namespace
 
 SearchDriver::SearchDriver(const space::SearchSpace& space, const data::Dataset& dataset,
@@ -105,6 +135,11 @@ SearchResult SearchDriver::run() {
 
   exec::TrainingEvaluator evaluator(*space_, *dataset_, config_.fidelity, config_.cost);
   exec::UtilizationMonitor monitor(config_.cluster.total_workers());
+  std::optional<Instruments> inst;
+  if (config_.telemetry != nullptr) {
+    inst.emplace(*config_.telemetry);
+    evaluator.set_telemetry(config_.telemetry);
+  }
 
   // All agents start from the same policy parameters, held by the PS.
   std::optional<ParameterServer> ps;
@@ -114,6 +149,7 @@ SearchResult SearchDriver::run() {
                config_.strategy == SearchStrategy::kA2C ? ParameterServer::Mode::kSync
                                                         : ParameterServer::Mode::kAsync,
                N, config_.async_window);
+    ps->set_telemetry(config_.telemetry);
   }
 
   tensor::Rng seeder(config_.seed);
@@ -123,7 +159,11 @@ SearchResult SearchDriver::run() {
     agents[i].rng = seeder.split(1000 + i);
     agents[i].eval_seed = seeder.split(5000 + i).next_u64();
     agents[i].cache = std::make_unique<exec::CachedEvaluator>(evaluator);
-    if (rl_enabled) agents[i].controller.emplace(space_->arities(), config_.seed + 17 * i);
+    agents[i].cache->set_telemetry(config_.telemetry);
+    if (rl_enabled) {
+      agents[i].controller.emplace(space_->arities(), config_.seed + 17 * i);
+      agents[i].controller->set_telemetry(config_.telemetry);
+    }
   }
 
   SearchResult result;
@@ -141,7 +181,7 @@ SearchResult SearchDriver::run() {
       return;
     }
     if (rl_enabled) {
-      agent.theta_pull = ps->params();
+      agent.theta_pull = ps->pull(agent.id);
       agent.controller->set_flat(agent.theta_pull);
     }
     agent.rollouts.clear();
@@ -220,6 +260,10 @@ SearchResult SearchDriver::run() {
       rec.arch = agent.archs[m];
       if (r.cache_hit) {
         rec.time = t;
+        if (inst) {
+          inst->trace->instant("eval_cached", "exec", t, static_cast<std::uint32_t>(agent.id),
+                               {{"reward", rec.reward}});
+        }
       } else {
         const auto slot = static_cast<std::size_t>(
             std::min_element(worker_free.begin(), worker_free.end()) - worker_free.begin());
@@ -230,13 +274,28 @@ SearchResult SearchDriver::run() {
         rec.time = end;
         batch_done = std::max(batch_done, end);
         ++real_evals;
+        if (inst) {
+          inst->trace->span("eval", "exec", start, r.sim_duration,
+                            static_cast<std::uint32_t>(agent.id),
+                            {{"reward", rec.reward},
+                             {"timed_out", rec.timed_out ? 1.0 : 0.0}});
+        }
       }
       agent.records.push_back(std::move(rec));
     }
     if (config_.max_evaluations != 0 && real_evals >= config_.max_evaluations) {
       budget_exhausted = true;
     }
-    queue.push({std::max(batch_done, t + 1e-3), seq++, agent.id});
+    const double scheduled = std::max(batch_done, t + 1e-3);
+    if (inst) {
+      inst->cycles->inc();
+      inst->cycle_latency->observe(scheduled - t);
+      inst->trace->span("agent_cycle", "driver", t, scheduled - t,
+                        static_cast<std::uint32_t>(agent.id),
+                        {{"batch", static_cast<double>(M)},
+                         {"misses", static_cast<double>(miss_index.size())}});
+    }
+    queue.push({scheduled, seq++, agent.id});
   };
 
   // ---- bootstrap: every agent starts at t = 0 ----
@@ -260,9 +319,24 @@ SearchResult SearchDriver::run() {
       rewards.push_back(rec.reward);
       if (rec.cache_hit) ++result.cache_hits;
       if (rec.timed_out) ++result.timeouts;
+      if (inst) {
+        inst->evals->inc();
+        if (rec.cache_hit) {
+          inst->cache_hits->inc();
+        } else {
+          inst->real_evals->inc();
+          inst->eval_sim->observe(rec.sim_duration);
+        }
+        if (rec.timed_out) inst->timeouts->inc();
+      }
       result.evals.push_back(rec);
     }
     agent.cached_streak = all_cached ? agent.cached_streak + 1 : 0;
+    if (inst) {
+      std::size_t min_streak = agents[0].cached_streak;
+      for (const AgentState& a : agents) min_streak = std::min(min_streak, a.cached_streak);
+      inst->streak_min->set(static_cast<double>(min_streak));
+    }
 
     if (config_.strategy == SearchStrategy::kEvolution) {
       for (const EvalRecord& rec : agent.records) {
@@ -289,17 +363,26 @@ SearchResult SearchDriver::run() {
     }
 
     // Local PPO epochs, then exchange the parameter delta through the PS.
-    (void)agent.controller->ppo_update(agent.rollouts, rewards, config_.ppo);
+    const rl::PpoStats ppo_stats =
+        agent.controller->ppo_update(agent.rollouts, rewards, config_.ppo);
     ++result.ppo_updates;
+    if (inst) {
+      inst->ppo_updates->inc();
+      inst->trace->instant("ppo_update", "rl", t, static_cast<std::uint32_t>(agent.id),
+                           {{"policy_loss", ppo_stats.policy_loss},
+                            {"value_loss", ppo_stats.value_loss},
+                            {"entropy", ppo_stats.entropy},
+                            {"approx_kl", ppo_stats.approx_kl}});
+    }
     std::vector<float> delta = agent.controller->get_flat();
     for (std::size_t i = 0; i < delta.size(); ++i) delta[i] -= agent.theta_pull[i];
 
     if (config_.strategy == SearchStrategy::kA3C) {
-      ps->submit(agent.id, delta);
+      ps->submit(agent.id, delta, t);
       start_cycle(agent, t + config_.agent_overhead_seconds);
     } else {
       a2c_round_time = std::max(a2c_round_time, t);
-      const bool round_complete = ps->submit(agent.id, delta);
+      const bool round_complete = ps->submit(agent.id, delta, t);
       if (round_complete) {
         const double resume = a2c_round_time + config_.agent_overhead_seconds;
         a2c_round_time = 0.0;
@@ -325,6 +408,12 @@ SearchResult SearchDriver::run() {
   result.unique_archs = unique.size();
 
   result.utilization = monitor.series(result.end_time, result.utilization_bucket);
+
+  if (config_.telemetry != nullptr) {
+    result.telemetry_enabled = true;
+    result.telemetry =
+        std::make_shared<const obs::TelemetrySnapshot>(config_.telemetry->snapshot());
+  }
   return result;
 }
 

@@ -10,10 +10,38 @@ ParameterServer::ParameterServer(std::vector<float> initial, Mode mode, std::siz
       num_agents_(num_agents),
       async_window_(async_window == 0 ? 1 : async_window),
       params_(std::move(initial)),
-      submitted_(num_agents, false) {
+      submitted_(num_agents, false),
+      pulled_version_(num_agents, 0),
+      arrival_time_(num_agents, 0.0) {
   if (num_agents == 0) throw std::invalid_argument("ParameterServer: need agents");
   if (params_.empty()) throw std::invalid_argument("ParameterServer: empty parameter vector");
   if (mode_ == Mode::kSync) pending_.resize(num_agents);
+}
+
+void ParameterServer::set_telemetry(obs::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  if (telemetry_ == nullptr) {
+    delta_applies_ = nullptr;
+    staleness_ = nullptr;
+    barrier_wait_ = nullptr;
+    window_depth_ = nullptr;
+    return;
+  }
+  obs::MetricsRegistry& m = telemetry_->metrics();
+  delta_applies_ = &m.counter("ncnas_ps_delta_applies_total");
+  // Staleness is counted in PS updates that landed between an agent's pull
+  // and its submit; 0 means the agent trained on fresh parameters.
+  staleness_ = &m.histogram("ncnas_a3c_gradient_staleness_updates",
+                            {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0});
+  barrier_wait_ = &m.histogram("ncnas_a2c_barrier_wait_seconds",
+                               obs::exp_buckets(1.0, 2.0, 14));
+  window_depth_ = &m.gauge("ncnas_a3c_async_window_depth");
+}
+
+const std::vector<float>& ParameterServer::pull(std::size_t agent) {
+  if (agent >= num_agents_) throw std::invalid_argument("ParameterServer: bad agent id");
+  pulled_version_[agent] = updates_applied_;
+  return params_;
 }
 
 void ParameterServer::apply(std::span<const float> delta, float scale) {
@@ -22,15 +50,23 @@ void ParameterServer::apply(std::span<const float> delta, float scale) {
   }
   for (std::size_t i = 0; i < params_.size(); ++i) params_[i] += scale * delta[i];
   ++updates_applied_;
+  if (delta_applies_ != nullptr) delta_applies_->inc();
 }
 
-bool ParameterServer::submit(std::size_t agent, std::span<const float> delta) {
+bool ParameterServer::submit(std::size_t agent, std::span<const float> delta, double now) {
   if (agent >= num_agents_) throw std::invalid_argument("ParameterServer: bad agent id");
   if (delta.size() != params_.size()) {
     throw std::invalid_argument("ParameterServer: delta dimension mismatch");
   }
 
   if (mode_ == Mode::kAsync) {
+    const auto staleness =
+        static_cast<double>(updates_applied_ - pulled_version_[agent]);
+    if (staleness_ != nullptr) staleness_->observe(staleness);
+    if (telemetry_ != nullptr) {
+      telemetry_->trace().instant("ps_submit", "ps", now, static_cast<std::uint32_t>(agent),
+                                  {{"staleness", staleness}});
+    }
     if (async_window_ <= 1) {
       apply(delta, 1.0f);
       return true;
@@ -44,6 +80,7 @@ bool ParameterServer::submit(std::size_t agent, std::span<const float> delta) {
       recent_[recent_next_] = std::move(copy);
       recent_next_ = (recent_next_ + 1) % async_window_;
     }
+    if (window_depth_ != nullptr) window_depth_->set(static_cast<double>(recent_.size()));
     std::vector<float> avg(params_.size(), 0.0f);
     for (const auto& d : recent_) {
       for (std::size_t i = 0; i < avg.size(); ++i) avg[i] += d[i];
@@ -59,11 +96,23 @@ bool ParameterServer::submit(std::size_t agent, std::span<const float> delta) {
     throw std::logic_error("ParameterServer: agent submitted twice in one round");
   }
   submitted_[agent] = true;
+  arrival_time_[agent] = now;
   pending_[agent].assign(delta.begin(), delta.end());
   ++pending_count_;
   if (pending_count_ < num_agents_) return false;
 
-  // Round complete: apply the average of all deltas, reset the barrier.
+  // Round complete: each agent idled from its arrival until the last agent
+  // of the round showed up — the A2C sawtooth in paper Fig. 5.
+  if (telemetry_ != nullptr) {
+    for (std::size_t a = 0; a < num_agents_; ++a) {
+      const double wait = now - arrival_time_[a];
+      barrier_wait_->observe(wait);
+      telemetry_->trace().span("a2c_barrier_wait", "ps", arrival_time_[a], wait,
+                               static_cast<std::uint32_t>(a));
+    }
+  }
+
+  // Apply the average of all deltas, reset the barrier.
   std::vector<float> avg(params_.size(), 0.0f);
   for (const auto& d : pending_) {
     for (std::size_t i = 0; i < avg.size(); ++i) avg[i] += d[i];

@@ -7,7 +7,10 @@
 namespace ncnas::nas {
 
 namespace {
-// v3: lazy layers own their init seed (weight values changed).
+// v3: lazy layers own their init seed (weight values changed). The stats
+// header line carries an optional trailing telemetry-enabled flag (written
+// since the obs subsystem landed); the reader tolerates its absence, so v3
+// logs from before the flag still load.
 constexpr const char* kMagic = "ncnas-search-log-v3";
 }
 
@@ -18,7 +21,7 @@ void save_result(const std::string& path, const SearchResult& result,
   out << kMagic << '\n' << fingerprint << '\n';
   out << result.end_time << ' ' << result.converged_early << ' ' << result.cache_hits << ' '
       << result.timeouts << ' ' << result.unique_archs << ' ' << result.ppo_updates << ' '
-      << result.utilization_bucket << '\n';
+      << result.utilization_bucket << ' ' << result.telemetry_enabled << '\n';
   out << result.utilization.size();
   for (double u : result.utilization) out << ' ' << u;
   out << '\n' << result.evals.size() << '\n';
@@ -43,8 +46,17 @@ std::optional<SearchResult> load_result(const std::string& path,
 
   SearchResult res;
   std::size_t util_count = 0, eval_count = 0;
-  in >> res.end_time >> res.converged_early >> res.cache_hits >> res.timeouts >>
-      res.unique_archs >> res.ppo_updates >> res.utilization_bucket;
+  {
+    // The stats line is parsed as a whole line so the optional trailing
+    // telemetry flag can't be confused with the utilization count below.
+    std::string stats_line;
+    std::getline(in, stats_line);
+    std::istringstream stats(stats_line);
+    stats >> res.end_time >> res.converged_early >> res.cache_hits >> res.timeouts >>
+        res.unique_archs >> res.ppo_updates >> res.utilization_bucket;
+    if (!stats) return std::nullopt;
+    if (!(stats >> res.telemetry_enabled)) res.telemetry_enabled = false;
+  }
   in >> util_count;
   res.utilization.resize(util_count);
   for (double& u : res.utilization) in >> u;

@@ -1,0 +1,168 @@
+#include "ncnas/obs/metrics.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace ncnas::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument("Histogram: bucket bounds must be ascending");
+  }
+  counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
+}
+
+void Histogram::observe(double v) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  counts_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = counts_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+std::vector<double> exp_buckets(double start, double factor, std::size_t count) {
+  if (start <= 0.0 || factor <= 1.0) {
+    throw std::invalid_argument("exp_buckets: need start > 0 and factor > 1");
+  }
+  std::vector<double> out;
+  out.reserve(count);
+  double edge = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(edge);
+    edge *= factor;
+  }
+  return out;
+}
+
+double HistogramSample::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(count));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    cum += buckets[i];
+    if (cum > target || (q >= 1.0 && cum >= target)) {
+      return i < bounds.size() ? bounds[i] : (bounds.empty() ? 0.0 : bounds.back());
+    }
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+std::uint64_t MetricsSnapshot::counter_value(const std::string& name) const {
+  for (const CounterSample& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+double MetricsSnapshot::gauge_value(const std::string& name) const {
+  for (const GaugeSample& g : gauges) {
+    if (g.name == name) return g.value;
+  }
+  return 0.0;
+}
+
+const HistogramSample* MetricsSnapshot::histogram(const std::string& name) const {
+  for (const HistogramSample& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+namespace {
+
+void write_number(std::ostream& os, double v) {
+  if (v == static_cast<double>(static_cast<long long>(v)) && std::abs(v) < 1e15) {
+    os << static_cast<long long>(v);
+  } else {
+    os << std::setprecision(9) << v;
+  }
+}
+
+}  // namespace
+
+void MetricsSnapshot::to_prometheus(std::ostream& os) const {
+  for (const CounterSample& c : counters) {
+    os << "# TYPE " << c.name << " counter\n" << c.name << ' ' << c.value << '\n';
+  }
+  for (const GaugeSample& g : gauges) {
+    os << "# TYPE " << g.name << " gauge\n" << g.name << ' ';
+    write_number(os, g.value);
+    os << '\n';
+  }
+  for (const HistogramSample& h : histograms) {
+    os << "# TYPE " << h.name << " histogram\n";
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cum += h.buckets[i];
+      os << h.name << "_bucket{le=\"";
+      write_number(os, h.bounds[i]);
+      os << "\"} " << cum << '\n';
+    }
+    cum += h.buckets.empty() ? 0 : h.buckets.back();
+    os << h.name << "_bucket{le=\"+Inf\"} " << cum << '\n';
+    os << h.name << "_sum ";
+    write_number(os, h.sum);
+    os << '\n' << h.name << "_count " << h.count << '\n';
+  }
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) {
+    if (bounds.empty()) bounds = exp_buckets(0.001, 4.0, 16);
+    slot = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) snap.counters.push_back({name, c->value()});
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) snap.gauges.push_back({name, g->value()});
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSample s;
+    s.name = name;
+    s.bounds = h->bounds();
+    s.buckets = h->bucket_counts();
+    s.count = h->count();
+    s.sum = h->sum();
+    snap.histograms.push_back(std::move(s));
+  }
+  return snap;
+}
+
+void MetricsRegistry::dump_prometheus(std::ostream& os) const { snapshot().to_prometheus(os); }
+
+}  // namespace ncnas::obs

@@ -1,0 +1,149 @@
+#include "ncnas/obs/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace ncnas::obs {
+
+TraceRecorder::TraceRecorder(std::size_t capacity) : capacity_(capacity) {
+  if (capacity_ == 0) throw std::invalid_argument("TraceRecorder: capacity must be positive");
+  ring_.reserve(std::min<std::size_t>(capacity_, 1024));
+}
+
+void TraceRecorder::record(TraceEvent e) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(e));
+  } else {
+    ring_[next_] = std::move(e);
+    next_ = (next_ + 1) % capacity_;
+  }
+  ++recorded_;
+}
+
+void TraceRecorder::span(std::string name, std::string cat, double start_s, double dur_s,
+                         std::uint32_t tid, std::vector<TraceArg> args) {
+  record({std::move(name), std::move(cat), 'X', start_s * 1e6, dur_s * 1e6, tid,
+          std::move(args)});
+}
+
+void TraceRecorder::instant(std::string name, std::string cat, double ts_s, std::uint32_t tid,
+                            std::vector<TraceArg> args) {
+  record({std::move(name), std::move(cat), 'i', ts_s * 1e6, 0.0, tid, std::move(args)});
+}
+
+std::uint64_t TraceRecorder::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_ - ring_.size();
+}
+
+std::vector<TraceEvent> TraceRecorder::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  // Once full, next_ points at the oldest retained event.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+  recorded_ = 0;
+}
+
+namespace {
+
+void write_escaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+             << static_cast<int>(static_cast<unsigned char>(c)) << std::dec << std::setfill(' ');
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void write_json_number(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << 0;  // JSON has no Inf/NaN; clamp rather than emit invalid output
+    return;
+  }
+  if (v == static_cast<double>(static_cast<long long>(v)) && std::abs(v) < 1e15) {
+    os << static_cast<long long>(v);
+  } else {
+    std::ostringstream tmp;
+    tmp << std::setprecision(12) << v;
+    os << tmp.str();
+  }
+}
+
+void write_event(std::ostream& os, const TraceEvent& e) {
+  os << "{\"name\":";
+  write_escaped(os, e.name);
+  os << ",\"cat\":";
+  write_escaped(os, e.cat);
+  os << ",\"ph\":\"" << e.phase << "\",\"ts\":";
+  write_json_number(os, e.ts_us);
+  if (e.phase == 'X') {
+    os << ",\"dur\":";
+    write_json_number(os, e.dur_us);
+  } else {
+    os << ",\"s\":\"t\"";  // instant scope: thread
+  }
+  os << ",\"pid\":0,\"tid\":" << e.tid;
+  if (!e.args.empty()) {
+    os << ",\"args\":{";
+    for (std::size_t i = 0; i < e.args.size(); ++i) {
+      if (i) os << ',';
+      write_escaped(os, e.args[i].key);
+      os << ':';
+      write_json_number(os, e.args[i].value);
+    }
+    os << '}';
+  }
+  os << '}';
+}
+
+}  // namespace
+
+void TraceRecorder::export_chrome(const std::vector<TraceEvent>& events, std::ostream& os) {
+  os << "{\"traceEvents\":[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (i) os << ',';
+    os << '\n';
+    write_event(os, events[i]);
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void TraceRecorder::export_jsonl(const std::vector<TraceEvent>& events, std::ostream& os) {
+  for (const TraceEvent& e : events) {
+    write_event(os, e);
+    os << '\n';
+  }
+}
+
+}  // namespace ncnas::obs

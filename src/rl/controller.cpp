@@ -137,8 +137,26 @@ space::ArchEncoding Controller::greedy() const {
   return arch;
 }
 
+void Controller::set_telemetry(obs::Telemetry* telemetry) {
+  if (telemetry == nullptr) {
+    ppo_wall_ms_ = nullptr;
+    ppo_policy_loss_ = nullptr;
+    ppo_value_loss_ = nullptr;
+    ppo_entropy_ = nullptr;
+    ppo_approx_kl_ = nullptr;
+    return;
+  }
+  obs::MetricsRegistry& m = telemetry->metrics();
+  ppo_wall_ms_ = &m.histogram("ncnas_ppo_update_wall_ms", obs::exp_buckets(0.25, 2.0, 16));
+  ppo_policy_loss_ = &m.gauge("ncnas_ppo_policy_loss");
+  ppo_value_loss_ = &m.gauge("ncnas_ppo_value_loss");
+  ppo_entropy_ = &m.gauge("ncnas_ppo_entropy");
+  ppo_approx_kl_ = &m.gauge("ncnas_ppo_approx_kl");
+}
+
 PpoStats Controller::ppo_update(std::span<const Rollout> rollouts,
                                 std::span<const float> rewards, const PpoConfig& cfg) {
+  const obs::ScopedTimer timer(ppo_wall_ms_);
   const std::size_t B = rollouts.size();
   const std::size_t T = arities_.size();
   if (B == 0 || rewards.size() != B) {
@@ -278,6 +296,12 @@ PpoStats Controller::ppo_update(std::span<const Rollout> rollouts,
 
     adam_.step(params);
     stats = {policy_loss, value_loss, entropy, approx_kl};
+  }
+  if (ppo_policy_loss_ != nullptr) {
+    ppo_policy_loss_->set(stats.policy_loss);
+    ppo_value_loss_->set(stats.value_loss);
+    ppo_entropy_->set(stats.entropy);
+    ppo_approx_kl_->set(stats.approx_kl);
   }
   return stats;
 }

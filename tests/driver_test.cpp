@@ -160,6 +160,82 @@ TEST(StrategyName, AllNamed) {
   EXPECT_STREQ(strategy_name(SearchStrategy::kA3C), "A3C");
   EXPECT_STREQ(strategy_name(SearchStrategy::kA2C), "A2C");
   EXPECT_STREQ(strategy_name(SearchStrategy::kRandom), "RDM");
+  EXPECT_STREQ(strategy_name(SearchStrategy::kEvolution), "EVO");
+}
+
+TEST(Driver, TelemetryCountersReconcileWithResult) {
+  const space::SearchSpace s = space::nt3_small_space();
+  const data::Dataset ds = tiny_nt3();
+  obs::Telemetry tel;
+  SearchConfig cfg = small_config(SearchStrategy::kA3C);
+  cfg.telemetry = &tel;
+  const SearchResult res = SearchDriver(s, ds, cfg).run();
+
+  EXPECT_TRUE(res.telemetry_enabled);
+  ASSERT_NE(res.telemetry, nullptr);
+  const obs::MetricsSnapshot& m = res.telemetry->metrics;
+
+  const std::uint64_t evals = m.counter_value("ncnas_evals_total");
+  const std::uint64_t hits = m.counter_value("ncnas_cache_hits_total");
+  const std::uint64_t real = m.counter_value("ncnas_real_evals_total");
+  EXPECT_GT(evals, 0u);
+  EXPECT_EQ(evals, hits + real);
+  EXPECT_EQ(hits, res.cache_hits);
+  EXPECT_EQ(m.counter_value("ncnas_eval_timeouts_total"), res.timeouts);
+  EXPECT_EQ(m.counter_value("ncnas_ppo_updates_total"), res.ppo_updates);
+
+  // Every real evaluation landed exactly one sample in the sim-duration
+  // histogram, and its simulated seconds sum to the histogram's sum.
+  const obs::HistogramSample* sim = m.histogram("ncnas_eval_sim_duration_seconds");
+  ASSERT_NE(sim, nullptr);
+  EXPECT_EQ(sim->count, real);
+  EXPECT_GT(m.counter_value("ncnas_agent_cycles_total"), 0u);
+  EXPECT_GT(m.counter_value("ncnas_ps_delta_applies_total"), 0u);
+}
+
+TEST(Driver, TelemetryTraceHasCycleSpansPerAgent) {
+  const space::SearchSpace s = space::nt3_small_space();
+  const data::Dataset ds = tiny_nt3();
+  obs::Telemetry tel;
+  SearchConfig cfg = small_config(SearchStrategy::kA2C);
+  cfg.telemetry = &tel;
+  (void)SearchDriver(s, ds, cfg).run();
+
+  std::vector<std::size_t> cycle_spans(cfg.cluster.num_agents, 0);
+  std::size_t barrier_spans = 0;
+  for (const obs::TraceEvent& e : tel.trace().snapshot()) {
+    if (e.name == "agent_cycle") {
+      EXPECT_EQ(e.phase, 'X');
+      ASSERT_LT(e.tid, cycle_spans.size());
+      ++cycle_spans[e.tid];
+    }
+    if (e.name == "a2c_barrier_wait") ++barrier_spans;
+  }
+  for (std::size_t n : cycle_spans) EXPECT_GE(n, 1u);
+  EXPECT_GT(barrier_spans, 0u);
+}
+
+TEST(Driver, TelemetryDisabledLeavesResultsBitIdentical) {
+  const space::SearchSpace s = space::nt3_small_space();
+  const data::Dataset ds = tiny_nt3();
+  SearchConfig cfg = small_config(SearchStrategy::kA3C);
+  cfg.wall_time_seconds = 600.0;
+  const SearchResult plain = SearchDriver(s, ds, cfg).run();
+  obs::Telemetry tel;
+  cfg.telemetry = &tel;
+  const SearchResult observed = SearchDriver(s, ds, cfg).run();
+
+  EXPECT_FALSE(plain.telemetry_enabled);
+  EXPECT_EQ(plain.telemetry, nullptr);
+  ASSERT_EQ(plain.evals.size(), observed.evals.size());
+  for (std::size_t i = 0; i < plain.evals.size(); ++i) {
+    EXPECT_EQ(plain.evals[i].reward, observed.evals[i].reward);
+    EXPECT_EQ(plain.evals[i].arch, observed.evals[i].arch);
+    EXPECT_DOUBLE_EQ(plain.evals[i].time, observed.evals[i].time);
+  }
+  EXPECT_EQ(plain.cache_hits, observed.cache_hits);
+  EXPECT_EQ(plain.ppo_updates, observed.ppo_updates);
+  EXPECT_DOUBLE_EQ(plain.end_time, observed.end_time);
 }
 
 }  // namespace

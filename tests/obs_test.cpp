@@ -1,0 +1,314 @@
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "ncnas/obs/telemetry.hpp"
+
+namespace ncnas::obs {
+namespace {
+
+// ---- minimal recursive-descent JSON validator (well-formedness only) ------
+
+struct JsonCursor {
+  const std::string& s;
+  std::size_t i = 0;
+
+  void ws() {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  }
+  bool eat(char c) {
+    ws();
+    if (i < s.size() && s[i] == c) {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+  bool value();
+  bool string() {
+    ws();
+    if (i >= s.size() || s[i] != '"') return false;
+    ++i;
+    while (i < s.size() && s[i] != '"') {
+      if (s[i] == '\\') ++i;
+      ++i;
+    }
+    if (i >= s.size()) return false;
+    ++i;
+    return true;
+  }
+  bool number() {
+    ws();
+    const std::size_t start = i;
+    if (i < s.size() && (s[i] == '-' || s[i] == '+')) ++i;
+    while (i < s.size() &&
+           (std::isdigit(static_cast<unsigned char>(s[i])) || s[i] == '.' || s[i] == 'e' ||
+            s[i] == 'E' || s[i] == '-' || s[i] == '+')) {
+      ++i;
+    }
+    return i > start;
+  }
+};
+
+bool JsonCursor::value() {
+  ws();
+  if (i >= s.size()) return false;
+  if (s[i] == '{') {
+    ++i;
+    if (eat('}')) return true;
+    do {
+      if (!string() || !eat(':') || !value()) return false;
+    } while (eat(','));
+    return eat('}');
+  }
+  if (s[i] == '[') {
+    ++i;
+    if (eat(']')) return true;
+    do {
+      if (!value()) return false;
+    } while (eat(','));
+    return eat(']');
+  }
+  if (s[i] == '"') return string();
+  if (s.compare(i, 4, "true") == 0) {
+    i += 4;
+    return true;
+  }
+  if (s.compare(i, 5, "false") == 0) {
+    i += 5;
+    return true;
+  }
+  if (s.compare(i, 4, "null") == 0) {
+    i += 4;
+    return true;
+  }
+  return number();
+}
+
+bool is_valid_json(const std::string& text) {
+  JsonCursor c{text};
+  if (!c.value()) return false;
+  c.ws();
+  return c.i == text.size();
+}
+
+// ---- metrics ---------------------------------------------------------------
+
+TEST(Metrics, CounterAndGaugeBasics) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("ncnas_test_total");
+  c.inc();
+  c.inc(4);
+  EXPECT_EQ(c.value(), 5u);
+  EXPECT_EQ(&c, &reg.counter("ncnas_test_total"));  // same name, same instrument
+
+  Gauge& g = reg.gauge("ncnas_test_gauge");
+  g.set(2.5);
+  g.add(-0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+}
+
+TEST(Metrics, RegistryConcurrentUpdatesFromManyThreads) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      // Mix registration (map lock) and updates (atomics) across threads.
+      Counter& c = reg.counter("ncnas_shared_total");
+      Gauge& g = reg.gauge("ncnas_shared_gauge");
+      Histogram& h = reg.histogram("ncnas_shared_hist", {1.0, 2.0, 4.0});
+      for (int i = 0; i < kPerThread; ++i) {
+        c.inc();
+        g.add(1.0);
+        h.observe(static_cast<double>(i % 5));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter_value("ncnas_shared_total"),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(snap.gauge_value("ncnas_shared_gauge"),
+                   static_cast<double>(kThreads) * kPerThread);
+  const HistogramSample* h = snap.histogram("ncnas_shared_hist");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Metrics, HistogramBucketEdgesAreInclusiveUpperBounds) {
+  Histogram h({1.0, 2.0});
+  h.observe(0.5);   // le=1
+  h.observe(1.0);   // le=1 (edge is inclusive, Prometheus semantics)
+  h.observe(1.5);   // le=2
+  h.observe(2.0);   // le=2
+  h.observe(3.0);   // +Inf
+  const std::vector<std::uint64_t> counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 8.0);
+}
+
+TEST(Metrics, HistogramRejectsUnsortedBounds) {
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(Metrics, SnapshotQuantileUsesBucketEdges) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("h", {1.0, 10.0, 100.0});
+  for (int i = 0; i < 90; ++i) h.observe(0.5);
+  for (int i = 0; i < 10; ++i) h.observe(50.0);
+  const MetricsSnapshot snap = reg.snapshot();
+  const HistogramSample* s = snap.histogram("h");
+  ASSERT_NE(s, nullptr);
+  EXPECT_DOUBLE_EQ(s->quantile(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(s->quantile(0.95), 100.0);
+  EXPECT_NEAR(s->mean(), (90 * 0.5 + 10 * 50.0) / 100.0, 1e-9);
+}
+
+TEST(Metrics, PrometheusDumpShape) {
+  MetricsRegistry reg;
+  reg.counter("ncnas_evals_total").inc(3);
+  reg.gauge("ncnas_streak").set(1.5);
+  reg.histogram("ncnas_lat", {1.0, 2.0}).observe(1.5);
+  std::ostringstream os;
+  reg.dump_prometheus(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("# TYPE ncnas_evals_total counter"), std::string::npos);
+  EXPECT_NE(text.find("ncnas_evals_total 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE ncnas_streak gauge"), std::string::npos);
+  EXPECT_NE(text.find("ncnas_lat_bucket{le=\"2\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("ncnas_lat_bucket{le=\"+Inf\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("ncnas_lat_count 1"), std::string::npos);
+}
+
+TEST(Metrics, ExpBucketsLayout) {
+  const std::vector<double> b = exp_buckets(1.0, 2.0, 4);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_DOUBLE_EQ(b[0], 1.0);
+  EXPECT_DOUBLE_EQ(b[3], 8.0);
+  EXPECT_THROW(exp_buckets(0.0, 2.0, 3), std::invalid_argument);
+}
+
+// ---- trace -----------------------------------------------------------------
+
+TEST(Trace, RingBufferWraparoundKeepsNewestOldestFirst) {
+  TraceRecorder rec(4);
+  for (int i = 0; i < 10; ++i) {
+    rec.instant("e" + std::to_string(i), "t", static_cast<double>(i), 0);
+  }
+  EXPECT_EQ(rec.recorded(), 10u);
+  EXPECT_EQ(rec.dropped(), 6u);
+  const std::vector<TraceEvent> events = rec.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].name, "e6");
+  EXPECT_EQ(events[3].name, "e9");
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].ts_us, events[i].ts_us);
+  }
+}
+
+TEST(Trace, SpanAndInstantCarryVirtualMicroseconds) {
+  TraceRecorder rec(16);
+  rec.span("cycle", "driver", 2.0, 0.5, 3, {{"batch", 11.0}});
+  rec.instant("ppo", "rl", 2.5, 3);
+  const auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].phase, 'X');
+  EXPECT_DOUBLE_EQ(events[0].ts_us, 2.0e6);
+  EXPECT_DOUBLE_EQ(events[0].dur_us, 0.5e6);
+  EXPECT_EQ(events[0].tid, 3u);
+  ASSERT_EQ(events[0].args.size(), 1u);
+  EXPECT_EQ(events[0].args[0].key, "batch");
+  EXPECT_EQ(events[1].phase, 'i');
+}
+
+TEST(Trace, ChromeExportIsWellFormedJson) {
+  TraceRecorder rec(64);
+  rec.span("eval \"quoted\"\n", "exec", 0.0, 1.0, 0, {{"reward", 0.25}, {"timed_out", 0.0}});
+  rec.instant("ppo_update", "rl", 1.0, 1, {{"approx_kl", 1e-4}});
+  rec.span("a2c_barrier_wait", "ps", 1.5, 2.5, 2);
+  std::ostringstream os;
+  TraceRecorder::export_chrome(rec.snapshot(), os);
+  const std::string json = os.str();
+  EXPECT_TRUE(is_valid_json(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+}
+
+TEST(Trace, JsonlExportOneValidObjectPerLine) {
+  TraceRecorder rec(8);
+  rec.instant("a", "t", 0.0, 0);
+  rec.span("b", "t", 0.0, 1.0, 1);
+  std::ostringstream os;
+  TraceRecorder::export_jsonl(rec.snapshot(), os);
+  std::istringstream lines(os.str());
+  std::string line;
+  int count = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_TRUE(is_valid_json(line)) << line;
+    ++count;
+  }
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Trace, ConcurrentRecordingLosesNothingBelowCapacity) {
+  TraceRecorder rec(1 << 12);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&rec, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        rec.instant("e", "t", static_cast<double>(i), static_cast<std::uint32_t>(t));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(rec.recorded(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(rec.dropped(), 0u);
+  EXPECT_EQ(rec.snapshot().size(), static_cast<std::size_t>(kThreads) * kPerThread);
+}
+
+// ---- telemetry bundle ------------------------------------------------------
+
+TEST(Telemetry, SnapshotCapturesBothSides) {
+  Telemetry tel(32);
+  tel.metrics().counter("c").inc(2);
+  tel.trace().instant("e", "t", 0.0, 0);
+  const TelemetrySnapshot snap = tel.snapshot();
+  EXPECT_EQ(snap.metrics.counter_value("c"), 2u);
+  EXPECT_EQ(snap.trace.size(), 1u);
+
+  std::ostringstream prom, chrome;
+  tel.dump_prometheus(prom);
+  tel.export_chrome_trace(chrome);
+  EXPECT_NE(prom.str().find("c 2"), std::string::npos);
+  EXPECT_TRUE(is_valid_json(chrome.str()));
+}
+
+TEST(Stopwatch, MeasuresRealTimeAndScopedTimerObserves) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("ncnas_wall_ms", {1e6});
+  {
+    ScopedTimer timer(&h);
+    Stopwatch w;
+    EXPECT_GE(w.elapsed_seconds(), 0.0);
+  }
+  EXPECT_EQ(h.count(), 1u);
+  { ScopedTimer noop(nullptr); }  // null histogram must be safe
+  EXPECT_EQ(h.count(), 1u);
+}
+
+}  // namespace
+}  // namespace ncnas::obs

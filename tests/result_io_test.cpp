@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 
 #include "ncnas/nas/result_io.hpp"
 
@@ -68,6 +69,39 @@ TEST(ResultIo, RoundTrip) {
     EXPECT_EQ(loaded->evals[i].agent, original.evals[i].agent);
     EXPECT_EQ(loaded->evals[i].arch, original.evals[i].arch);
   }
+}
+
+TEST(ResultIo, TelemetryFlagRoundTripsInHeader) {
+  TempDir dir;
+  const std::string file = (dir.path / "tel.log").string();
+  SearchResult res = sample_result();
+  res.telemetry_enabled = true;
+  save_result(file, res, "fp");
+  const auto loaded = load_result(file, "fp");
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->telemetry_enabled);
+}
+
+TEST(ResultIo, ReaderToleratesPreTelemetryV3Header) {
+  // A v3 log written before the telemetry flag existed: the stats line has
+  // only seven fields. It must still load, with the flag defaulting to off.
+  TempDir dir;
+  const std::string file = (dir.path / "old.log").string();
+  {
+    std::ofstream out(file);
+    out << "ncnas-search-log-v3\nfp\n";
+    out << "100.5 1 7 2 11 4 60\n";    // no trailing telemetry field
+    out << "2 0.5 1\n";                // utilization
+    out << "1\n";                      // evals
+    out << "10 0.25 99 12 0 1 3 2 1 0\n";
+  }
+  const auto loaded = load_result(file, "fp");
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_FALSE(loaded->telemetry_enabled);
+  EXPECT_DOUBLE_EQ(loaded->end_time, 100.5);
+  EXPECT_EQ(loaded->cache_hits, 7u);
+  ASSERT_EQ(loaded->evals.size(), 1u);
+  EXPECT_EQ(loaded->evals[0].params, 99u);
 }
 
 TEST(ResultIo, FingerprintMismatchInvalidatesLog) {

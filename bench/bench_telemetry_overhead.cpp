@@ -1,7 +1,8 @@
 // Telemetry overhead proof: the same small search scenario bench_micro uses,
 // run (a) with SearchConfig::telemetry null — which must cost nothing beyond
-// the seed driver — and (b) with a live Telemetry sink, which must stay
-// within a few percent. Compare the two BM_SearchRun counters directly:
+// the seed driver — (b) with a live Telemetry sink, which must stay within a
+// few percent, and (c) with the journal and watchdog enabled on top. Compare
+// the BM_SearchRun counters directly:
 //
 //   ./build/bench/bench_telemetry_overhead --benchmark_repetitions=3
 #include <benchmark/benchmark.h>
@@ -70,6 +71,31 @@ void BM_SearchRun_WithTelemetry(benchmark::State& state) {
 }
 BENCHMARK(BM_SearchRun_WithTelemetry)->Unit(benchmark::kMillisecond);
 
+void BM_SearchRun_WithJournalAndWatchdog(benchmark::State& state) {
+  // The heaviest observation configuration: metrics + trace + structured
+  // journal + the watchdog subscriber re-checking every event.
+  const space::SearchSpace sp = space::nt3_small_space();
+  const data::Dataset& ds = small_dataset();
+  std::size_t evals = 0;
+  std::size_t journal_events = 0;
+  for (auto _ : state) {
+    obs::Telemetry telemetry;
+    telemetry.enable_journal();
+    telemetry.enable_watchdog();
+    nas::SearchConfig cfg = small_search_config();
+    cfg.telemetry = &telemetry;
+    nas::SearchResult res = nas::SearchDriver(sp, ds, cfg).run();
+    evals += res.evals.size();
+    journal_events += telemetry.journal()->size();
+    benchmark::DoNotOptimize(res.end_time);
+  }
+  state.counters["evals"] =
+      benchmark::Counter(static_cast<double>(evals), benchmark::Counter::kAvgIterations);
+  state.counters["journal_events"] = benchmark::Counter(
+      static_cast<double>(journal_events), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_SearchRun_WithJournalAndWatchdog)->Unit(benchmark::kMillisecond);
+
 // The instrument primitives themselves, for the per-event cost picture.
 void BM_CounterInc(benchmark::State& state) {
   obs::MetricsRegistry reg;
@@ -91,6 +117,18 @@ void BM_HistogramObserve(benchmark::State& state) {
   benchmark::DoNotOptimize(h.count());
 }
 BENCHMARK(BM_HistogramObserve);
+
+void BM_JournalAppend(benchmark::State& state) {
+  obs::Journal journal(1 << 16);
+  double t = 0.0;
+  for (auto _ : state) {
+    journal.append(obs::JournalEventType::kEvalFinished, t, 0,
+                   {{"reward", 0.5}, {"duration_s", 20.0}, {"timed_out", 0.0}});
+    t += 1.0;
+  }
+  benchmark::DoNotOptimize(journal.size());
+}
+BENCHMARK(BM_JournalAppend);
 
 void BM_TraceSpanRecord(benchmark::State& state) {
   obs::TraceRecorder rec(1 << 16);

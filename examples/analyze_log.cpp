@@ -3,7 +3,13 @@
 // reports the reward trajectory, utilization, top architectures, and the
 // controller's decision histogram.
 //
-//   ./examples/analyze_log nas_logs/<tag>.log <space-name>
+//   ./examples/analyze_log nas_logs/<tag>.log <space-name> [--journal <file>]
+//
+// With --journal the tool also replays a structured journal (JSONL written by
+// Telemetry::export_journal_jsonl) of the same run and cross-checks its final
+// eval count and best reward against the result log — a divergence means the
+// two artifacts are from different runs (exit 1).
+#include <cmath>
 #include <fstream>
 #include <iostream>
 
@@ -11,18 +17,33 @@
 #include "ncnas/analytics/report.hpp"
 #include "ncnas/analytics/series.hpp"
 #include "ncnas/nas/result_io.hpp"
+#include "ncnas/obs/journal.hpp"
 #include "ncnas/space/spaces.hpp"
 
 int main(int argc, char** argv) {
   using namespace ncnas;
-  if (argc < 3) {
-    std::cerr << "usage: analyze_log <log-file> <space-name>\n  spaces:";
+  std::vector<std::string> positional;
+  std::string journal_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--journal") {
+      if (i + 1 >= argc) {
+        std::cerr << "--journal needs a file argument\n";
+        return 2;
+      }
+      journal_path = argv[++i];
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() < 2) {
+    std::cerr << "usage: analyze_log <log-file> <space-name> [--journal <file>]\n  spaces:";
     for (const auto& n : space::space_names()) std::cerr << ' ' << n;
     std::cerr << '\n';
     return 2;
   }
-  const std::string path = argv[1];
-  const space::SearchSpace sp = space::space_by_name(argv[2]);
+  const std::string path = positional[0];
+  const space::SearchSpace sp = space::space_by_name(positional[1]);
 
   // Accept whatever fingerprint the log carries (this is a viewer, not a
   // cache): read it from line 2 and pass it back.
@@ -61,5 +82,42 @@ int main(int argc, char** argv) {
   std::cout << "\nlate-search decision histogram (second half):\n";
   const auto stats = analytics::compute_arch_stats(sp, *res, res->end_time / 2.0);
   analytics::print_arch_stats(std::cout, stats);
+
+  if (!journal_path.empty()) {
+    std::ifstream jin(journal_path);
+    if (!jin) {
+      std::cerr << "cannot open journal " << journal_path << "\n";
+      return 1;
+    }
+    obs::RunSummary sum;
+    try {
+      sum = obs::summarize_journal(obs::Journal::import_jsonl(jin));
+    } catch (const std::exception& e) {
+      std::cerr << e.what() << "\n";
+      return 1;
+    }
+    float log_best = -std::numeric_limits<float>::infinity();
+    for (const auto& e : res->evals) log_best = std::max(log_best, e.reward);
+
+    std::cout << "\njournal cross-check (" << journal_path << "):\n";
+    bool ok = true;
+    if (sum.evals != res->evals.size()) {
+      std::cout << "  MISMATCH: journal has " << sum.evals << " evals, log has "
+                << res->evals.size() << "\n";
+      ok = false;
+    }
+    if (!res->evals.empty() && sum.best_reward != log_best) {
+      std::cout << "  MISMATCH: journal best reward " << analytics::fmt(sum.best_reward)
+                << ", log best reward " << analytics::fmt(log_best) << "\n";
+      ok = false;
+    }
+    if (ok) {
+      std::cout << "  OK: " << sum.evals << " evals, best reward "
+                << analytics::fmt(sum.best_reward) << " — journal and log agree\n";
+    } else {
+      std::cerr << "journal/log divergence: the artifacts are not from the same run\n";
+      return 1;
+    }
+  }
   return 0;
 }

@@ -1,0 +1,167 @@
+// run_report — replays a structured journal (written by
+// Telemetry::export_journal_jsonl or examples/telemetry_dump) into a
+// terminal or markdown run report: reward trajectory, per-agent evaluation
+// rates, cache hit ratio, PS exchange latency quantiles, and the
+// HealthWatchdog's straggler/stall verdicts — the offline counterpart of
+// eyeballing a Balsam job database after a Theta allocation.
+//
+//   ./examples/run_report <journal.jsonl> [--md]
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <string>
+
+#include "ncnas/analytics/report.hpp"
+#include "ncnas/analytics/series.hpp"
+#include "ncnas/nas/driver.hpp"
+#include "ncnas/obs/journal.hpp"
+#include "ncnas/obs/watchdog.hpp"
+
+namespace {
+
+const char* strategy_label(int strategy) {
+  if (strategy < 0 || strategy > static_cast<int>(ncnas::nas::SearchStrategy::kEvolution)) {
+    return "?";
+  }
+  return ncnas::nas::strategy_name(static_cast<ncnas::nas::SearchStrategy>(strategy));
+}
+
+/// Bucket-quantile over raw samples via the shared histogram machinery.
+double sample_quantile(const std::vector<double>& values, double q) {
+  if (values.empty()) return 0.0;
+  const auto sample = ncnas::obs::make_histogram_sample(
+      "q", ncnas::obs::exp_buckets(0.5, 2.0, 20), values);
+  return sample.quantile(q);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ncnas;
+  bool markdown = false;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--md") {
+      markdown = true;
+    } else {
+      path = arg;
+    }
+  }
+  if (path.empty()) {
+    std::cerr << "usage: run_report <journal.jsonl> [--md]\n";
+    return 2;
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot open " << path << "\n";
+    return 1;
+  }
+  std::vector<obs::JournalEvent> events;
+  try {
+    events = obs::Journal::import_jsonl(in);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 1;
+  }
+  const obs::RunSummary sum = obs::summarize_journal(events);
+
+  // Re-run the watchdog over the replayed events (report-only: no journal or
+  // metrics sink), so a journal from an un-watched run still gets verdicts.
+  obs::HealthWatchdog watchdog;
+  for (const obs::JournalEvent& e : events) watchdog.on_event(e);
+  const obs::WatchdogReport health = watchdog.report();
+
+  std::ostream& os = std::cout;
+  const char* h2 = markdown ? "## " : "== ";
+  if (markdown) os << "# Run report: " << path << "\n\n";
+  else os << "run report: " << path << "\n\n";
+
+  os << h2 << "Run\n";
+  os << "strategy: " << strategy_label(sum.strategy) << ", " << sum.agents_declared
+     << " agents x " << sum.workers_per_agent << " workers\n";
+  os << "span: " << analytics::fmt(sum.end_time_s / 60.0, 1) << " min of "
+     << (sum.wall_time_s == std::numeric_limits<double>::infinity()
+             ? std::string("?")
+             : analytics::fmt(sum.wall_time_s / 60.0, 1))
+     << " min budget" << (sum.converged ? " (converged early)" : "") << "\n";
+  os << sum.evals << " evaluations (" << sum.real_evals << " real, " << sum.cache_hits
+     << " cached, " << sum.timeouts << " timed out), " << sum.ppo_updates
+     << " PPO updates, " << sum.ps_exchanges << " PS exchanges\n";
+  const double hit_ratio =
+      sum.evals > 0 ? static_cast<double>(sum.cache_hits) / static_cast<double>(sum.evals)
+                    : 0.0;
+  os << "cache hit ratio: " << analytics::fmt(100.0 * hit_ratio, 1) << "%\n";
+  os << "best reward: " << analytics::fmt(sum.best_reward) << " at "
+     << analytics::fmt(sum.best_reward_t / 60.0, 1) << " min\n\n";
+
+  if (!sum.rewards.empty() && sum.end_time_s > 0.0) {
+    os << h2 << "Reward trajectory\n";
+    if (markdown) os << "```\n";
+    const double bucket = std::max(sum.end_time_s / 60.0, 1.0);
+    const auto mean = analytics::resample_mean(sum.rewards, sum.end_time_s, bucket, -1.0);
+    analytics::print_sparkline(os, "mean reward ", mean, -1.0, 1.0);
+    if (markdown) os << "```\n";
+    os << "\n";
+  }
+
+  os << h2 << "Agents\n";
+  analytics::Table agents({"agent", "evals", "cached", "timeouts", "ppo", "evals/min",
+                           "best reward"});
+  for (const auto& [id, a] : sum.per_agent) {
+    agents.add_row({std::to_string(id), std::to_string(a.evals), std::to_string(a.cached),
+                    std::to_string(a.timeouts), std::to_string(a.ppo_updates),
+                    analytics::fmt(sum.agent_rate_per_min(id), 2),
+                    analytics::fmt(a.best_reward)});
+  }
+  agents.print(os);
+  if (!sum.converged_agents.empty()) {
+    os << "converged agents (in order):";
+    for (std::uint32_t id : sum.converged_agents) os << ' ' << id;
+    os << "\n";
+  }
+  os << "\n";
+
+  if (!sum.ps_wait_seconds.empty() || !sum.ps_staleness.empty()) {
+    os << h2 << "Parameter server\n";
+    if (!sum.ps_wait_seconds.empty()) {
+      os << "sync barrier wait (s): p50 " << analytics::fmt(sample_quantile(sum.ps_wait_seconds, 0.50), 1)
+         << ", p95 " << analytics::fmt(sample_quantile(sum.ps_wait_seconds, 0.95), 1) << " over "
+         << sum.ps_wait_seconds.size() << " exchanges\n";
+    }
+    if (!sum.ps_staleness.empty()) {
+      os << "async gradient staleness (updates): p50 "
+         << analytics::fmt(sample_quantile(sum.ps_staleness, 0.50), 1) << ", p95 "
+         << analytics::fmt(sample_quantile(sum.ps_staleness, 0.95), 1) << " over "
+         << sum.ps_staleness.size() << " exchanges\n";
+    }
+    os << "\n";
+  }
+
+  os << h2 << "Health\n";
+  os << "expected eval duration: "
+     << (health.expected_eval_seconds > 0.0
+             ? analytics::fmt(health.expected_eval_seconds, 1) + " s"
+             : std::string("warming up"))
+     << " (" << health.evals_seen << " completed evals observed)\n";
+  if (health.healthy()) {
+    os << "verdict: healthy — no stragglers, no stalls\n";
+  } else {
+    os << "verdict: " << health.stragglers.size() << " straggler(s), "
+       << health.stalls.size() << " stall(s)\n";
+    for (const auto& v : health.stragglers) {
+      os << "  straggler: agent " << v.agent << " at " << analytics::fmt(v.t / 60.0, 1)
+         << " min, " << analytics::fmt(v.duration_s, 1) << " s vs expected "
+         << analytics::fmt(v.expected_s, 1) << " s" << (v.timed_out ? " (timed out)" : "")
+         << "\n";
+    }
+    for (const auto& v : health.stalls) {
+      os << "  stall: agent " << v.agent << " silent " << analytics::fmt(v.silent_s, 1)
+         << " s at " << analytics::fmt(v.t / 60.0, 1) << " min (window "
+         << analytics::fmt(v.window_s, 1) << " s)\n";
+    }
+  }
+  return 0;
+}

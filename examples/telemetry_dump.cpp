@@ -5,11 +5,15 @@
 //   telemetry_trace.json     Chrome trace — load in about://tracing or
 //                            https://ui.perfetto.dev (one row per agent)
 //   telemetry_trace.jsonl    one event per line for log pipelines
+//   telemetry_journal.jsonl  the structured run journal (replay it with
+//                            examples/run_report)
 //
 // plus the analytics report's telemetry section on stdout, with a
-// reconciliation of the instrumented counters against SearchResult.
+// reconciliation of the instrumented counters against SearchResult and of
+// the journal's event counts against the counters.
 #include <fstream>
 #include <iostream>
+#include <map>
 
 #include "ncnas/analytics/report.hpp"
 #include "ncnas/nas/driver.hpp"
@@ -27,6 +31,8 @@ int main() {
   const space::SearchSpace sp = space::combo_small_space();
 
   obs::Telemetry telemetry;
+  telemetry.enable_journal();
+  telemetry.enable_watchdog();
   nas::SearchConfig cfg;
   cfg.strategy = nas::SearchStrategy::kA2C;  // barrier waits show in the trace
   cfg.cluster = {.num_agents = 4, .workers_per_agent = 4};
@@ -65,6 +71,31 @@ int main() {
               m.counter_value("ncnas_cache_hits_total") +
                   m.counter_value("ncnas_real_evals_total"));
 
+  std::cout << "\n== reconciliation (journal vs counters) ==\n";
+  std::map<obs::JournalEventType, std::uint64_t> by_type;
+  for (const obs::JournalEvent& e : snap.journal) ++by_type[e.type];
+  ok &= check("eval_cached events", by_type[obs::JournalEventType::kEvalCached],
+              m.counter_value("ncnas_cache_hits_total"));
+  ok &= check("eval_finished events", by_type[obs::JournalEventType::kEvalFinished],
+              m.counter_value("ncnas_real_evals_total"));
+  ok &= check("eval_timeout events", by_type[obs::JournalEventType::kEvalTimeout],
+              m.counter_value("ncnas_eval_timeouts_total"));
+  ok &= check("ppo_update events", by_type[obs::JournalEventType::kPpoUpdate],
+              m.counter_value("ncnas_ppo_updates_total"));
+  ok &= check("ps_exchange events", by_type[obs::JournalEventType::kPsExchange],
+              m.counter_value("ncnas_ps_exchanges_total"));
+  ok &= check("straggler events", by_type[obs::JournalEventType::kStragglerDetected],
+              m.counter_value("ncnas_watchdog_stragglers_total"));
+  ok &= check("stall events", by_type[obs::JournalEventType::kAgentStalled],
+              m.counter_value("ncnas_watchdog_stalls_total"));
+
+  const obs::WatchdogReport health = telemetry.watchdog()->report();
+  std::cout << "\n== watchdog ==\n"
+            << (health.healthy() ? "healthy" : "unhealthy") << ": "
+            << health.stragglers.size() << " stragglers, " << health.stalls.size()
+            << " stalls, expected eval " << health.expected_eval_seconds << "s over "
+            << health.evals_seen << " completed evals\n";
+
   {
     std::ofstream prom("telemetry_metrics.prom");
     telemetry.dump_prometheus(prom);
@@ -72,9 +103,12 @@ int main() {
     telemetry.export_chrome_trace(chrome);
     std::ofstream jsonl("telemetry_trace.jsonl");
     telemetry.export_trace_jsonl(jsonl);
+    std::ofstream journal("telemetry_journal.jsonl");
+    telemetry.export_journal_jsonl(journal);
   }
   std::cout << "\nwrote telemetry_metrics.prom, telemetry_trace.json ("
             << telemetry.trace().recorded() << " events, " << telemetry.trace().dropped()
-            << " dropped), telemetry_trace.jsonl\n";
+            << " dropped), telemetry_trace.jsonl, telemetry_journal.jsonl ("
+            << snap.journal.size() << " events)\n";
   return ok ? 0 : 1;
 }

@@ -50,6 +50,9 @@ struct EvalResult {
   std::size_t params = 0;          ///< trainable parameter count of the model
   bool timed_out = false;
   bool cache_hit = false;
+  /// Real (host) training wall time. Only measured when a telemetry sink is
+  /// attached — stays 0.0 on the null path so results remain bit-identical.
+  double train_wall_ms = 0.0;
 };
 
 class Evaluator {

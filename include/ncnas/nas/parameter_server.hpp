@@ -80,9 +80,11 @@ class ParameterServer {
   std::vector<double> arrival_time_;
   obs::Telemetry* telemetry_ = nullptr;
   obs::Counter* delta_applies_ = nullptr;
+  obs::Counter* exchanges_ = nullptr;
   obs::Histogram* staleness_ = nullptr;
   obs::Histogram* barrier_wait_ = nullptr;
   obs::Gauge* window_depth_ = nullptr;
+  obs::Journal* journal_ = nullptr;
 };
 
 }  // namespace ncnas::nas

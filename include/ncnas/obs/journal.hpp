@@ -1,0 +1,166 @@
+// Journal — a durable, schema-versioned structured event log of *what the
+// search did*: one typed record per run/evaluation/update/exchange event,
+// stamped with the agent id and the driver's virtual clock. This is the
+// in-process analogue of the paper's Balsam job database, whose per-job
+// records made the Theta runs diagnosable (Figures 4–13: reward
+// trajectories, utilization, straggler and timeout accounting).
+//
+// Layering: the driver emits the eval_* events at the same harvest points
+// where the SearchResult counters increment, so a journal replay reconciles
+// with the result exactly; the ParameterServer and PPO controller emit their
+// own exchange/update events through the same opt-in Telemetry bundle.
+// Consumers attach either live (subscribe(), e.g. the HealthWatchdog) or
+// post-hoc (export_jsonl -> import_jsonl -> summarize_journal, e.g. the
+// examples/run_report tool).
+//
+// The schema is versioned (kJournalSchemaVersion): every exported line
+// carries "v", import_jsonl rejects lines from a newer schema, and unknown
+// event types from older writers are skipped rather than fatal.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ncnas::obs {
+
+/// Bump when the JSONL layout or event semantics change incompatibly.
+inline constexpr int kJournalSchemaVersion = 1;
+
+/// Agent id used for run-level events (serialized as -1).
+inline constexpr std::uint32_t kNoAgent = std::numeric_limits<std::uint32_t>::max();
+
+enum class JournalEventType : std::uint8_t {
+  kRunStarted,         ///< payload: agents, workers, batch, wall_time_s, strategy, seed
+  kRunFinished,        ///< payload: end_time_s, evals, best_reward, cache_hits, timeouts,
+                       ///<          ppo_updates, converged, wall_time_s
+  kEvalDispatched,     ///< payload: duration_s, worker, train_wall_ms
+  kEvalFinished,       ///< payload: reward, duration_s, timed_out, params
+  kEvalCached,         ///< payload: reward, timed_out
+  kEvalTimeout,        ///< payload: duration_s
+  kPpoUpdate,          ///< payload: policy_loss, value_loss, entropy, approx_kl, batch
+  kPsExchange,         ///< payload: mode (0 sync / 1 async), wait_s, staleness
+  kAgentConverged,     ///< payload: streak
+  kStragglerDetected,  ///< payload: duration_s, expected_s, multiple (watchdog)
+  kAgentStalled,       ///< payload: silent_s, window_s (watchdog)
+};
+
+/// Stable wire name of an event type ("eval_finished", ...).
+[[nodiscard]] const char* journal_event_name(JournalEventType type);
+/// Inverse of journal_event_name; nullopt for unknown names.
+[[nodiscard]] std::optional<JournalEventType> journal_event_from_name(std::string_view name);
+
+/// One numeric annotation on an event (flags are encoded as 0/1).
+struct JournalField {
+  std::string key;
+  double value = 0.0;
+};
+
+struct JournalEvent {
+  JournalEventType type = JournalEventType::kRunStarted;
+  double t = 0.0;                  ///< virtual-clock timestamp, seconds
+  std::uint32_t agent = kNoAgent;  ///< emitting agent; kNoAgent for run-level
+  std::uint64_t seq = 0;           ///< journal-assigned emission order
+  std::vector<JournalField> payload;
+
+  [[nodiscard]] double field(std::string_view key, double fallback = 0.0) const;
+  [[nodiscard]] bool has_field(std::string_view key) const;
+};
+
+/// Thread-safe append-only event log. append() takes one short mutex-guarded
+/// buffer write, then notifies subscribers outside the buffer lock, so a
+/// subscriber may itself append (the HealthWatchdog does) without deadlock.
+/// Subscribers must be registered before events flow and must not subscribe
+/// from inside a callback; callback order across concurrently appending
+/// threads is unspecified, but every subscriber sees every event exactly once.
+class Journal {
+ public:
+  using Subscriber = std::function<void(const JournalEvent&)>;
+
+  explicit Journal(std::size_t reserve = 1024);
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  void subscribe(Subscriber fn);
+
+  void append(JournalEventType type, double t, std::uint32_t agent = kNoAgent,
+              std::vector<JournalField> payload = {});
+
+  [[nodiscard]] std::size_t size() const;
+  /// Copies the retained events in emission (seq) order.
+  [[nodiscard]] std::vector<JournalEvent> snapshot() const;
+  void clear();
+
+  /// One JSON object per line: a schema header line, then one line per event.
+  void export_jsonl(std::ostream& os) const;
+  static void export_jsonl(const std::vector<JournalEvent>& events, std::ostream& os);
+  /// Parses a stream written by export_jsonl. Throws std::runtime_error on a
+  /// newer schema version or malformed lines; events of unknown type (from an
+  /// older reader's perspective) are skipped.
+  [[nodiscard]] static std::vector<JournalEvent> import_jsonl(std::istream& is);
+
+ private:
+  mutable std::mutex mu_;                      // guards events_ / next_seq_
+  mutable std::recursive_mutex notify_mu_;     // serializes subscriber dispatch
+  std::vector<JournalEvent> events_;
+  std::vector<Subscriber> subscribers_;
+  std::uint64_t next_seq_ = 0;
+};
+
+// ---- replay -----------------------------------------------------------------
+
+/// Per-agent activity derived from a journal replay.
+struct AgentActivity {
+  std::size_t evals = 0;        ///< finished + cached
+  std::size_t cached = 0;
+  std::size_t timeouts = 0;
+  std::size_t ppo_updates = 0;
+  double last_event_t = 0.0;
+  float best_reward = -std::numeric_limits<float>::infinity();
+};
+
+/// Everything the run-report tooling derives from one journal. Eval counting
+/// applies the driver's own deadline rule (events past wall_time_s are
+/// dropped), so `evals` / `best_reward` match the SearchResult exactly.
+struct RunSummary {
+  bool has_run_started = false;
+  bool has_run_finished = false;
+  int strategy = -1;  ///< SearchStrategy index from run_started; -1 if absent
+  std::size_t agents_declared = 0;
+  std::size_t workers_per_agent = 0;
+  double wall_time_s = std::numeric_limits<double>::infinity();
+  double end_time_s = 0.0;
+  bool converged = false;
+
+  std::size_t evals = 0;  ///< finished + cached within the deadline
+  std::size_t real_evals = 0;
+  std::size_t cache_hits = 0;
+  std::size_t timeouts = 0;
+  std::size_t ppo_updates = 0;
+  std::size_t ps_exchanges = 0;
+  std::size_t stragglers = 0;
+  std::size_t stalls = 0;
+  std::vector<std::uint32_t> converged_agents;  ///< unique, first-convergence order
+
+  float best_reward = -std::numeric_limits<float>::infinity();
+  double best_reward_t = 0.0;
+  std::vector<std::pair<double, float>> rewards;  ///< (t, reward), sorted by t
+  std::map<std::uint32_t, AgentActivity> per_agent;
+  std::vector<double> ps_wait_seconds;  ///< sync-exchange barrier waits
+  std::vector<double> ps_staleness;     ///< async-exchange gradient staleness
+
+  /// Eval rate of one agent in evaluations per simulated minute.
+  [[nodiscard]] double agent_rate_per_min(std::uint32_t agent) const;
+};
+
+/// Replays a journal (as exported/imported) into a RunSummary.
+[[nodiscard]] RunSummary summarize_journal(const std::vector<JournalEvent>& events);
+
+}  // namespace ncnas::obs

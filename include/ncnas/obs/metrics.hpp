@@ -15,6 +15,7 @@
 #include <memory>
 #include <mutex>
 #include <ostream>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -99,6 +100,12 @@ struct HistogramSample {
   /// bucket containing the q-quantile; +Inf bucket reports the last edge).
   [[nodiscard]] double quantile(double q) const;
 };
+
+/// Builds a HistogramSample directly from raw values (same Prometheus bucket
+/// semantics as Histogram) — for consumers that aggregate offline, e.g. the
+/// journal replay computing PS-exchange latency quantiles.
+[[nodiscard]] HistogramSample make_histogram_sample(std::string name, std::vector<double> bounds,
+                                                    std::span<const double> values);
 
 struct MetricsSnapshot {
   std::vector<CounterSample> counters;

@@ -1,17 +1,21 @@
 // Telemetry — the bundle handed to the search stack via
-// SearchConfig::telemetry: one MetricsRegistry plus one TraceRecorder.
+// SearchConfig::telemetry: one MetricsRegistry, one TraceRecorder, and an
+// optional structured Journal with an optional HealthWatchdog on top.
 // A null pointer disables all instrumentation (zero overhead, bit-identical
-// search results); a live instance collects both signals for the whole run.
+// search results); a live instance collects every signal for the whole run.
 //
-// Canonical metric names emitted by the instrumented internals are documented
-// in README.md §Observability.
+// Canonical metric names and the journal event schema emitted by the
+// instrumented internals are documented in README.md §Observability.
 #pragma once
 
+#include <memory>
 #include <ostream>
 
+#include "ncnas/obs/journal.hpp"
 #include "ncnas/obs/metrics.hpp"
 #include "ncnas/obs/stopwatch.hpp"
 #include "ncnas/obs/trace.hpp"
+#include "ncnas/obs/watchdog.hpp"
 
 namespace ncnas::obs {
 
@@ -20,6 +24,7 @@ namespace ncnas::obs {
 struct TelemetrySnapshot {
   MetricsSnapshot metrics;
   std::vector<TraceEvent> trace;
+  std::vector<JournalEvent> journal;  ///< empty when the journal is disabled
 };
 
 class Telemetry {
@@ -33,21 +38,53 @@ class Telemetry {
   [[nodiscard]] TraceRecorder& trace() noexcept { return trace_; }
   [[nodiscard]] const TraceRecorder& trace() const noexcept { return trace_; }
 
+  /// Opt into the structured journal. Idempotent; call before handing the
+  /// bundle to a driver so the instrumented layers resolve the pointer.
+  Journal& enable_journal(std::size_t reserve = 1024) {
+    if (!journal_) journal_ = std::make_unique<Journal>(reserve);
+    return *journal_;
+  }
+  /// Null until enable_journal(); instrumented layers treat null as "off".
+  [[nodiscard]] Journal* journal() noexcept { return journal_.get(); }
+  [[nodiscard]] const Journal* journal() const noexcept { return journal_.get(); }
+
+  /// Opt into health watching (enables the journal too). The watchdog
+  /// subscribes to the journal and writes verdicts into both the journal and
+  /// the metrics registry. Idempotent; `cfg` applies on first call only.
+  HealthWatchdog& enable_watchdog(WatchdogConfig cfg = {}) {
+    if (!watchdog_) {
+      Journal& journal = enable_journal();
+      watchdog_ = std::make_unique<HealthWatchdog>(cfg, &journal, &metrics_);
+      HealthWatchdog* w = watchdog_.get();
+      journal.subscribe([w](const JournalEvent& e) { w->on_event(e); });
+    }
+    return *watchdog_;
+  }
+  [[nodiscard]] HealthWatchdog* watchdog() noexcept { return watchdog_.get(); }
+  [[nodiscard]] const HealthWatchdog* watchdog() const noexcept { return watchdog_.get(); }
+
   [[nodiscard]] TelemetrySnapshot snapshot() const {
-    return {metrics_.snapshot(), trace_.snapshot()};
+    return {metrics_.snapshot(), trace_.snapshot(),
+            journal_ ? journal_->snapshot() : std::vector<JournalEvent>{}};
   }
 
   void dump_prometheus(std::ostream& os) const { metrics_.dump_prometheus(os); }
   void export_chrome_trace(std::ostream& os) const {
-    TraceRecorder::export_chrome(trace_.snapshot(), os);
+    TraceRecorder::export_chrome(trace_.snapshot(), os, trace_.dropped());
   }
   void export_trace_jsonl(std::ostream& os) const {
-    TraceRecorder::export_jsonl(trace_.snapshot(), os);
+    TraceRecorder::export_jsonl(trace_.snapshot(), os, trace_.dropped());
+  }
+  /// Writes the journal JSONL; a disabled journal writes nothing.
+  void export_journal_jsonl(std::ostream& os) const {
+    if (journal_) journal_->export_jsonl(os);
   }
 
  private:
   MetricsRegistry metrics_;
   TraceRecorder trace_;
+  std::unique_ptr<Journal> journal_;
+  std::unique_ptr<HealthWatchdog> watchdog_;
 };
 
 }  // namespace ncnas::obs

@@ -57,10 +57,15 @@ class TraceRecorder {
   void clear();
 
   /// Chrome trace format: {"traceEvents": [...]} — load via about://tracing
-  /// or https://ui.perfetto.dev.
-  static void export_chrome(const std::vector<TraceEvent>& events, std::ostream& os);
-  /// One JSON object per line (no wrapper), for log-pipeline ingestion.
-  static void export_jsonl(const std::vector<TraceEvent>& events, std::ostream& os);
+  /// or https://ui.perfetto.dev. `dropped` (events lost to ring wraparound)
+  /// is surfaced in the file's otherData block so a truncated trace is never
+  /// mistaken for a complete one.
+  static void export_chrome(const std::vector<TraceEvent>& events, std::ostream& os,
+                            std::uint64_t dropped = 0);
+  /// One JSON object per line (no wrapper), for log-pipeline ingestion. A
+  /// non-zero `dropped` count appends a final {"meta":...} marker line.
+  static void export_jsonl(const std::vector<TraceEvent>& events, std::ostream& os,
+                           std::uint64_t dropped = 0);
 
  private:
   mutable std::mutex mu_;

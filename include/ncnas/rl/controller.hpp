@@ -61,9 +61,12 @@ class Controller {
 
   /// One PPO update over a batch of rollouts with terminal `rewards`
   /// (reward b scores rollout b). Runs cfg.epochs passes with the
-  /// controller's internal Adam optimizer.
+  /// controller's internal Adam optimizer. `now`/`agent_id` are only read by
+  /// the telemetry journal (the driver passes its virtual clock and the
+  /// owning agent); both default so standalone callers stay unchanged.
   PpoStats ppo_update(std::span<const Rollout> rollouts, std::span<const float> rewards,
-                      const PpoConfig& cfg);
+                      const PpoConfig& cfg, double now = 0.0,
+                      std::uint32_t agent_id = obs::kNoAgent);
 
   /// Attach a telemetry sink (null to detach). ppo_update() then records its
   /// real wall time and publishes the latest loss/entropy/KL as gauges.
@@ -95,6 +98,7 @@ class Controller {
   nn::Adam adam_;
 
   obs::Histogram* ppo_wall_ms_ = nullptr;
+  obs::Journal* journal_ = nullptr;
   obs::Gauge* ppo_policy_loss_ = nullptr;
   obs::Gauge* ppo_value_loss_ = nullptr;
   obs::Gauge* ppo_entropy_ = nullptr;

@@ -75,7 +75,8 @@ EvalResult TrainingEvaluator::evaluate(const space::ArchEncoding& arch,
     return result;
   }
 
-  obs::ScopedTimer train_timer(train_wall_ms_);
+  std::optional<obs::Stopwatch> train_timer;
+  if (train_wall_ms_ != nullptr) train_timer.emplace();
   if (trainings_ != nullptr) trainings_->inc();
   tensor::Rng train_rng = tensor::Rng(seed).split(1);
   nn::TrainOptions opts;
@@ -105,6 +106,10 @@ EvalResult TrainingEvaluator::evaluate(const space::ArchEncoding& arch,
     result.reward = std::max(reward_fn_(inputs), reward_floor());
   } else {
     result.reward = std::max(metric, reward_floor());
+  }
+  if (train_timer) {
+    result.train_wall_ms = train_timer->elapsed_ms();
+    train_wall_ms_->observe(result.train_wall_ms);
   }
   return result;
 }

@@ -96,6 +96,7 @@ struct Instruments {
   obs::Histogram* cycle_latency;
   obs::Histogram* eval_sim;
   obs::TraceRecorder* trace;
+  obs::Journal* journal;  ///< null unless Telemetry::enable_journal() was called
 
   explicit Instruments(obs::Telemetry& t) {
     obs::MetricsRegistry& m = t.metrics();
@@ -109,6 +110,7 @@ struct Instruments {
     cycle_latency = &m.histogram("ncnas_cycle_latency_seconds", obs::exp_buckets(4.0, 2.0, 14));
     eval_sim = &m.histogram("ncnas_eval_sim_duration_seconds", obs::exp_buckets(4.0, 2.0, 14));
     trace = &t.trace();
+    journal = t.journal();
   }
 };
 
@@ -139,6 +141,15 @@ SearchResult SearchDriver::run() {
   if (config_.telemetry != nullptr) {
     inst.emplace(*config_.telemetry);
     evaluator.set_telemetry(config_.telemetry);
+    if (inst->journal != nullptr) {
+      inst->journal->append(obs::JournalEventType::kRunStarted, 0.0, obs::kNoAgent,
+                            {{"agents", static_cast<double>(N)},
+                             {"workers", static_cast<double>(W)},
+                             {"batch", static_cast<double>(M)},
+                             {"wall_time_s", config_.wall_time_seconds},
+                             {"strategy", static_cast<double>(config_.strategy)},
+                             {"seed", static_cast<double>(config_.seed)}});
+    }
   }
 
   // All agents start from the same policy parameters, held by the PS.
@@ -279,6 +290,13 @@ SearchResult SearchDriver::run() {
                             static_cast<std::uint32_t>(agent.id),
                             {{"reward", rec.reward},
                              {"timed_out", rec.timed_out ? 1.0 : 0.0}});
+          if (inst->journal != nullptr) {
+            inst->journal->append(obs::JournalEventType::kEvalDispatched, start,
+                                  static_cast<std::uint32_t>(agent.id),
+                                  {{"duration_s", r.sim_duration},
+                                   {"worker", static_cast<double>(slot)},
+                                   {"train_wall_ms", r.train_wall_ms}});
+          }
         }
       }
       agent.records.push_back(std::move(rec));
@@ -328,10 +346,37 @@ SearchResult SearchDriver::run() {
           inst->eval_sim->observe(rec.sim_duration);
         }
         if (rec.timed_out) inst->timeouts->inc();
+        // Journal events are emitted at the same harvest point the counters
+        // increment, with the record's own completion time, so a journal
+        // replay reconciles with both the counters and SearchResult.evals.
+        if (inst->journal != nullptr) {
+          const auto aid = static_cast<std::uint32_t>(agent.id);
+          if (rec.cache_hit) {
+            inst->journal->append(obs::JournalEventType::kEvalCached, rec.time, aid,
+                                  {{"reward", rec.reward},
+                                   {"timed_out", rec.timed_out ? 1.0 : 0.0}});
+          } else {
+            inst->journal->append(obs::JournalEventType::kEvalFinished, rec.time, aid,
+                                  {{"reward", rec.reward},
+                                   {"duration_s", rec.sim_duration},
+                                   {"timed_out", rec.timed_out ? 1.0 : 0.0},
+                                   {"params", static_cast<double>(rec.params)}});
+          }
+          if (rec.timed_out) {
+            inst->journal->append(obs::JournalEventType::kEvalTimeout, rec.time, aid,
+                                  {{"duration_s", rec.sim_duration}});
+          }
+        }
       }
       result.evals.push_back(rec);
     }
     agent.cached_streak = all_cached ? agent.cached_streak + 1 : 0;
+    if (inst && inst->journal != nullptr &&
+        agent.cached_streak == config_.convergence_streak) {
+      inst->journal->append(obs::JournalEventType::kAgentConverged, t,
+                            static_cast<std::uint32_t>(agent.id),
+                            {{"streak", static_cast<double>(agent.cached_streak)}});
+    }
     if (inst) {
       std::size_t min_streak = agents[0].cached_streak;
       for (const AgentState& a : agents) min_streak = std::min(min_streak, a.cached_streak);
@@ -363,8 +408,8 @@ SearchResult SearchDriver::run() {
     }
 
     // Local PPO epochs, then exchange the parameter delta through the PS.
-    const rl::PpoStats ppo_stats =
-        agent.controller->ppo_update(agent.rollouts, rewards, config_.ppo);
+    const rl::PpoStats ppo_stats = agent.controller->ppo_update(
+        agent.rollouts, rewards, config_.ppo, t, static_cast<std::uint32_t>(agent.id));
     ++result.ppo_updates;
     if (inst) {
       inst->ppo_updates->inc();
@@ -408,6 +453,21 @@ SearchResult SearchDriver::run() {
   result.unique_archs = unique.size();
 
   result.utilization = monitor.series(result.end_time, result.utilization_bucket);
+
+  if (inst && inst->journal != nullptr) {
+    float best = -std::numeric_limits<float>::infinity();
+    for (const EvalRecord& e : result.evals) best = std::max(best, e.reward);
+    inst->journal->append(
+        obs::JournalEventType::kRunFinished, result.end_time, obs::kNoAgent,
+        {{"end_time_s", result.end_time},
+         {"evals", static_cast<double>(result.evals.size())},
+         {"best_reward", result.evals.empty() ? 0.0 : static_cast<double>(best)},
+         {"cache_hits", static_cast<double>(result.cache_hits)},
+         {"timeouts", static_cast<double>(result.timeouts)},
+         {"ppo_updates", static_cast<double>(result.ppo_updates)},
+         {"converged", result.converged_early ? 1.0 : 0.0},
+         {"wall_time_s", config_.wall_time_seconds}});
+  }
 
   if (config_.telemetry != nullptr) {
     result.telemetry_enabled = true;

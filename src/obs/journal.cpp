@@ -1,0 +1,401 @@
+#include "ncnas/obs/journal.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <iomanip>
+#include <istream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ncnas::obs {
+
+namespace {
+
+struct NameEntry {
+  JournalEventType type;
+  const char* name;
+};
+
+constexpr NameEntry kNames[] = {
+    {JournalEventType::kRunStarted, "run_started"},
+    {JournalEventType::kRunFinished, "run_finished"},
+    {JournalEventType::kEvalDispatched, "eval_dispatched"},
+    {JournalEventType::kEvalFinished, "eval_finished"},
+    {JournalEventType::kEvalCached, "eval_cached"},
+    {JournalEventType::kEvalTimeout, "eval_timeout"},
+    {JournalEventType::kPpoUpdate, "ppo_update"},
+    {JournalEventType::kPsExchange, "ps_exchange"},
+    {JournalEventType::kAgentConverged, "agent_converged"},
+    {JournalEventType::kStragglerDetected, "straggler_detected"},
+    {JournalEventType::kAgentStalled, "agent_stalled"},
+};
+
+void write_escaped(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+             << static_cast<int>(static_cast<unsigned char>(c)) << std::dec << std::setfill(' ');
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+// Doubles are written with enough digits to round-trip exactly, so a replay
+// applies the driver's deadline rule to bit-identical timestamps.
+void write_json_number(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << 0;  // JSON has no Inf/NaN; clamp rather than emit invalid output
+    return;
+  }
+  if (v == static_cast<double>(static_cast<long long>(v)) && std::abs(v) < 1e15) {
+    os << static_cast<long long>(v);
+  } else {
+    std::ostringstream tmp;
+    tmp << std::setprecision(17) << v;
+    os << tmp.str();
+  }
+}
+
+void write_event(std::ostream& os, const JournalEvent& e) {
+  os << "{\"v\":" << kJournalSchemaVersion << ",\"seq\":" << e.seq << ",\"type\":\""
+     << journal_event_name(e.type) << "\",\"t\":";
+  write_json_number(os, e.t);
+  os << ",\"agent\":";
+  if (e.agent == kNoAgent) {
+    os << -1;
+  } else {
+    os << e.agent;
+  }
+  os << ",\"payload\":{";
+  for (std::size_t i = 0; i < e.payload.size(); ++i) {
+    if (i) os << ',';
+    write_escaped(os, e.payload[i].key);
+    os << ':';
+    write_json_number(os, e.payload[i].value);
+  }
+  os << "}}";
+}
+
+// ---- minimal parser for the journal's own JSONL dialect --------------------
+// Values are strings, numbers, or one level of nested object ("payload").
+
+struct Parser {
+  std::string_view s;
+  std::size_t i = 0;
+
+  [[noreturn]] void fail(const char* what) const {
+    throw std::runtime_error(std::string("journal import: ") + what);
+  }
+  void ws() {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  }
+  void expect(char c) {
+    ws();
+    if (i >= s.size() || s[i] != c) fail("malformed line");
+    ++i;
+  }
+  bool peek(char c) {
+    ws();
+    return i < s.size() && s[i] == c;
+  }
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (i < s.size() && s[i] != '"') {
+      char c = s[i++];
+      if (c == '\\' && i < s.size()) {
+        const char esc = s[i++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'u': {
+            if (i + 4 > s.size()) fail("truncated escape");
+            c = static_cast<char>(std::stoi(std::string(s.substr(i, 4)), nullptr, 16));
+            i += 4;
+            break;
+          }
+          default: c = esc;
+        }
+      }
+      out.push_back(c);
+    }
+    if (i >= s.size()) fail("unterminated string");
+    ++i;
+    return out;
+  }
+  double number() {
+    ws();
+    const std::size_t start = i;
+    if (i < s.size() && (s[i] == '-' || s[i] == '+')) ++i;
+    while (i < s.size() &&
+           (std::isdigit(static_cast<unsigned char>(s[i])) || s[i] == '.' || s[i] == 'e' ||
+            s[i] == 'E' || s[i] == '-' || s[i] == '+')) {
+      ++i;
+    }
+    if (i == start) fail("expected number");
+    return std::stod(std::string(s.substr(start, i - start)));
+  }
+};
+
+struct ParsedLine {
+  std::map<std::string, double> numbers;
+  std::map<std::string, std::string> strings;
+  std::vector<JournalField> payload;
+};
+
+ParsedLine parse_line(std::string_view line) {
+  Parser p{line};
+  ParsedLine out;
+  p.expect('{');
+  if (!p.peek('}')) {
+    do {
+      const std::string key = p.string();
+      p.expect(':');
+      if (p.peek('"')) {
+        out.strings[key] = p.string();
+      } else if (p.peek('{')) {
+        p.expect('{');
+        if (!p.peek('}')) {
+          do {
+            std::string fkey = p.string();
+            p.expect(':');
+            out.payload.push_back({std::move(fkey), p.number()});
+          } while (p.peek(',') && (p.expect(','), true));
+        }
+        p.expect('}');
+      } else {
+        out.numbers[key] = p.number();
+      }
+    } while (p.peek(',') && (p.expect(','), true));
+  }
+  p.expect('}');
+  return out;
+}
+
+}  // namespace
+
+const char* journal_event_name(JournalEventType type) {
+  for (const NameEntry& e : kNames) {
+    if (e.type == type) return e.name;
+  }
+  return "?";
+}
+
+std::optional<JournalEventType> journal_event_from_name(std::string_view name) {
+  for (const NameEntry& e : kNames) {
+    if (e.name == name) return e.type;
+  }
+  return std::nullopt;
+}
+
+double JournalEvent::field(std::string_view key, double fallback) const {
+  for (const JournalField& f : payload) {
+    if (f.key == key) return f.value;
+  }
+  return fallback;
+}
+
+bool JournalEvent::has_field(std::string_view key) const {
+  return std::any_of(payload.begin(), payload.end(),
+                     [&](const JournalField& f) { return f.key == key; });
+}
+
+Journal::Journal(std::size_t reserve) { events_.reserve(reserve); }
+
+void Journal::subscribe(Subscriber fn) {
+  const std::scoped_lock lock(notify_mu_);
+  subscribers_.push_back(std::move(fn));
+}
+
+void Journal::append(JournalEventType type, double t, std::uint32_t agent,
+                     std::vector<JournalField> payload) {
+  JournalEvent e{type, t, agent, 0, std::move(payload)};
+  {
+    const std::scoped_lock lock(mu_);
+    e.seq = next_seq_++;
+    events_.push_back(e);
+  }
+  // Dispatch outside the buffer lock; the recursive mutex lets a subscriber
+  // append follow-up events (watchdog verdicts) from inside its callback.
+  const std::scoped_lock lock(notify_mu_);
+  for (const Subscriber& s : subscribers_) s(e);
+}
+
+std::size_t Journal::size() const {
+  const std::scoped_lock lock(mu_);
+  return events_.size();
+}
+
+std::vector<JournalEvent> Journal::snapshot() const {
+  const std::scoped_lock lock(mu_);
+  return events_;
+}
+
+void Journal::clear() {
+  const std::scoped_lock lock(mu_);
+  events_.clear();
+  next_seq_ = 0;
+}
+
+void Journal::export_jsonl(std::ostream& os) const { export_jsonl(snapshot(), os); }
+
+void Journal::export_jsonl(const std::vector<JournalEvent>& events, std::ostream& os) {
+  os << "{\"schema\":\"ncnas.journal\",\"v\":" << kJournalSchemaVersion
+     << ",\"events\":" << events.size() << "}\n";
+  for (const JournalEvent& e : events) {
+    write_event(os, e);
+    os << '\n';
+  }
+}
+
+std::vector<JournalEvent> Journal::import_jsonl(std::istream& is) {
+  std::vector<JournalEvent> out;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const ParsedLine parsed = parse_line(line);
+    const auto v = parsed.numbers.find("v");
+    if (v == parsed.numbers.end()) {
+      throw std::runtime_error("journal import: line without schema version");
+    }
+    if (static_cast<int>(v->second) > kJournalSchemaVersion) {
+      throw std::runtime_error("journal import: schema version " +
+                               std::to_string(static_cast<int>(v->second)) +
+                               " is newer than supported version " +
+                               std::to_string(kJournalSchemaVersion));
+    }
+    if (parsed.strings.count("schema") != 0) continue;  // header line
+    const auto type_it = parsed.strings.find("type");
+    if (type_it == parsed.strings.end()) {
+      throw std::runtime_error("journal import: event line without type");
+    }
+    const auto type = journal_event_from_name(type_it->second);
+    if (!type) continue;  // event from a newer minor writer: skip, don't fail
+    JournalEvent e;
+    e.type = *type;
+    if (const auto it = parsed.numbers.find("t"); it != parsed.numbers.end()) e.t = it->second;
+    if (const auto it = parsed.numbers.find("seq"); it != parsed.numbers.end()) {
+      e.seq = static_cast<std::uint64_t>(it->second);
+    }
+    if (const auto it = parsed.numbers.find("agent"); it != parsed.numbers.end()) {
+      e.agent = it->second < 0 ? kNoAgent : static_cast<std::uint32_t>(it->second);
+    }
+    e.payload = parsed.payload;
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+// ---- replay -----------------------------------------------------------------
+
+double RunSummary::agent_rate_per_min(std::uint32_t agent) const {
+  const auto it = per_agent.find(agent);
+  if (it == per_agent.end()) return 0.0;
+  const double span = end_time_s > 0.0 ? end_time_s : it->second.last_event_t;
+  if (span <= 0.0) return 0.0;
+  return static_cast<double>(it->second.evals) / (span / 60.0);
+}
+
+RunSummary summarize_journal(const std::vector<JournalEvent>& events) {
+  RunSummary sum;
+  // First pass for the deadline: eval events past the configured wall time
+  // are dropped from SearchResult.evals, and the replay must match.
+  for (const JournalEvent& e : events) {
+    if (e.type == JournalEventType::kRunStarted) {
+      sum.has_run_started = true;
+      sum.strategy = static_cast<int>(e.field("strategy", -1.0));
+      sum.agents_declared = static_cast<std::size_t>(e.field("agents"));
+      sum.workers_per_agent = static_cast<std::size_t>(e.field("workers"));
+      if (e.has_field("wall_time_s")) sum.wall_time_s = e.field("wall_time_s");
+    }
+  }
+
+  for (const JournalEvent& e : events) {
+    if (e.agent != kNoAgent) {
+      AgentActivity& a = sum.per_agent[e.agent];
+      a.last_event_t = std::max(a.last_event_t, e.t);
+    }
+    switch (e.type) {
+      case JournalEventType::kRunStarted:
+        break;  // handled above
+      case JournalEventType::kRunFinished:
+        sum.has_run_finished = true;
+        sum.end_time_s = e.field("end_time_s", e.t);
+        sum.converged = e.field("converged") != 0.0;
+        break;
+      case JournalEventType::kEvalFinished:
+      case JournalEventType::kEvalCached: {
+        if (e.t > sum.wall_time_s) break;  // the driver's deadline filter
+        const bool cached = e.type == JournalEventType::kEvalCached;
+        const auto reward = static_cast<float>(e.field("reward"));
+        ++sum.evals;
+        if (cached) {
+          ++sum.cache_hits;
+        } else {
+          ++sum.real_evals;
+        }
+        AgentActivity& a = sum.per_agent[e.agent];
+        ++a.evals;
+        if (cached) ++a.cached;
+        if (e.field("timed_out") != 0.0) ++a.timeouts;
+        a.best_reward = std::max(a.best_reward, reward);
+        sum.rewards.emplace_back(e.t, reward);
+        if (reward > sum.best_reward) {
+          sum.best_reward = reward;
+          sum.best_reward_t = e.t;
+        }
+        break;
+      }
+      case JournalEventType::kEvalTimeout:
+        if (e.t <= sum.wall_time_s) ++sum.timeouts;
+        break;
+      case JournalEventType::kEvalDispatched:
+        break;
+      case JournalEventType::kPpoUpdate:
+        ++sum.ppo_updates;
+        ++sum.per_agent[e.agent].ppo_updates;
+        break;
+      case JournalEventType::kPsExchange:
+        ++sum.ps_exchanges;
+        if (e.field("mode") == 0.0) {
+          sum.ps_wait_seconds.push_back(e.field("wait_s"));
+        } else {
+          sum.ps_staleness.push_back(e.field("staleness"));
+        }
+        break;
+      case JournalEventType::kAgentConverged:
+        if (std::find(sum.converged_agents.begin(), sum.converged_agents.end(), e.agent) ==
+            sum.converged_agents.end()) {
+          sum.converged_agents.push_back(e.agent);
+        }
+        break;
+      case JournalEventType::kStragglerDetected:
+        ++sum.stragglers;
+        break;
+      case JournalEventType::kAgentStalled:
+        ++sum.stalls;
+        break;
+    }
+  }
+  std::stable_sort(sum.rewards.begin(), sum.rewards.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  if (sum.end_time_s == 0.0 && !sum.rewards.empty()) {
+    sum.end_time_s = sum.rewards.back().first;
+  }
+  return sum;
+}
+
+}  // namespace ncnas::obs

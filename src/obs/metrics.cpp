@@ -60,6 +60,24 @@ double HistogramSample::quantile(double q) const {
   return bounds.empty() ? 0.0 : bounds.back();
 }
 
+HistogramSample make_histogram_sample(std::string name, std::vector<double> bounds,
+                                      std::span<const double> values) {
+  if (!std::is_sorted(bounds.begin(), bounds.end())) {
+    throw std::invalid_argument("make_histogram_sample: bucket bounds must be ascending");
+  }
+  HistogramSample s;
+  s.name = std::move(name);
+  s.bounds = std::move(bounds);
+  s.buckets.assign(s.bounds.size() + 1, 0);
+  for (double v : values) {
+    const auto it = std::lower_bound(s.bounds.begin(), s.bounds.end(), v);
+    ++s.buckets[static_cast<std::size_t>(it - s.bounds.begin())];
+    ++s.count;
+    s.sum += v;
+  }
+  return s;
+}
+
 std::uint64_t MetricsSnapshot::counter_value(const std::string& name) const {
   for (const CounterSample& c : counters) {
     if (c.name == name) return c.value;

@@ -129,20 +129,26 @@ void write_event(std::ostream& os, const TraceEvent& e) {
 
 }  // namespace
 
-void TraceRecorder::export_chrome(const std::vector<TraceEvent>& events, std::ostream& os) {
+void TraceRecorder::export_chrome(const std::vector<TraceEvent>& events, std::ostream& os,
+                                  std::uint64_t dropped) {
   os << "{\"traceEvents\":[";
   for (std::size_t i = 0; i < events.size(); ++i) {
     if (i) os << ',';
     os << '\n';
     write_event(os, events[i]);
   }
-  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+  os << "\n],\"otherData\":{\"droppedEvents\":" << dropped
+     << "},\"displayTimeUnit\":\"ms\"}\n";
 }
 
-void TraceRecorder::export_jsonl(const std::vector<TraceEvent>& events, std::ostream& os) {
+void TraceRecorder::export_jsonl(const std::vector<TraceEvent>& events, std::ostream& os,
+                                 std::uint64_t dropped) {
   for (const TraceEvent& e : events) {
     write_event(os, e);
     os << '\n';
+  }
+  if (dropped > 0) {
+    os << "{\"meta\":\"ncnas.trace\",\"dropped\":" << dropped << "}\n";
   }
 }
 

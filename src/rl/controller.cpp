@@ -140,6 +140,7 @@ space::ArchEncoding Controller::greedy() const {
 void Controller::set_telemetry(obs::Telemetry* telemetry) {
   if (telemetry == nullptr) {
     ppo_wall_ms_ = nullptr;
+    journal_ = nullptr;
     ppo_policy_loss_ = nullptr;
     ppo_value_loss_ = nullptr;
     ppo_entropy_ = nullptr;
@@ -148,6 +149,7 @@ void Controller::set_telemetry(obs::Telemetry* telemetry) {
   }
   obs::MetricsRegistry& m = telemetry->metrics();
   ppo_wall_ms_ = &m.histogram("ncnas_ppo_update_wall_ms", obs::exp_buckets(0.25, 2.0, 16));
+  journal_ = telemetry->journal();
   ppo_policy_loss_ = &m.gauge("ncnas_ppo_policy_loss");
   ppo_value_loss_ = &m.gauge("ncnas_ppo_value_loss");
   ppo_entropy_ = &m.gauge("ncnas_ppo_entropy");
@@ -155,7 +157,8 @@ void Controller::set_telemetry(obs::Telemetry* telemetry) {
 }
 
 PpoStats Controller::ppo_update(std::span<const Rollout> rollouts,
-                                std::span<const float> rewards, const PpoConfig& cfg) {
+                                std::span<const float> rewards, const PpoConfig& cfg,
+                                double now, std::uint32_t agent_id) {
   const obs::ScopedTimer timer(ppo_wall_ms_);
   const std::size_t B = rollouts.size();
   const std::size_t T = arities_.size();
@@ -302,6 +305,14 @@ PpoStats Controller::ppo_update(std::span<const Rollout> rollouts,
     ppo_value_loss_->set(stats.value_loss);
     ppo_entropy_->set(stats.entropy);
     ppo_approx_kl_->set(stats.approx_kl);
+  }
+  if (journal_ != nullptr) {
+    journal_->append(obs::JournalEventType::kPpoUpdate, now, agent_id,
+                     {{"policy_loss", stats.policy_loss},
+                      {"value_loss", stats.value_loss},
+                      {"entropy", stats.entropy},
+                      {"approx_kl", stats.approx_kl},
+                      {"batch", static_cast<double>(B)}});
   }
   return stats;
 }

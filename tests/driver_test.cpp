@@ -167,6 +167,7 @@ TEST(Driver, TelemetryCountersReconcileWithResult) {
   const space::SearchSpace s = space::nt3_small_space();
   const data::Dataset ds = tiny_nt3();
   obs::Telemetry tel;
+  tel.enable_journal();
   SearchConfig cfg = small_config(SearchStrategy::kA3C);
   cfg.telemetry = &tel;
   const SearchResult res = SearchDriver(s, ds, cfg).run();
@@ -191,6 +192,25 @@ TEST(Driver, TelemetryCountersReconcileWithResult) {
   EXPECT_EQ(sim->count, real);
   EXPECT_GT(m.counter_value("ncnas_agent_cycles_total"), 0u);
   EXPECT_GT(m.counter_value("ncnas_ps_delta_applies_total"), 0u);
+
+  // The journal tells the same story as the counters, event for event.
+  std::size_t j_cached = 0, j_finished = 0, j_timeouts = 0, j_ppo = 0, j_exchanges = 0;
+  for (const obs::JournalEvent& e : res.telemetry->journal) {
+    switch (e.type) {
+      case obs::JournalEventType::kEvalCached: ++j_cached; break;
+      case obs::JournalEventType::kEvalFinished: ++j_finished; break;
+      case obs::JournalEventType::kEvalTimeout: ++j_timeouts; break;
+      case obs::JournalEventType::kPpoUpdate: ++j_ppo; break;
+      case obs::JournalEventType::kPsExchange: ++j_exchanges; break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(j_cached, hits);
+  EXPECT_EQ(j_finished, real);
+  EXPECT_EQ(j_timeouts, m.counter_value("ncnas_eval_timeouts_total"));
+  EXPECT_EQ(j_ppo, res.ppo_updates);
+  EXPECT_EQ(j_exchanges, m.counter_value("ncnas_ps_exchanges_total"));
+  EXPECT_GT(j_exchanges, 0u);
 }
 
 TEST(Driver, TelemetryTraceHasCycleSpansPerAgent) {
@@ -222,6 +242,8 @@ TEST(Driver, TelemetryDisabledLeavesResultsBitIdentical) {
   cfg.wall_time_seconds = 600.0;
   const SearchResult plain = SearchDriver(s, ds, cfg).run();
   obs::Telemetry tel;
+  tel.enable_journal();   // the heaviest observation configuration:
+  tel.enable_watchdog();  // journal + watchdog must still not perturb results
   cfg.telemetry = &tel;
   const SearchResult observed = SearchDriver(s, ds, cfg).run();
 

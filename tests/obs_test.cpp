@@ -175,6 +175,53 @@ TEST(Metrics, SnapshotQuantileUsesBucketEdges) {
   EXPECT_NEAR(s->mean(), (90 * 0.5 + 10 * 50.0) / 100.0, 1e-9);
 }
 
+TEST(Metrics, QuantileEdgeCases) {
+  // Empty sample: any quantile is 0 (no data to estimate from).
+  HistogramSample empty;
+  empty.bounds = {1.0, 2.0};
+  empty.buckets = {0, 0, 0};
+  EXPECT_DOUBLE_EQ(empty.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(empty.quantile(1.0), 0.0);
+
+  // q = 0 returns the first non-empty bucket's edge; q = 1 the last.
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("h", {1.0, 10.0, 100.0});
+  h.observe(5.0);    // le=10
+  h.observe(50.0);   // le=100
+  const MetricsSnapshot snap = reg.snapshot();
+  const HistogramSample* s = snap.histogram("h");
+  ASSERT_NE(s, nullptr);
+  EXPECT_DOUBLE_EQ(s->quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(s->quantile(1.0), 100.0);
+  // Out-of-range q clamps rather than reading out of bounds.
+  EXPECT_DOUBLE_EQ(s->quantile(-1.0), s->quantile(0.0));
+  EXPECT_DOUBLE_EQ(s->quantile(2.0), s->quantile(1.0));
+
+  // All observations in the +Inf overflow bucket: report the last finite edge
+  // (the best bound the histogram can state).
+  Histogram& over = reg.histogram("over", {1.0, 2.0});
+  over.observe(100.0);
+  over.observe(200.0);
+  const MetricsSnapshot over_snap = reg.snapshot();
+  const HistogramSample* o = over_snap.histogram("over");
+  ASSERT_NE(o, nullptr);
+  EXPECT_DOUBLE_EQ(o->quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(o->quantile(1.0), 2.0);
+}
+
+TEST(Metrics, MakeHistogramSampleMatchesHistogramSemantics) {
+  const std::vector<double> values{0.5, 1.0, 1.5, 2.0, 3.0};
+  const HistogramSample s = make_histogram_sample("s", {1.0, 2.0}, values);
+  ASSERT_EQ(s.buckets.size(), 3u);
+  EXPECT_EQ(s.buckets[0], 2u);  // le=1 is inclusive, Prometheus semantics
+  EXPECT_EQ(s.buckets[1], 2u);
+  EXPECT_EQ(s.buckets[2], 1u);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.sum, 8.0);
+  EXPECT_THROW(make_histogram_sample("bad", {2.0, 1.0}, values), std::invalid_argument);
+}
+
 TEST(Metrics, PrometheusDumpShape) {
   MetricsRegistry reg;
   reg.counter("ncnas_evals_total").inc(3);
@@ -260,6 +307,37 @@ TEST(Trace, JsonlExportOneValidObjectPerLine) {
     ++count;
   }
   EXPECT_EQ(count, 2);
+}
+
+TEST(Trace, ChromeExportSurfacesDroppedEventCount) {
+  TraceRecorder rec(2);
+  for (int i = 0; i < 5; ++i) rec.instant("e", "t", static_cast<double>(i), 0);
+  EXPECT_EQ(rec.dropped(), 3u);
+  std::ostringstream os;
+  TraceRecorder::export_chrome(rec.snapshot(), os, rec.dropped());
+  const std::string json = os.str();
+  EXPECT_TRUE(is_valid_json(json)) << json;
+  EXPECT_NE(json.find("\"droppedEvents\":3"), std::string::npos);
+}
+
+TEST(Trace, JsonlExportAppendsDroppedMetaLineOnlyWhenLossy) {
+  TraceRecorder rec(2);
+  rec.instant("a", "t", 0.0, 0);
+  std::ostringstream lossless;
+  TraceRecorder::export_jsonl(rec.snapshot(), lossless, rec.dropped());
+  EXPECT_EQ(lossless.str().find("ncnas.trace"), std::string::npos);
+
+  for (int i = 0; i < 5; ++i) rec.instant("b", "t", static_cast<double>(i), 0);
+  std::ostringstream lossy;
+  TraceRecorder::export_jsonl(rec.snapshot(), lossy, rec.dropped());
+  std::istringstream lines(lossy.str());
+  std::string line, last;
+  while (std::getline(lines, line)) {
+    EXPECT_TRUE(is_valid_json(line)) << line;
+    last = line;
+  }
+  EXPECT_NE(last.find("\"meta\":\"ncnas.trace\""), std::string::npos);
+  EXPECT_NE(last.find("\"dropped\":4"), std::string::npos);
 }
 
 TEST(Trace, ConcurrentRecordingLosesNothingBelowCapacity) {

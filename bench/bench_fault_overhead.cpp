@@ -1,0 +1,141 @@
+// Fault-injection overhead proof: the same small search scenario
+// bench_telemetry_overhead uses, run (a) with SearchConfig::faults null —
+// the seed driver's code path, (b) with an injector built from an *empty*
+// plan — which the driver must treat exactly like (a), costing nothing —
+// and (c) with a chaos plan actually firing, to price the recovery
+// machinery itself (retries, backoff, requeues). Compare the BM_SearchRun
+// counters directly:
+//
+//   ./build/bench/bench_fault_overhead --benchmark_repetitions=3
+#include <benchmark/benchmark.h>
+
+#include "ncnas/exec/fault.hpp"
+#include "ncnas/nas/driver.hpp"
+#include "ncnas/space/spaces.hpp"
+
+namespace {
+
+using namespace ncnas;
+
+const data::Dataset& small_dataset() {
+  static const data::Dataset ds = [] {
+    data::Nt3Dims dims;
+    dims.train = 64;
+    dims.valid = 32;
+    dims.length = 64;
+    dims.motif = 6;
+    return data::make_nt3(5, dims);
+  }();
+  return ds;
+}
+
+nas::SearchConfig small_search_config() {
+  nas::SearchConfig cfg;
+  cfg.strategy = nas::SearchStrategy::kA3C;
+  cfg.cluster = {.num_agents = 3, .workers_per_agent = 4};
+  cfg.wall_time_seconds = 900.0;
+  cfg.fidelity = {.epochs = 1, .subset_fraction = 1.0};
+  cfg.cost = {.startup_seconds = 20.0, .seconds_per_megaunit = 1.0, .timeout_seconds = 600.0};
+  cfg.seed = 11;
+  return cfg;
+}
+
+void BM_SearchRun_NoFaultInjector(benchmark::State& state) {
+  const space::SearchSpace sp = space::nt3_small_space();
+  const data::Dataset& ds = small_dataset();
+  const nas::SearchConfig cfg = small_search_config();
+  std::size_t evals = 0;
+  for (auto _ : state) {
+    nas::SearchResult res = nas::SearchDriver(sp, ds, cfg).run();
+    evals += res.evals.size();
+    benchmark::DoNotOptimize(res.end_time);
+  }
+  state.counters["evals"] =
+      benchmark::Counter(static_cast<double>(evals), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_SearchRun_NoFaultInjector)->Unit(benchmark::kMillisecond);
+
+void BM_SearchRun_NullPlan(benchmark::State& state) {
+  // An injector with nothing to inject: the driver detects the empty plan up
+  // front and stays on the fault-free path — this must match
+  // BM_SearchRun_NoFaultInjector (and produce bit-identical results).
+  const space::SearchSpace sp = space::nt3_small_space();
+  const data::Dataset& ds = small_dataset();
+  const exec::FaultInjector fx{exec::FaultPlan{}};
+  nas::SearchConfig cfg = small_search_config();
+  cfg.faults = &fx;
+  std::size_t evals = 0;
+  for (auto _ : state) {
+    nas::SearchResult res = nas::SearchDriver(sp, ds, cfg).run();
+    evals += res.evals.size();
+    benchmark::DoNotOptimize(res.end_time);
+  }
+  state.counters["evals"] =
+      benchmark::Counter(static_cast<double>(evals), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_SearchRun_NullPlan)->Unit(benchmark::kMillisecond);
+
+void BM_SearchRun_ChaosPlan(benchmark::State& state) {
+  // Every fault shape firing at once: prices the retry loop, backoff
+  // bookkeeping, dead-worker requeues, and partial PS rounds. Note the
+  // recovery work happens on the virtual clock — the real host cost is the
+  // per-site hash verdicts plus the extra driver bookkeeping.
+  const space::SearchSpace sp = space::nt3_small_space();
+  const data::Dataset& ds = small_dataset();
+  exec::FaultPlan plan;
+  plan.seed = 7;
+  plan.eval_failure_prob = 0.25;
+  plan.slowdown_prob = 0.15;
+  plan.slowdown_multiple = 2.0;
+  plan.lost_result_prob = 0.10;
+  plan.ps_drop_prob = 0.15;
+  plan.ps_delay_prob = 0.15;
+  plan.max_retries = 2;
+  plan.worker_crashes.push_back({.agent = 1, .worker = 0, .time = 450.0});
+  const exec::FaultInjector fx(plan);
+  nas::SearchConfig cfg = small_search_config();
+  cfg.faults = &fx;
+  std::size_t evals = 0;
+  std::size_t retries = 0;
+  for (auto _ : state) {
+    nas::SearchResult res = nas::SearchDriver(sp, ds, cfg).run();
+    evals += res.evals.size();
+    retries += res.retries;
+    benchmark::DoNotOptimize(res.end_time);
+  }
+  state.counters["evals"] =
+      benchmark::Counter(static_cast<double>(evals), benchmark::Counter::kAvgIterations);
+  state.counters["retries"] =
+      benchmark::Counter(static_cast<double>(retries), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_SearchRun_ChaosPlan)->Unit(benchmark::kMillisecond);
+
+// The verdict primitives themselves: one hash-mix sample per dispatch site.
+void BM_TaskFaultVerdict(benchmark::State& state) {
+  exec::FaultPlan plan;
+  plan.eval_failure_prob = 0.2;
+  plan.slowdown_prob = 0.1;
+  plan.lost_result_prob = 0.05;
+  const exec::FaultInjector fx(plan);
+  std::size_t attempt = 0;
+  for (auto _ : state) {
+    const auto tf = fx.task_fault(2, "c3.k5.f16.d128", attempt++ & 3);
+    benchmark::DoNotOptimize(tf.fail);
+  }
+}
+BENCHMARK(BM_TaskFaultVerdict);
+
+void BM_ExchangeFaultVerdict(benchmark::State& state) {
+  exec::FaultPlan plan;
+  plan.ps_drop_prob = 0.1;
+  plan.ps_delay_prob = 0.1;
+  const exec::FaultInjector fx(plan);
+  std::uint64_t round = 0;
+  for (auto _ : state) {
+    const auto ef = fx.exchange_fault(1, round++);
+    benchmark::DoNotOptimize(ef.drop);
+  }
+}
+BENCHMARK(BM_ExchangeFaultVerdict);
+
+}  // namespace

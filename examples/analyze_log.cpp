@@ -65,7 +65,16 @@ int main(int argc, char** argv) {
             << res->timeouts << " timed out), " << res->unique_archs
             << " unique architectures, " << res->ppo_updates << " PPO updates\n";
   std::cout << "search span: " << analytics::fmt(res->end_time / 60.0, 1) << " min"
-            << (res->converged_early ? " (converged early)" : "") << "\n\n";
+            << (res->converged_early ? " (converged early)" : "") << "\n";
+  if (res->retries + res->exhausted + res->lost_results + res->crashed_workers +
+          res->dead_agents >
+      0) {
+    std::cout << "faults: " << res->retries << " retries, " << res->exhausted
+              << " floored after retry budget, " << res->lost_results << " lost results, "
+              << res->crashed_workers << " crashed worker(s), " << res->dead_agents
+              << " dead agent(s)\n";
+  }
+  std::cout << "\n";
 
   std::vector<std::pair<double, float>> rewards;
   for (const auto& e : res->evals) rewards.emplace_back(e.time, e.reward);
@@ -111,6 +120,19 @@ int main(int argc, char** argv) {
                 << ", log best reward " << analytics::fmt(log_best) << "\n";
       ok = false;
     }
+    // Fault accounting is recorded on both sides with the same no-deadline
+    // convention, so a faulty run's journal must reconcile counter-for-counter.
+    const auto check_fault = [&](const char* what, std::size_t journal_n, std::size_t log_n) {
+      if (journal_n == log_n) return;
+      std::cout << "  MISMATCH: journal has " << journal_n << " " << what << ", log has "
+                << log_n << "\n";
+      ok = false;
+    };
+    check_fault("retries", sum.retries, res->retries);
+    check_fault("retry-exhausted evals", sum.exhausted, res->exhausted);
+    check_fault("lost results", sum.lost_results, res->lost_results);
+    check_fault("crashed workers", sum.crashed_workers, res->crashed_workers);
+    check_fault("dead agents", sum.dead_agents, res->dead_agents);
     if (ok) {
       std::cout << "  OK: " << sum.evals << " evals, best reward "
                 << analytics::fmt(sum.best_reward) << " — journal and log agree\n";

@@ -140,6 +140,20 @@ int main(int argc, char** argv) {
     os << "\n";
   }
 
+  if (sum.faulty()) {
+    // Rendered only for runs whose journal recorded injected faults or
+    // recovery actions; a clean journal keeps the clean report layout.
+    os << h2 << "Faults and recovery\n";
+    os << sum.eval_failures << " failed dispatch attempts, " << sum.retries
+       << " retried with backoff, " << sum.exhausted << " floored after retry budget, "
+       << sum.lost_results << " results lost in flight\n";
+    os << sum.crashed_workers << " worker(s) crashed, " << sum.dead_agents
+       << " agent(s) lost their whole pool\n";
+    os << "parameter server: " << sum.ps_dropped << " exchange(s) dropped, "
+       << sum.ps_delayed << " delayed, " << sum.barrier_timeouts
+       << " partial A2C round(s) forced by barrier timeout\n\n";
+  }
+
   os << h2 << "Health\n";
   os << "expected eval duration: "
      << (health.expected_eval_seconds > 0.0

@@ -137,9 +137,13 @@ class CachedEvaluator final : public Evaluator {
 
   /// Split-phase access for drivers that batch cache misses onto a thread
   /// pool: lookup() returns the cached result (marked cache_hit) or nullopt;
-  /// insert() stores a freshly computed miss.
+  /// insert() stores a freshly computed miss. erase() drops an entry whose
+  /// evaluation ultimately failed (retry exhaustion), so a later
+  /// regeneration re-evaluates instead of replaying a non-measurement —
+  /// failed evals never poison the cache.
   [[nodiscard]] std::optional<EvalResult> lookup(const space::ArchEncoding& arch) const;
   void insert(const space::ArchEncoding& arch, const EvalResult& result) const;
+  void erase(const space::ArchEncoding& arch) const;
 
   [[nodiscard]] std::size_t hits() const noexcept { return hits_; }
   [[nodiscard]] std::size_t misses() const noexcept { return misses_; }

@@ -1,0 +1,113 @@
+// FaultInjector — a seeded, fully deterministic chaos plan for the simulated
+// cluster (paper §3.3, §4: the production system leaned on Balsam to survive
+// killed jobs, straggler nodes, and lost results on Theta; this layer makes
+// that robustness testable without the Theta).
+//
+// A FaultPlan describes *what goes wrong*: workers that crash at a virtual
+// time, per-attempt evaluation failure probability, slowdown multipliers
+// (straggler nodes), completed tasks whose result is lost in flight, and
+// parameter-server exchanges that are dropped or delayed. The injector turns
+// the plan into per-site verdicts that are pure functions of
+// (seed, site, agent, key, attempt) — no shared RNG stream — so verdicts are
+// independent of evaluation order and threading, exactly like the cost
+// model's hash jitter. Same plan + same run seed => bit-identical faults.
+//
+// The injector is threaded through SearchConfig the same opt-in way
+// telemetry is: a null pointer or an empty plan leaves the driver on its
+// fault-free path with bit-identical results.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ncnas::exec {
+
+/// One worker permanently lost at virtual time `time` (a killed Theta node).
+/// Tasks it is running at that moment die with it and are requeued.
+struct WorkerCrash {
+  std::size_t agent = 0;
+  std::size_t worker = 0;
+  double time = 0.0;
+};
+
+struct FaultPlan {
+  /// Seed of the fault universe, independent of the search seed.
+  std::uint64_t seed = 0;
+
+  /// Workers that permanently die at a virtual time.
+  std::vector<WorkerCrash> worker_crashes;
+
+  /// Per-attempt probability that an evaluation task dies mid-run (the
+  /// worker survives; the task is retried with backoff).
+  double eval_failure_prob = 0.0;
+  /// Per-attempt probability that a task runs `slowdown_multiple` slower
+  /// (a straggler node; the task still succeeds).
+  double slowdown_prob = 0.0;
+  double slowdown_multiple = 3.0;
+  /// Per-attempt probability that a task completes but its result is lost
+  /// in flight (the full duration is paid, then the task is retried).
+  double lost_result_prob = 0.0;
+
+  /// Per-exchange probability that a PS exchange is dropped (the delta never
+  /// arrives) or delayed by `ps_delay_seconds` before arriving.
+  double ps_drop_prob = 0.0;
+  double ps_delay_prob = 0.0;
+  double ps_delay_seconds = 30.0;
+
+  /// Recovery policy knobs (used by the driver, not by fault sampling).
+  std::size_t max_retries = 3;           ///< failed attempts before flooring
+  double backoff_base_seconds = 5.0;     ///< first retry delay
+  double backoff_cap_seconds = 120.0;    ///< exponential backoff ceiling
+  /// A2C only: virtual seconds the barrier waits for absent agents after the
+  /// last live arrival before releasing a partial round.
+  double barrier_timeout_seconds = 300.0;
+
+  /// True when the plan injects nothing — the driver then behaves (and its
+  /// config fingerprint stays) exactly as if no plan were set.
+  [[nodiscard]] bool empty() const;
+  /// Stable one-line digest of every fault knob, recorded by result_io so
+  /// saved logs from different plans never alias.
+  [[nodiscard]] std::string fingerprint() const;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  /// Verdict for one dispatch attempt of one task.
+  struct TaskFault {
+    bool fail = false;        ///< dies mid-run at fail_frac of its duration
+    double fail_frac = 0.5;   ///< fraction of the duration served before dying
+    bool lost = false;        ///< completes, but the result never arrives
+    double slowdown = 1.0;    ///< duration multiplier (1.0 = healthy node)
+  };
+  /// Pure in (agent, arch key, attempt); independent of call order.
+  [[nodiscard]] TaskFault task_fault(std::size_t agent, const std::string& arch_key,
+                                     std::size_t attempt) const;
+
+  /// Verdict for one PS exchange (drop wins over delay).
+  struct ExchangeFault {
+    bool drop = false;
+    double delay_seconds = 0.0;
+  };
+  [[nodiscard]] ExchangeFault exchange_fault(std::size_t agent, std::uint64_t round) const;
+
+  /// Virtual time at which (agent, worker) permanently dies; +infinity when
+  /// the plan never kills it. Duplicate plan entries resolve to the earliest.
+  [[nodiscard]] double crash_time(std::size_t agent, std::size_t worker) const;
+
+  /// Capped exponential backoff before retry number `attempt` (1-based):
+  /// min(cap, base * 2^(attempt-1)).
+  [[nodiscard]] double backoff(std::size_t attempt) const;
+
+ private:
+  FaultPlan plan_;
+  bool enabled_ = false;
+};
+
+}  // namespace ncnas::exec

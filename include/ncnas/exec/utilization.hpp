@@ -19,8 +19,13 @@ class UtilizationMonitor {
   /// Records that one worker was busy during [start, end) simulated seconds.
   void add_busy_interval(double start, double end);
 
-  /// Mean utilization (busy worker-seconds / total worker-seconds) in each
-  /// bucket of `bucket_seconds` covering [0, t_end).
+  /// Records that one worker is permanently lost from `from` onwards (a
+  /// crashed node): its worker-seconds leave the utilization denominator, so
+  /// the surviving capacity is measured against what actually existed.
+  void add_capacity_loss(double from);
+
+  /// Mean utilization (busy worker-seconds / available worker-seconds) in
+  /// each bucket of `bucket_seconds` covering [0, t_end).
   [[nodiscard]] std::vector<double> series(double t_end, double bucket_seconds) const;
 
   /// Overall mean utilization in [0, t_end).
@@ -28,6 +33,7 @@ class UtilizationMonitor {
 
   [[nodiscard]] double busy_worker_seconds() const noexcept { return busy_seconds_; }
   [[nodiscard]] std::size_t interval_count() const noexcept { return intervals_.size(); }
+  [[nodiscard]] std::size_t capacity_losses() const noexcept { return losses_.size(); }
 
  private:
   struct Interval {
@@ -36,6 +42,7 @@ class UtilizationMonitor {
 
   std::size_t total_workers_;
   std::vector<Interval> intervals_;
+  std::vector<double> losses_;  ///< one entry per dead worker: loss start time
   double busy_seconds_ = 0.0;
 };
 

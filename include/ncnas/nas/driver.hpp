@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "ncnas/exec/evaluator.hpp"
+#include "ncnas/exec/fault.hpp"
 #include "ncnas/nas/parameter_server.hpp"
 #include "ncnas/obs/telemetry.hpp"
 #include "ncnas/rl/controller.hpp"
@@ -85,6 +86,11 @@ struct SearchConfig {
   /// Deliberately excluded from config_fingerprint(): observing a search
   /// never changes it.
   obs::Telemetry* telemetry = nullptr;
+  /// Optional deterministic fault plan (not owned; must outlive the driver).
+  /// Null — or an injector built from an empty plan — leaves the driver on
+  /// its fault-free path with bit-identical results. A non-empty plan IS
+  /// covered by config_fingerprint(), because faults change the search.
+  const exec::FaultInjector* faults = nullptr;
 };
 
 /// One completed reward estimation, stamped with its virtual completion time.
@@ -95,7 +101,12 @@ struct EvalRecord {
   double sim_duration = 0.0;
   bool cache_hit = false;
   bool timed_out = false;
+  /// True when every dispatch attempt failed (retry budget spent or no live
+  /// worker left): the reward is the evaluator's floor, not a measurement.
+  bool failed = false;
   std::size_t agent = 0;
+  /// Dispatch attempts behind this record (1 on the fault-free path).
+  std::size_t attempts = 1;
   space::ArchEncoding arch;
 };
 
@@ -107,6 +118,14 @@ struct SearchResult {
   std::size_t timeouts = 0;
   std::size_t unique_archs = 0;
   std::size_t ppo_updates = 0;
+  // Fault-injection and recovery accounting (all zero on a fault-free run).
+  // Counted at the moment the fault is handled, with no deadline filter, so
+  // they reconcile 1:1 with the journal's fault events.
+  std::size_t retries = 0;          ///< failed attempts re-dispatched with backoff
+  std::size_t exhausted = 0;        ///< records floored after the retry budget
+  std::size_t lost_results = 0;     ///< completed tasks whose result was dropped
+  std::size_t crashed_workers = 0;  ///< workers lost to the fault plan
+  std::size_t dead_agents = 0;      ///< agents that lost every worker
   std::vector<double> utilization;     ///< per-minute worker utilization
   double utilization_bucket = 60.0;
   /// Whether the run was instrumented (recorded in saved logs so replayed
@@ -118,7 +137,8 @@ struct SearchResult {
   /// Best reward seen up to each eval (handy for trajectory plots).
   [[nodiscard]] std::vector<std::pair<double, float>> best_so_far() const;
   /// Top-k *unique* architectures by estimated reward (the paper's top-50
-  /// selection for post-training). Excludes timed-out evaluations.
+  /// selection for post-training). Excludes timed-out and retry-exhausted
+  /// (floored) evaluations — neither reward is a measurement.
   [[nodiscard]] std::vector<EvalRecord> top_k(std::size_t k) const;
 };
 

@@ -54,13 +54,38 @@ class ParameterServer {
   /// `now` is the submitting agent's virtual time, used only for telemetry.
   bool submit(std::size_t agent, std::span<const float> delta, double now = 0.0);
 
-  /// Sync only: true when every agent of the round has submitted.
-  [[nodiscard]] bool barrier_complete() const noexcept {
-    return pending_count_ == num_agents_;
-  }
+  /// Sync only: true when every *active* agent of the round has submitted
+  /// (and at least one delta is pending).
+  [[nodiscard]] bool barrier_complete() const noexcept;
+
+  // ---- failure tolerance (sync mode) ---------------------------------------
+  // The fault-injection layer exercises two A2C failure shapes: an agent
+  // whose exchange was dropped in flight (it may return next round) and an
+  // agent that died outright (it never returns). The barrier must release
+  // a partial round in both cases instead of deadlocking the cluster.
+
+  /// Seconds the barrier tolerates absent agents after the latest arrival
+  /// before try_release() may force a partial round. 0 (default) waits
+  /// forever — the pre-fault behavior.
+  void set_absent_timeout(double seconds);
+  [[nodiscard]] double absent_timeout() const noexcept { return absent_timeout_; }
+
+  /// Sync only: releases an incomplete round — averaging only the deltas
+  /// that arrived — once `now` is at least absent_timeout past the latest
+  /// arrival. Returns true when it released; false when the timeout is
+  /// unset, the window has not elapsed, or nothing is pending.
+  bool try_release(double now);
+
+  /// Sync only: permanently removes `agent` from barrier accounting (its
+  /// worker pool died). If the round thereby completes it is released at
+  /// `now` and true is returned. A deactivated agent must not submit again.
+  bool deactivate(std::size_t agent, double now = 0.0);
+
+  [[nodiscard]] std::size_t active_agents() const noexcept { return active_count_; }
 
  private:
   void apply(std::span<const float> delta, float scale);
+  void release_round(double now);
 
   Mode mode_;
   std::size_t num_agents_;
@@ -69,7 +94,11 @@ class ParameterServer {
   // Sync barrier state.
   std::vector<std::vector<float>> pending_;
   std::vector<bool> submitted_;
+  std::vector<bool> active_;
+  std::size_t active_count_ = 0;
   std::size_t pending_count_ = 0;
+  double absent_timeout_ = 0.0;
+  double last_arrival_ = 0.0;
   // Async window state (ring buffer of recent deltas).
   std::vector<std::vector<float>> recent_;
   std::size_t recent_next_ = 0;
@@ -81,6 +110,7 @@ class ParameterServer {
   obs::Telemetry* telemetry_ = nullptr;
   obs::Counter* delta_applies_ = nullptr;
   obs::Counter* exchanges_ = nullptr;
+  obs::Counter* barrier_timeouts_ = nullptr;
   obs::Histogram* staleness_ = nullptr;
   obs::Histogram* barrier_wait_ = nullptr;
   obs::Gauge* window_depth_ = nullptr;

@@ -25,6 +25,7 @@
 #include "ncnas/data/dataset.hpp"
 #include "ncnas/exec/cost_model.hpp"
 #include "ncnas/exec/evaluator.hpp"
+#include "ncnas/exec/fault.hpp"
 #include "ncnas/exec/presets.hpp"
 #include "ncnas/exec/utilization.hpp"
 #include "ncnas/nas/driver.hpp"

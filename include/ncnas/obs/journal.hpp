@@ -50,6 +50,17 @@ enum class JournalEventType : std::uint8_t {
   kAgentConverged,     ///< payload: streak
   kStragglerDetected,  ///< payload: duration_s, expected_s, multiple (watchdog)
   kAgentStalled,       ///< payload: silent_s, window_s (watchdog)
+  // Fault-injection and recovery events (FaultInjector + resilient driver).
+  // Additions within schema v1: older readers skip unknown event names.
+  kEvalFailed,         ///< payload: attempt, worker, reason (0 fault / 1 crash)
+  kEvalRetried,        ///< payload: attempt, backoff_s
+  kEvalExhausted,      ///< payload: attempts, reward (the floor)
+  kResultLost,         ///< payload: attempt, worker, duration_s
+  kWorkerCrashed,      ///< payload: worker (t = planned crash time)
+  kAgentDead,          ///< payload: workers (t = detection time)
+  kPsDropped,          ///< payload: mode (0 sync / 1 async)
+  kPsDelayed,          ///< payload: mode, delay_s
+  kBarrierTimeout,     ///< payload: absent, timeout_s (partial A2C release)
 };
 
 /// Stable wire name of an event type ("eval_finished", ...).
@@ -148,6 +159,26 @@ struct RunSummary {
   std::size_t stragglers = 0;
   std::size_t stalls = 0;
   std::vector<std::uint32_t> converged_agents;  ///< unique, first-convergence order
+
+  // Fault and recovery accounting. These mirror the SearchResult fault
+  // counters exactly (no deadline filter: a retry or crash is real even when
+  // the record it fed was cut by the deadline), so a replay of a faulty run
+  // reconciles with the returned result.
+  std::size_t eval_failures = 0;   ///< failed dispatch attempts (fault or crash)
+  std::size_t retries = 0;         ///< attempts re-dispatched after backoff
+  std::size_t exhausted = 0;       ///< records floored after retry exhaustion
+  std::size_t lost_results = 0;    ///< completed tasks whose result was dropped
+  std::size_t crashed_workers = 0; ///< workers lost to the fault plan
+  std::size_t dead_agents = 0;     ///< agents that lost every worker
+  std::size_t ps_dropped = 0;      ///< PS exchanges that never arrived
+  std::size_t ps_delayed = 0;      ///< PS exchanges that arrived late
+  std::size_t barrier_timeouts = 0;///< partial A2C rounds forced by timeout
+  /// True when the journal recorded any injected fault or recovery action.
+  [[nodiscard]] bool faulty() const {
+    return eval_failures + retries + exhausted + lost_results + crashed_workers + dead_agents +
+               ps_dropped + ps_delayed + barrier_timeouts >
+           0;
+  }
 
   float best_reward = -std::numeric_limits<float>::infinity();
   double best_reward_t = 0.0;

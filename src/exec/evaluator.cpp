@@ -172,6 +172,10 @@ void CachedEvaluator::insert(const space::ArchEncoding& arch, const EvalResult& 
   if (inserts_ != nullptr) inserts_->inc();
 }
 
+void CachedEvaluator::erase(const space::ArchEncoding& arch) const {
+  cache_.erase(space::arch_key(arch));
+}
+
 void CachedEvaluator::clear() {
   cache_.clear();
   hits_ = 0;

@@ -1,0 +1,104 @@
+#include "ncnas/exec/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace ncnas::exec {
+
+namespace {
+
+// FNV-1a over the architecture key: a stable, library-independent string
+// hash, so fault verdicts don't vary with the standard library's
+// std::hash the way they must not vary with evaluation order.
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// SplitMix64 finalizer: one multiply-xor avalanche, the same generator the
+// tensor Rng uses for seeding. Turns structured site coordinates into
+// decorrelated 64-bit verdict streams.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Uniform in [0, 1) from the top 53 bits.
+double unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+bool FaultPlan::empty() const {
+  return worker_crashes.empty() && eval_failure_prob <= 0.0 && slowdown_prob <= 0.0 &&
+         lost_result_prob <= 0.0 && ps_drop_prob <= 0.0 && ps_delay_prob <= 0.0;
+}
+
+std::string FaultPlan::fingerprint() const {
+  std::ostringstream os;
+  os << seed << ';' << eval_failure_prob << ',' << slowdown_prob << ',' << slowdown_multiple
+     << ',' << lost_result_prob << ';' << ps_drop_prob << ',' << ps_delay_prob << ','
+     << ps_delay_seconds << ';' << max_retries << ',' << backoff_base_seconds << ','
+     << backoff_cap_seconds << ',' << barrier_timeout_seconds << ";c" << worker_crashes.size();
+  for (const WorkerCrash& c : worker_crashes) {
+    os << ',' << c.agent << ':' << c.worker << '@' << c.time;
+  }
+  return os.str();
+}
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)), enabled_(!plan_.empty()) {}
+
+FaultInjector::TaskFault FaultInjector::task_fault(std::size_t agent,
+                                                   const std::string& arch_key,
+                                                   std::size_t attempt) const {
+  TaskFault f;
+  if (!enabled_) return f;
+  const std::uint64_t base =
+      mix(plan_.seed ^ mix(fnv1a(arch_key)) ^ mix(0xa11ce000u + agent) ^
+          mix(0x7a5c0000u + attempt));
+  f.fail = unit(mix(base ^ 1)) < plan_.eval_failure_prob;
+  f.fail_frac = 0.1 + 0.8 * unit(mix(base ^ 2));
+  // A lost result is only meaningful for a task that would have finished.
+  f.lost = !f.fail && unit(mix(base ^ 3)) < plan_.lost_result_prob;
+  f.slowdown = unit(mix(base ^ 4)) < plan_.slowdown_prob ? plan_.slowdown_multiple : 1.0;
+  return f;
+}
+
+FaultInjector::ExchangeFault FaultInjector::exchange_fault(std::size_t agent,
+                                                           std::uint64_t round) const {
+  ExchangeFault f;
+  if (!enabled_) return f;
+  const std::uint64_t base = mix(plan_.seed ^ mix(0xe8c40000u + agent) ^ mix(round));
+  if (unit(mix(base ^ 1)) < plan_.ps_drop_prob) {
+    f.drop = true;
+    return f;
+  }
+  if (unit(mix(base ^ 2)) < plan_.ps_delay_prob) f.delay_seconds = plan_.ps_delay_seconds;
+  return f;
+}
+
+double FaultInjector::crash_time(std::size_t agent, std::size_t worker) const {
+  double when = std::numeric_limits<double>::infinity();
+  for (const WorkerCrash& c : plan_.worker_crashes) {
+    if (c.agent == agent && c.worker == worker) when = std::min(when, std::max(0.0, c.time));
+  }
+  return when;
+}
+
+double FaultInjector::backoff(std::size_t attempt) const {
+  if (attempt == 0) return 0.0;
+  const double exp = plan_.backoff_base_seconds * std::ldexp(1.0, static_cast<int>(attempt) - 1);
+  return std::min(plan_.backoff_cap_seconds, exp);
+}
+
+}  // namespace ncnas::exec

@@ -19,6 +19,14 @@ void UtilizationMonitor::add_busy_interval(double start, double end) {
   busy_seconds_ += end - start;
 }
 
+void UtilizationMonitor::add_capacity_loss(double from) {
+  if (from < 0.0) throw std::invalid_argument("UtilizationMonitor: negative loss time");
+  if (losses_.size() >= total_workers_) {
+    throw std::invalid_argument("UtilizationMonitor: more losses than workers");
+  }
+  losses_.push_back(from);
+}
+
 std::vector<double> UtilizationMonitor::series(double t_end, double bucket_seconds) const {
   if (bucket_seconds <= 0.0 || t_end <= 0.0) {
     throw std::invalid_argument("UtilizationMonitor::series: positive spans required");
@@ -40,8 +48,27 @@ std::vector<double> UtilizationMonitor::series(double t_end, double bucket_secon
       ++b;
     }
   }
-  const double denom = static_cast<double>(total_workers_) * bucket_seconds;
-  for (double& v : busy) v /= denom;
+  // Dead workers stop contributing capacity from their loss time on; a
+  // fault-free run has no losses and the arithmetic is unchanged.
+  std::vector<double> lost(buckets, 0.0);
+  for (const double from : losses_) {
+    const double lo = std::max(0.0, from);
+    if (lo >= t_end) continue;
+    std::size_t b = static_cast<std::size_t>(lo / bucket_seconds);
+    double cursor = lo;
+    while (cursor < t_end && b < buckets) {
+      const double bucket_end = static_cast<double>(b + 1) * bucket_seconds;
+      const double seg_end = std::min(t_end, bucket_end);
+      lost[b] += seg_end - cursor;
+      cursor = seg_end;
+      ++b;
+    }
+  }
+  const double full = static_cast<double>(total_workers_) * bucket_seconds;
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const double denom = full - lost[b];
+    busy[b] = denom > 0.0 ? busy[b] / denom : 0.0;
+  }
   return busy;
 }
 
@@ -51,7 +78,9 @@ double UtilizationMonitor::average(double t_end) const {
   for (const Interval& iv : intervals_) {
     busy += std::max(0.0, std::min(t_end, iv.end) - std::max(0.0, iv.start));
   }
-  return busy / (static_cast<double>(total_workers_) * t_end);
+  double denom = static_cast<double>(total_workers_) * t_end;
+  for (const double from : losses_) denom -= std::max(0.0, t_end - std::max(0.0, from));
+  return denom > 0.0 ? busy / denom : 0.0;
 }
 
 }  // namespace ncnas::exec

@@ -35,7 +35,7 @@ std::vector<std::pair<double, float>> SearchResult::best_so_far() const {
 std::vector<EvalRecord> SearchResult::top_k(std::size_t k) const {
   std::map<std::string, EvalRecord> best_by_arch;
   for (const EvalRecord& e : evals) {
-    if (e.timed_out) continue;
+    if (e.timed_out || e.failed) continue;  // floored rewards are not measurements
     const std::string key = space::arch_key(e.arch);
     const auto it = best_by_arch.find(key);
     if (it == best_by_arch.end() || e.reward > it->second.reward) {
@@ -71,6 +71,11 @@ struct AgentState {
 
   std::size_t cached_streak = 0;
   bool stopped = false;
+
+  // Fault-injection state (only populated when a plan is active).
+  std::vector<double> crash_at;      ///< per-worker planned death time (+inf = never)
+  bool dead = false;                 ///< every worker lost; no further cycles
+  std::uint64_t exchange_seq = 0;    ///< PS exchange counter for fault verdicts
 };
 
 struct Completion {
@@ -92,6 +97,15 @@ struct Instruments {
   obs::Counter* timeouts;
   obs::Counter* cycles;
   obs::Counter* ppo_updates;
+  // Fault-injection and recovery counters (untouched on a fault-free run).
+  obs::Counter* fault_failures;
+  obs::Counter* fault_retries;
+  obs::Counter* fault_exhausted;
+  obs::Counter* fault_lost;
+  obs::Counter* fault_crashes;
+  obs::Counter* fault_dead;
+  obs::Counter* fault_ps_dropped;
+  obs::Counter* fault_ps_delayed;
   obs::Gauge* streak_min;
   obs::Histogram* cycle_latency;
   obs::Histogram* eval_sim;
@@ -106,6 +120,14 @@ struct Instruments {
     timeouts = &m.counter("ncnas_eval_timeouts_total");
     cycles = &m.counter("ncnas_agent_cycles_total");
     ppo_updates = &m.counter("ncnas_ppo_updates_total");
+    fault_failures = &m.counter("ncnas_fault_eval_failures_total");
+    fault_retries = &m.counter("ncnas_fault_retries_total");
+    fault_exhausted = &m.counter("ncnas_fault_exhausted_total");
+    fault_lost = &m.counter("ncnas_fault_lost_results_total");
+    fault_crashes = &m.counter("ncnas_fault_workers_crashed_total");
+    fault_dead = &m.counter("ncnas_fault_dead_agents_total");
+    fault_ps_dropped = &m.counter("ncnas_fault_ps_dropped_total");
+    fault_ps_delayed = &m.counter("ncnas_fault_ps_delayed_total");
     streak_min = &m.gauge("ncnas_convergence_streak_min");
     cycle_latency = &m.histogram("ncnas_cycle_latency_seconds", obs::exp_buckets(4.0, 2.0, 14));
     eval_sim = &m.histogram("ncnas_eval_sim_duration_seconds", obs::exp_buckets(4.0, 2.0, 14));
@@ -135,7 +157,14 @@ SearchResult SearchDriver::run() {
                           config_.strategy == SearchStrategy::kA2C;
   const bool evolution = config_.strategy == SearchStrategy::kEvolution;
 
+  // The fault plan is consulted only when non-null AND non-empty, so an
+  // injector built from an empty plan is indistinguishable from no injector:
+  // bit-identical results, identical config fingerprint.
+  const exec::FaultInjector* fx =
+      (config_.faults != nullptr && config_.faults->enabled()) ? config_.faults : nullptr;
+
   exec::TrainingEvaluator evaluator(*space_, *dataset_, config_.fidelity, config_.cost);
+  const float floor_reward = evaluator.reward_floor();
   exec::UtilizationMonitor monitor(config_.cluster.total_workers());
   std::optional<Instruments> inst;
   if (config_.telemetry != nullptr) {
@@ -161,6 +190,7 @@ SearchResult SearchDriver::run() {
                                                         : ParameterServer::Mode::kAsync,
                N, config_.async_window);
     ps->set_telemetry(config_.telemetry);
+    if (fx != nullptr) ps->set_absent_timeout(fx->plan().barrier_timeout_seconds);
   }
 
   tensor::Rng seeder(config_.seed);
@@ -183,10 +213,186 @@ SearchResult SearchDriver::run() {
   std::size_t real_evals = 0;
   bool budget_exhausted = false;
   double a2c_round_time = 0.0;
+  // Number of agents of the current A2C round still to harvest; when it hits
+  // zero with the barrier stuck (drops / deaths) the round is force-released.
+  std::size_t a2c_outstanding = 0;
   double last_completion = 0.0;
+
+  // Register the plan's worker crashes up front: the planned death times are
+  // known (a crash schedule, like a maintenance window), the capacity loss
+  // leaves the utilization denominator from the crash on, and the journal
+  // records each at t=0 with the crash time in the payload so the watchdog's
+  // event clock never runs ahead of the search.
+  if (fx != nullptr) {
+    for (AgentState& agent : agents) {
+      agent.crash_at.assign(W, std::numeric_limits<double>::infinity());
+      for (std::size_t w = 0; w < W; ++w) {
+        const double when = fx->crash_time(agent.id, w);
+        if (when >= config_.wall_time_seconds) continue;  // never felt by this run
+        agent.crash_at[w] = when;
+        ++result.crashed_workers;
+        monitor.add_capacity_loss(when);
+        if (inst) {
+          inst->fault_crashes->inc();
+          if (inst->journal != nullptr) {
+            inst->journal->append(obs::JournalEventType::kWorkerCrashed, 0.0,
+                                  static_cast<std::uint32_t>(agent.id),
+                                  {{"worker", static_cast<double>(w)}, {"at", when}});
+          }
+        }
+      }
+    }
+  }
+
+  // ---- fault-aware dispatch: one real task with retries and backoff -----
+  // Only reached when a fault plan is active. Walks the retry loop on the
+  // virtual clock: each attempt picks the earliest-start live worker, asks
+  // the injector for this attempt's verdict, and on failure re-dispatches
+  // after capped exponential backoff until success or the retry budget is
+  // spent (the record is then floored). Returns false when no live worker
+  // remains — the caller marks the agent dead. The real training behind the
+  // record ran once up front; faults only replay its virtual-time cost.
+  const auto dispatch_faulty = [&](AgentState& agent, std::vector<double>& worker_free,
+                                   const exec::EvalResult& r, EvalRecord& rec, double t,
+                                   double& batch_done) -> bool {
+    const std::string key = space::arch_key(rec.arch);
+    const auto aid = static_cast<std::uint32_t>(agent.id);
+    const std::size_t max_retries = fx->plan().max_retries;
+    const auto floor_record = [&](double at, std::size_t attempts) {
+      rec.time = at;
+      rec.reward = floor_reward;
+      rec.failed = true;
+      rec.attempts = attempts;
+      batch_done = std::max(batch_done, at);
+      ++result.exhausted;
+      // The cache was primed with the real result before dispatch; a task
+      // that never delivered must not leave that result behind (a later
+      // regeneration re-evaluates instead of replaying a non-measurement).
+      if (config_.use_cache) agent.cache->erase(rec.arch);
+      if (inst) {
+        inst->fault_exhausted->inc();
+        if (inst->journal != nullptr) {
+          inst->journal->append(obs::JournalEventType::kEvalExhausted, at, aid,
+                                {{"attempts", static_cast<double>(attempts)},
+                                 {"reward", static_cast<double>(floor_reward)}});
+        }
+      }
+    };
+
+    std::size_t attempt = 0;
+    double ready = t;
+    for (;;) {
+      // Earliest-start live worker; a worker is usable only when the task
+      // can begin before its planned crash. With no crashes this reduces to
+      // the fault-free earliest-free choice.
+      std::size_t slot = W;
+      double start = std::numeric_limits<double>::infinity();
+      for (std::size_t w = 0; w < W; ++w) {
+        const double s = std::max(worker_free[w], ready);
+        if (s >= agent.crash_at[w]) continue;
+        if (s < start) {
+          start = s;
+          slot = w;
+        }
+      }
+      if (slot == W) {
+        floor_record(ready, attempt);
+        return false;  // agent has no live worker left
+      }
+
+      const exec::FaultInjector::TaskFault tf = fx->task_fault(agent.id, key, attempt);
+      const double dur = r.sim_duration * tf.slowdown;
+      const double end = start + dur;
+      const double crash = agent.crash_at[slot];
+
+      double fail_time = 0.0;
+      bool emit_failed = true;  // lost results carry their own event type
+      double fail_reason = 0.0;  // 0 injected failure, 1 worker crash
+      if (end > crash) {
+        // The worker dies mid-task and takes the task down with it.
+        if (crash > start) monitor.add_busy_interval(start, crash);
+        worker_free[slot] = crash;
+        fail_time = crash;
+        fail_reason = 1.0;
+      } else if (tf.fail) {
+        fail_time = start + dur * tf.fail_frac;
+        monitor.add_busy_interval(start, fail_time);
+        worker_free[slot] = fail_time;
+      } else if (tf.lost) {
+        // The task ran to completion; the result vanished in flight, so the
+        // full duration is paid and the attempt still counts as failed.
+        monitor.add_busy_interval(start, end);
+        worker_free[slot] = end;
+        fail_time = end;
+        emit_failed = false;
+        ++result.lost_results;
+        if (inst) {
+          inst->fault_lost->inc();
+          if (inst->journal != nullptr) {
+            inst->journal->append(obs::JournalEventType::kResultLost, end, aid,
+                                  {{"attempt", static_cast<double>(attempt)},
+                                   {"worker", static_cast<double>(slot)},
+                                   {"duration_s", dur}});
+          }
+        }
+      } else {
+        // Success (possibly slowed — the watchdog sees the stretched span).
+        worker_free[slot] = end;
+        monitor.add_busy_interval(start, end);
+        rec.time = end;
+        rec.attempts = attempt + 1;
+        batch_done = std::max(batch_done, end);
+        ++real_evals;
+        if (inst) {
+          inst->trace->span("eval", "exec", start, dur, aid,
+                            {{"reward", rec.reward},
+                             {"timed_out", rec.timed_out ? 1.0 : 0.0}});
+          if (inst->journal != nullptr) {
+            inst->journal->append(obs::JournalEventType::kEvalDispatched, start, aid,
+                                  {{"duration_s", dur},
+                                   {"worker", static_cast<double>(slot)},
+                                   {"train_wall_ms", r.train_wall_ms},
+                                   {"attempt", static_cast<double>(attempt)}});
+          }
+        }
+        return true;
+      }
+
+      if (emit_failed && inst) {
+        inst->fault_failures->inc();
+        if (inst->journal != nullptr) {
+          inst->journal->append(obs::JournalEventType::kEvalFailed, fail_time, aid,
+                                {{"attempt", static_cast<double>(attempt)},
+                                 {"worker", static_cast<double>(slot)},
+                                 {"reason", fail_reason}});
+        }
+      }
+      ++attempt;
+      if (attempt > max_retries) {
+        floor_record(fail_time, attempt);
+        ++real_evals;  // the failed attempts occupied real worker time
+        return true;
+      }
+      const double backoff = fx->backoff(attempt);
+      ready = fail_time + backoff;
+      ++result.retries;
+      if (inst) {
+        inst->fault_retries->inc();
+        if (inst->journal != nullptr) {
+          inst->journal->append(obs::JournalEventType::kEvalRetried, ready, aid,
+                                {{"attempt", static_cast<double>(attempt)},
+                                 {"backoff_s", backoff}});
+        }
+      }
+    }
+  };
 
   // ---- one agent cycle: sample M, evaluate, occupy workers, schedule ----
   const auto start_cycle = [&](AgentState& agent, double t) {
+    if (agent.dead) {  // lost every worker; nothing left to run a batch on
+      agent.stopped = true;
+      return;
+    }
     if (t >= config_.wall_time_seconds || budget_exhausted) {
       agent.stopped = true;
       return;
@@ -275,7 +481,7 @@ SearchResult SearchDriver::run() {
           inst->trace->instant("eval_cached", "exec", t, static_cast<std::uint32_t>(agent.id),
                                {{"reward", rec.reward}});
         }
-      } else {
+      } else if (fx == nullptr) {
         const auto slot = static_cast<std::size_t>(
             std::min_element(worker_free.begin(), worker_free.end()) - worker_free.begin());
         const double start = worker_free[slot];
@@ -298,6 +504,22 @@ SearchResult SearchDriver::run() {
                                    {"train_wall_ms", r.train_wall_ms}});
           }
         }
+      } else if (!dispatch_faulty(agent, worker_free, r, rec, t, batch_done) &&
+                 !agent.dead) {
+        // First task that found no live worker: the agent's pool is gone.
+        // Remaining tasks of this batch floor the same way; the batch still
+        // completes (and is harvested) so PPO reward vectors stay aligned.
+        agent.dead = true;
+        agent.stopped = true;
+        ++result.dead_agents;
+        if (inst) {
+          inst->fault_dead->inc();
+          if (inst->journal != nullptr) {
+            inst->journal->append(obs::JournalEventType::kAgentDead, t,
+                                  static_cast<std::uint32_t>(agent.id),
+                                  {{"workers", static_cast<double>(W)}});
+          }
+        }
       }
       agent.records.push_back(std::move(rec));
     }
@@ -316,8 +538,39 @@ SearchResult SearchDriver::run() {
     queue.push({scheduled, seq++, agent.id});
   };
 
+  // ---- A2C round bookkeeping --------------------------------------------
+  // Starts (or restarts) a synchronized round and counts how many agents
+  // actually queued a batch — including one that died mid-dispatch, whose
+  // floored batch still completes and is harvested. Wall/budget-stopped and
+  // already-dead agents queue nothing.
+  const auto a2c_begin_round = [&](double resume) {
+    a2c_round_time = 0.0;
+    a2c_outstanding = 0;
+    for (AgentState& a : agents) {
+      const bool was_dead = a.dead;
+      start_cycle(a, resume);
+      if (!was_dead && (!a.stopped || a.dead)) ++a2c_outstanding;
+    }
+  };
+
+  // When every agent of the round has been harvested but the barrier still
+  // holds (dropped exchanges, dead agents), release whatever arrived after
+  // the plan's absent-agent timeout and start the next round. If nothing
+  // arrived at all the round restarts without a parameter update.
+  const auto a2c_release_stuck = [&](double now) {
+    if (fx == nullptr || a2c_outstanding != 0) return;
+    const double release_t =
+        std::max(a2c_round_time, now) + fx->plan().barrier_timeout_seconds;
+    (void)ps->try_release(release_t);
+    a2c_begin_round(release_t + config_.agent_overhead_seconds);
+  };
+
   // ---- bootstrap: every agent starts at t = 0 ----
-  for (AgentState& agent : agents) start_cycle(agent, 0.0);
+  if (config_.strategy == SearchStrategy::kA2C) {
+    a2c_begin_round(0.0);
+  } else {
+    for (AgentState& agent : agents) start_cycle(agent, 0.0);
+  }
 
   // ---- event loop over batch completions ----
   while (!queue.empty()) {
@@ -356,11 +609,17 @@ SearchResult SearchDriver::run() {
                                   {{"reward", rec.reward},
                                    {"timed_out", rec.timed_out ? 1.0 : 0.0}});
           } else {
+            std::vector<obs::JournalField> fields{
+                {"reward", rec.reward},
+                {"duration_s", rec.sim_duration},
+                {"timed_out", rec.timed_out ? 1.0 : 0.0},
+                {"params", static_cast<double>(rec.params)}};
+            if (rec.failed) {
+              fields.push_back({"failed", 1.0});
+              fields.push_back({"attempts", static_cast<double>(rec.attempts)});
+            }
             inst->journal->append(obs::JournalEventType::kEvalFinished, rec.time, aid,
-                                  {{"reward", rec.reward},
-                                   {"duration_s", rec.sim_duration},
-                                   {"timed_out", rec.timed_out ? 1.0 : 0.0},
-                                   {"params", static_cast<double>(rec.params)}});
+                                  std::move(fields));
           }
           if (rec.timed_out) {
             inst->journal->append(obs::JournalEventType::kEvalTimeout, rec.time, aid,
@@ -393,9 +652,15 @@ SearchResult SearchDriver::run() {
     }
 
     // Convergence: every agent keeps regenerating cached architectures.
-    const bool converged = std::ranges::all_of(agents, [&](const AgentState& a) {
-      return a.cached_streak >= config_.convergence_streak;
-    });
+    // Dead agents can't regenerate anything, so they are exempt — as long as
+    // at least one agent survived to actually converge.
+    const bool converged =
+        std::ranges::all_of(agents,
+                            [&](const AgentState& a) {
+                              return (fx != nullptr && a.dead) ||
+                                     a.cached_streak >= config_.convergence_streak;
+                            }) &&
+        std::ranges::any_of(agents, [](const AgentState& a) { return !a.dead; });
     if (converged) {
       result.converged_early = true;
       result.end_time = t;
@@ -404,6 +669,23 @@ SearchResult SearchDriver::run() {
 
     if (!rl_enabled) {
       start_cycle(agent, t + config_.agent_overhead_seconds);
+      continue;
+    }
+
+    if (fx != nullptr && agent.dead) {
+      // The dead agent's final (floored) batch was harvested above; there is
+      // no controller state worth updating and nothing to submit. In A2C the
+      // barrier must stop waiting for it — its removal may itself complete
+      // the round the surviving agents are parked on.
+      if (config_.strategy == SearchStrategy::kA2C) {
+        if (a2c_outstanding > 0) --a2c_outstanding;
+        a2c_round_time = std::max(a2c_round_time, t);
+        if (ps->deactivate(agent.id, t)) {
+          a2c_begin_round(a2c_round_time + config_.agent_overhead_seconds);
+        } else {
+          a2c_release_stuck(t);
+        }
+      }
       continue;
     }
 
@@ -423,15 +705,83 @@ SearchResult SearchDriver::run() {
     for (std::size_t i = 0; i < delta.size(); ++i) delta[i] -= agent.theta_pull[i];
 
     if (config_.strategy == SearchStrategy::kA3C) {
-      ps->submit(agent.id, delta, t);
-      start_cycle(agent, t + config_.agent_overhead_seconds);
+      if (fx == nullptr) {
+        ps->submit(agent.id, delta, t);
+        start_cycle(agent, t + config_.agent_overhead_seconds);
+      } else {
+        const exec::FaultInjector::ExchangeFault ef =
+            fx->exchange_fault(agent.id, agent.exchange_seq++);
+        double resume = t + config_.agent_overhead_seconds;
+        if (ef.drop) {
+          // The delta is lost in flight; the agent carries on with the stale
+          // parameters it already holds.
+          if (inst) {
+            inst->fault_ps_dropped->inc();
+            if (inst->journal != nullptr) {
+              inst->journal->append(obs::JournalEventType::kPsDropped, t,
+                                    static_cast<std::uint32_t>(agent.id), {{"mode", 1.0}});
+            }
+          }
+        } else {
+          if (ef.delay_seconds > 0.0) {
+            resume += ef.delay_seconds;  // the exchange round trip stretches
+            if (inst) {
+              inst->fault_ps_delayed->inc();
+              if (inst->journal != nullptr) {
+                inst->journal->append(obs::JournalEventType::kPsDelayed, t,
+                                      static_cast<std::uint32_t>(agent.id),
+                                      {{"mode", 1.0}, {"delay_s", ef.delay_seconds}});
+              }
+            }
+          }
+          ps->submit(agent.id, delta, t);
+        }
+        start_cycle(agent, resume);
+      }
     } else {
       a2c_round_time = std::max(a2c_round_time, t);
-      const bool round_complete = ps->submit(agent.id, delta, t);
-      if (round_complete) {
-        const double resume = a2c_round_time + config_.agent_overhead_seconds;
-        a2c_round_time = 0.0;
-        for (AgentState& a : agents) start_cycle(a, resume);
+      if (fx == nullptr) {
+        const bool round_complete = ps->submit(agent.id, delta, t);
+        if (round_complete) {
+          const double resume = a2c_round_time + config_.agent_overhead_seconds;
+          a2c_begin_round(resume);
+        }
+      } else {
+        if (a2c_outstanding > 0) --a2c_outstanding;
+        const exec::FaultInjector::ExchangeFault ef =
+            fx->exchange_fault(agent.id, agent.exchange_seq++);
+        bool round_complete = false;
+        if (ef.drop) {
+          // The delta never reaches the barrier; the agent idles while the
+          // round is resolved for it (submit next round as usual).
+          if (inst) {
+            inst->fault_ps_dropped->inc();
+            if (inst->journal != nullptr) {
+              inst->journal->append(obs::JournalEventType::kPsDropped, t,
+                                    static_cast<std::uint32_t>(agent.id), {{"mode", 0.0}});
+            }
+          }
+        } else {
+          double arrival = t;
+          if (ef.delay_seconds > 0.0) {
+            arrival += ef.delay_seconds;
+            if (inst) {
+              inst->fault_ps_delayed->inc();
+              if (inst->journal != nullptr) {
+                inst->journal->append(obs::JournalEventType::kPsDelayed, t,
+                                      static_cast<std::uint32_t>(agent.id),
+                                      {{"mode", 0.0}, {"delay_s", ef.delay_seconds}});
+              }
+            }
+          }
+          a2c_round_time = std::max(a2c_round_time, arrival);
+          round_complete = ps->submit(agent.id, delta, arrival);
+        }
+        if (round_complete) {
+          a2c_begin_round(a2c_round_time + config_.agent_overhead_seconds);
+        } else {
+          a2c_release_stuck(t);
+        }
       }
     }
   }

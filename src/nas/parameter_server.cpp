@@ -11,6 +11,8 @@ ParameterServer::ParameterServer(std::vector<float> initial, Mode mode, std::siz
       async_window_(async_window == 0 ? 1 : async_window),
       params_(std::move(initial)),
       submitted_(num_agents, false),
+      active_(num_agents, true),
+      active_count_(num_agents),
       pulled_version_(num_agents, 0),
       arrival_time_(num_agents, 0.0) {
   if (num_agents == 0) throw std::invalid_argument("ParameterServer: need agents");
@@ -23,6 +25,7 @@ void ParameterServer::set_telemetry(obs::Telemetry* telemetry) {
   if (telemetry_ == nullptr) {
     delta_applies_ = nullptr;
     exchanges_ = nullptr;
+    barrier_timeouts_ = nullptr;
     staleness_ = nullptr;
     barrier_wait_ = nullptr;
     window_depth_ = nullptr;
@@ -32,6 +35,7 @@ void ParameterServer::set_telemetry(obs::Telemetry* telemetry) {
   obs::MetricsRegistry& m = telemetry_->metrics();
   delta_applies_ = &m.counter("ncnas_ps_delta_applies_total");
   exchanges_ = &m.counter("ncnas_ps_exchanges_total");
+  barrier_timeouts_ = &m.counter("ncnas_a2c_barrier_timeouts_total");
   journal_ = telemetry_->journal();
   // Staleness is counted in PS updates that landed between an agent's pull
   // and its submit; 0 means the agent trained on fresh parameters.
@@ -103,19 +107,73 @@ bool ParameterServer::submit(std::size_t agent, std::span<const float> delta, do
   }
 
   // Sync barrier.
+  if (!active_[agent]) {
+    throw std::logic_error("ParameterServer: deactivated agent submitted");
+  }
   if (submitted_[agent]) {
     throw std::logic_error("ParameterServer: agent submitted twice in one round");
   }
   submitted_[agent] = true;
   arrival_time_[agent] = now;
+  last_arrival_ = std::max(last_arrival_, now);
   pending_[agent].assign(delta.begin(), delta.end());
   ++pending_count_;
-  if (pending_count_ < num_agents_) return false;
+  if (!barrier_complete()) return false;
+  release_round(now);
+  return true;
+}
 
-  // Round complete: each agent idled from its arrival until the last agent
-  // of the round showed up — the A2C sawtooth in paper Fig. 5.
+bool ParameterServer::barrier_complete() const noexcept {
+  if (mode_ != Mode::kSync || pending_count_ == 0) return false;
+  for (std::size_t a = 0; a < num_agents_; ++a) {
+    if (active_[a] && !submitted_[a]) return false;
+  }
+  return true;
+}
+
+void ParameterServer::set_absent_timeout(double seconds) {
+  if (seconds < 0.0) throw std::invalid_argument("ParameterServer: negative absent timeout");
+  absent_timeout_ = seconds;
+}
+
+bool ParameterServer::try_release(double now) {
+  if (mode_ != Mode::kSync || absent_timeout_ <= 0.0) return false;
+  if (pending_count_ == 0) return false;
+  if (now < last_arrival_ + absent_timeout_) return false;
+  std::size_t absent = 0;
+  for (std::size_t a = 0; a < num_agents_; ++a) {
+    if (active_[a] && !submitted_[a]) ++absent;
+  }
+  if (barrier_timeouts_ != nullptr) barrier_timeouts_->inc();
+  if (journal_ != nullptr) {
+    journal_->append(obs::JournalEventType::kBarrierTimeout, now, obs::kNoAgent,
+                     {{"absent", static_cast<double>(absent)},
+                      {"timeout_s", absent_timeout_}});
+  }
+  release_round(now);
+  return true;
+}
+
+bool ParameterServer::deactivate(std::size_t agent, double now) {
+  if (agent >= num_agents_) throw std::invalid_argument("ParameterServer: bad agent id");
+  if (mode_ != Mode::kSync || !active_[agent]) return false;
+  active_[agent] = false;
+  --active_count_;
+  // The dead agent's removal may be exactly what completes the round: the
+  // remaining live agents are all at the barrier waiting on it.
+  if (!barrier_complete()) return false;
+  release_round(now);
+  return true;
+}
+
+void ParameterServer::release_round(double now) {
+  // Round release: each submitted agent idled from its arrival until the
+  // round closed — the A2C sawtooth in paper Fig. 5. On a full round this is
+  // every agent; a partial (timeout / deactivation) release only covers the
+  // deltas that actually arrived.
   if (telemetry_ != nullptr) {
     for (std::size_t a = 0; a < num_agents_; ++a) {
+      if (!submitted_[a]) continue;
       const double wait = now - arrival_time_[a];
       barrier_wait_->observe(wait);
       telemetry_->trace().span("a2c_barrier_wait", "ps", arrival_time_[a], wait,
@@ -134,18 +192,21 @@ bool ParameterServer::submit(std::size_t agent, std::span<const float> delta, do
     }
   }
 
-  // Apply the average of all deltas, reset the barrier.
+  // Apply the average of the arrived deltas, reset the barrier. On a full
+  // round pending_count_ == num_agents_, so the scale is bit-identical to
+  // the fault-free server.
   std::vector<float> avg(params_.size(), 0.0f);
-  for (const auto& d : pending_) {
+  for (std::size_t a = 0; a < num_agents_; ++a) {
+    if (!submitted_[a]) continue;  // absent agents hold no delta this round
+    const std::vector<float>& d = pending_[a];
     for (std::size_t i = 0; i < avg.size(); ++i) avg[i] += d[i];
   }
-  const float inv = 1.0f / static_cast<float>(num_agents_);
+  const float inv = 1.0f / static_cast<float>(pending_count_);
   for (float& v : avg) v *= inv;
   apply(avg, 1.0f);
   for (auto& d : pending_) d.clear();
   submitted_.assign(num_agents_, false);
   pending_count_ = 0;
-  return true;
 }
 
 }  // namespace ncnas::nas

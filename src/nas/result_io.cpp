@@ -9,8 +9,10 @@ namespace ncnas::nas {
 namespace {
 // v3: lazy layers own their init seed (weight values changed). The stats
 // header line carries an optional trailing telemetry-enabled flag (written
-// since the obs subsystem landed); the reader tolerates its absence, so v3
-// logs from before the flag still load.
+// since the obs subsystem landed) followed by optional fault counters, and
+// each eval line carries optional trailing failed/attempts fields (written
+// since the fault-injection harness landed); the reader tolerates their
+// absence, so v3 logs from before either addition still load.
 constexpr const char* kMagic = "ncnas-search-log-v3";
 }
 
@@ -21,7 +23,9 @@ void save_result(const std::string& path, const SearchResult& result,
   out << kMagic << '\n' << fingerprint << '\n';
   out << result.end_time << ' ' << result.converged_early << ' ' << result.cache_hits << ' '
       << result.timeouts << ' ' << result.unique_archs << ' ' << result.ppo_updates << ' '
-      << result.utilization_bucket << ' ' << result.telemetry_enabled << '\n';
+      << result.utilization_bucket << ' ' << result.telemetry_enabled << ' ' << result.retries
+      << ' ' << result.exhausted << ' ' << result.lost_results << ' '
+      << result.crashed_workers << ' ' << result.dead_agents << '\n';
   out << result.utilization.size();
   for (double u : result.utilization) out << ' ' << u;
   out << '\n' << result.evals.size() << '\n';
@@ -30,7 +34,7 @@ void save_result(const std::string& path, const SearchResult& result,
         << e.cache_hit << ' ' << e.timed_out << ' ' << e.agent;
     out << ' ' << e.arch.size();
     for (std::uint16_t a : e.arch) out << ' ' << a;
-    out << '\n';
+    out << ' ' << e.failed << ' ' << e.attempts << '\n';
   }
   if (!out) throw std::runtime_error("save_result: write failed for " + path);
 }
@@ -56,24 +60,44 @@ std::optional<SearchResult> load_result(const std::string& path,
         res.unique_archs >> res.ppo_updates >> res.utilization_bucket;
     if (!stats) return std::nullopt;
     if (!(stats >> res.telemetry_enabled)) res.telemetry_enabled = false;
+    // Optional fault counters (absent in pre-fault logs; the fields
+    // zero-initialize, and once one read fails the rest stay at zero).
+    stats >> res.retries >> res.exhausted >> res.lost_results >> res.crashed_workers >>
+        res.dead_agents;
   }
   in >> util_count;
   res.utilization.resize(util_count);
   for (double& u : res.utilization) in >> u;
   in >> eval_count;
+  {
+    std::string rest;
+    std::getline(in, rest);  // consume the remainder of the count line
+  }
+  if (!in) return std::nullopt;
   res.evals.resize(eval_count);
+  // Eval records are parsed line-wise so the optional trailing failed /
+  // attempts fields of fault-era logs can't bleed into the next record.
   for (EvalRecord& e : res.evals) {
+    std::string line;
+    if (!std::getline(in, line)) return std::nullopt;
+    std::istringstream es(line);
     std::size_t arch_len = 0;
-    in >> e.time >> e.reward >> e.params >> e.sim_duration >> e.cache_hit >> e.timed_out >>
+    es >> e.time >> e.reward >> e.params >> e.sim_duration >> e.cache_hit >> e.timed_out >>
         e.agent >> arch_len;
+    if (!es) return std::nullopt;
     e.arch.resize(arch_len);
     for (std::uint16_t& a : e.arch) {
       unsigned v;
-      in >> v;
+      es >> v;
       a = static_cast<std::uint16_t>(v);
     }
+    if (!es) return std::nullopt;  // truncated / corrupt record
+    unsigned failed = 0;
+    if (es >> failed) {
+      e.failed = failed != 0;
+      if (!(es >> e.attempts)) e.attempts = 1;
+    }
   }
-  if (!in) return std::nullopt;  // truncated / corrupt log
   return res;
 }
 
@@ -103,6 +127,12 @@ std::string config_fingerprint(const SearchConfig& cfg, const std::string& space
     // Appended only for EVO so fingerprints of existing RL/RDM logs stay
     // stable across this addition.
     os << "|evo:" << cfg.evolution.population << ',' << cfg.evolution.tournament;
+  }
+  if (cfg.faults != nullptr && cfg.faults->enabled()) {
+    // Appended only when the plan actually injects something: a null or
+    // empty plan leaves the fingerprint — like the results — untouched, and
+    // logs from different fault plans never alias.
+    os << "|faults:" << cfg.faults->plan().fingerprint();
   }
   return os.str();
 }

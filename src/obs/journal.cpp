@@ -29,6 +29,15 @@ constexpr NameEntry kNames[] = {
     {JournalEventType::kAgentConverged, "agent_converged"},
     {JournalEventType::kStragglerDetected, "straggler_detected"},
     {JournalEventType::kAgentStalled, "agent_stalled"},
+    {JournalEventType::kEvalFailed, "eval_failed"},
+    {JournalEventType::kEvalRetried, "eval_retried"},
+    {JournalEventType::kEvalExhausted, "eval_exhausted"},
+    {JournalEventType::kResultLost, "result_lost"},
+    {JournalEventType::kWorkerCrashed, "worker_crashed"},
+    {JournalEventType::kAgentDead, "agent_dead"},
+    {JournalEventType::kPsDropped, "ps_dropped"},
+    {JournalEventType::kPsDelayed, "ps_delayed"},
+    {JournalEventType::kBarrierTimeout, "barrier_timeout"},
 };
 
 void write_escaped(std::ostream& os, std::string_view s) {
@@ -387,6 +396,36 @@ RunSummary summarize_journal(const std::vector<JournalEvent>& events) {
         break;
       case JournalEventType::kAgentStalled:
         ++sum.stalls;
+        break;
+      // Fault and recovery events count unconditionally (no deadline
+      // filter), matching the SearchResult fault counters which increment at
+      // the moment the fault is handled.
+      case JournalEventType::kEvalFailed:
+        ++sum.eval_failures;
+        break;
+      case JournalEventType::kEvalRetried:
+        ++sum.retries;
+        break;
+      case JournalEventType::kEvalExhausted:
+        ++sum.exhausted;
+        break;
+      case JournalEventType::kResultLost:
+        ++sum.lost_results;
+        break;
+      case JournalEventType::kWorkerCrashed:
+        ++sum.crashed_workers;
+        break;
+      case JournalEventType::kAgentDead:
+        ++sum.dead_agents;
+        break;
+      case JournalEventType::kPsDropped:
+        ++sum.ps_dropped;
+        break;
+      case JournalEventType::kPsDelayed:
+        ++sum.ps_delayed;
+        break;
+      case JournalEventType::kBarrierTimeout:
+        ++sum.barrier_timeouts;
         break;
     }
   }

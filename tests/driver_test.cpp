@@ -148,6 +148,29 @@ TEST(Driver, TopKUniqueAndSorted) {
   }
 }
 
+TEST(Driver, TopKExcludesTimedOutAndFailedRecords) {
+  // Floored rewards — timeout kills and retry-exhausted dispatches — are not
+  // measurements and must never rank, even when they numerically beat a real
+  // (bad) evaluation.
+  SearchResult res;
+  EvalRecord good;
+  good.reward = 0.4f;
+  good.arch = {1};
+  EvalRecord timed_out;
+  timed_out.reward = 0.9f;
+  timed_out.timed_out = true;
+  timed_out.arch = {2};
+  EvalRecord failed;
+  failed.reward = 0.9f;
+  failed.failed = true;
+  failed.arch = {3};
+  res.evals = {timed_out, good, failed};
+  const auto top = res.top_k(3);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].arch, good.arch);
+  EXPECT_EQ(top[0].reward, 0.4f);
+}
+
 TEST(Driver, RejectsEmptyCluster) {
   const space::SearchSpace s = space::nt3_small_space();
   const data::Dataset ds = tiny_nt3();

@@ -136,6 +136,43 @@ TEST(CachedEvaluator, SplitPhaseLookupInsert) {
   EXPECT_EQ(hit->reward, 0.5f);
 }
 
+TEST(CachedEvaluator, FailedThenRetriedEvalDoesNotPoisonCache) {
+  // Property behind the driver's retry-exhaustion handling: the driver
+  // pre-inserts the real result, then erases it when every dispatch attempt
+  // fails. A later regeneration must re-evaluate (miss), not replay a
+  // floored non-measurement — and the hit/miss counters must reconcile with
+  // every lookup made along the way.
+  const space::SearchSpace s = space::nt3_small_space();
+  const data::Dataset ds = tiny_nt3();
+  const TrainingEvaluator inner(s, ds, {.epochs = 1, .subset_fraction = 1.0}, CostModel{});
+  const CachedEvaluator cache(inner);
+  tensor::Rng rng(7);
+  const space::ArchEncoding arch = s.random_arch(rng);
+
+  EXPECT_FALSE(cache.lookup(arch).has_value());  // miss 1: first generation
+  EvalResult real;
+  real.reward = 0.9f;
+  cache.insert(arch, real);                      // the driver primes the cache
+  cache.erase(arch);                             // ...then the dispatch fails out
+  EXPECT_FALSE(cache.lookup(arch).has_value());  // miss 2: no stale replay
+  cache.insert(arch, real);                      // retry on regeneration succeeds
+  const auto hit = cache.lookup(arch);           // hit 1
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->reward, 0.9f);
+  EXPECT_TRUE(hit->cache_hit);
+
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.hits() + cache.misses(), 3u);  // one per lookup, exactly
+  EXPECT_EQ(cache.unique_archs(), 1u);
+
+  // Erasing an absent key is a harmless no-op (exhaustion after the driver
+  // already erased, or with caching disabled).
+  cache.erase(arch);
+  cache.erase(arch);
+  EXPECT_EQ(cache.unique_archs(), 0u);
+}
+
 TEST(HeadFor, PicksTaskByMetric) {
   const data::Dataset nt3 = tiny_nt3();
   EXPECT_EQ(head_for(nt3).kind, space::TaskHead::Kind::kClassification);
@@ -183,6 +220,46 @@ TEST(Utilization, RejectsBadInputs) {
   UtilizationMonitor mon(1);
   EXPECT_THROW(mon.add_busy_interval(5.0, 4.0), std::invalid_argument);
   EXPECT_THROW((void)mon.series(0.0, 10.0), std::invalid_argument);
+}
+
+TEST(Utilization, CapacityLossShrinksTheDenominator) {
+  // Two workers; one dies at t=50. The survivor is fully busy throughout, so
+  // utilization of the capacity that actually existed is 1.0 after the crash.
+  UtilizationMonitor mon(2);
+  mon.add_busy_interval(0.0, 50.0);    // doomed worker, busy until its death
+  mon.add_busy_interval(0.0, 100.0);   // survivor, busy the whole window
+  mon.add_capacity_loss(50.0);
+  EXPECT_EQ(mon.capacity_losses(), 1u);
+  const auto series = mon.series(100.0, 50.0);
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_DOUBLE_EQ(series[0], 1.0);    // 100 busy / (100 - 0 lost)
+  EXPECT_DOUBLE_EQ(series[1], 1.0);    // 50 busy / (100 - 50 lost)
+  // average: 150 busy worker-seconds over 2*100 - 50 available.
+  EXPECT_DOUBLE_EQ(mon.average(100.0), 1.0);
+}
+
+TEST(Utilization, IdleSurvivorAfterCrashIsStillMeasured) {
+  UtilizationMonitor mon(2);
+  mon.add_busy_interval(0.0, 50.0);    // survivor busy only in the first half
+  mon.add_capacity_loss(50.0);
+  const auto series = mon.series(100.0, 50.0);
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_DOUBLE_EQ(series[0], 0.5);    // 50 busy / 100 available
+  EXPECT_DOUBLE_EQ(series[1], 0.0);    // idle survivor: 0 / 50
+  EXPECT_DOUBLE_EQ(mon.average(100.0), 50.0 / 150.0);
+}
+
+TEST(Utilization, AllCapacityLostDegradesToZero) {
+  // A plan may kill every worker; the monitor must degrade, not divide by 0.
+  UtilizationMonitor mon(1);
+  mon.add_busy_interval(0.0, 10.0);
+  mon.add_capacity_loss(10.0);
+  const auto series = mon.series(20.0, 10.0);
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_DOUBLE_EQ(series[0], 1.0);
+  EXPECT_DOUBLE_EQ(series[1], 0.0);    // zero denominator: reported as idle
+  EXPECT_THROW(mon.add_capacity_loss(-1.0), std::invalid_argument);
+  EXPECT_THROW(mon.add_capacity_loss(5.0), std::invalid_argument);  // > workers
 }
 
 }  // namespace

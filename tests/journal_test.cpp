@@ -22,7 +22,11 @@ TEST(Journal, EventNamesRoundTrip) {
       JournalEventType::kEvalCached,     JournalEventType::kEvalTimeout,
       JournalEventType::kPpoUpdate,      JournalEventType::kPsExchange,
       JournalEventType::kAgentConverged, JournalEventType::kStragglerDetected,
-      JournalEventType::kAgentStalled,
+      JournalEventType::kAgentStalled,   JournalEventType::kEvalFailed,
+      JournalEventType::kEvalRetried,    JournalEventType::kEvalExhausted,
+      JournalEventType::kResultLost,     JournalEventType::kWorkerCrashed,
+      JournalEventType::kAgentDead,      JournalEventType::kPsDropped,
+      JournalEventType::kPsDelayed,      JournalEventType::kBarrierTimeout,
   };
   for (JournalEventType t : all) {
     const char* name = journal_event_name(t);

@@ -58,5 +58,59 @@ TEST(ParameterServer, ValidatesInput) {
   EXPECT_THROW((void)ps.submit(0, std::vector<float>{1.0f}), std::invalid_argument);
 }
 
+// ---- failure tolerance (sync mode) -----------------------------------------
+
+TEST(ParameterServer, TryReleaseRequiresTimeoutAndPendingDeltas) {
+  ParameterServer ps({0.0f}, ParameterServer::Mode::kSync, 3);
+  EXPECT_FALSE(ps.try_release(1e9));  // no timeout configured: waits forever
+  ps.set_absent_timeout(120.0);
+  EXPECT_FALSE(ps.try_release(1e9));  // nothing pending: nothing to release
+}
+
+TEST(ParameterServer, SyncBarrierReleasesAfterAbsentTimeout) {
+  ParameterServer ps({0.0f}, ParameterServer::Mode::kSync, 3);
+  ps.set_absent_timeout(120.0);
+  EXPECT_FALSE(ps.submit(0, std::vector<float>{3.0f}, 10.0));
+  EXPECT_FALSE(ps.submit(1, std::vector<float>{9.0f}, 20.0));
+  // Agent 2 never reports. The window runs from the latest arrival.
+  EXPECT_FALSE(ps.try_release(139.9));
+  EXPECT_TRUE(ps.try_release(140.0));
+  EXPECT_FLOAT_EQ(ps.params()[0], 6.0f);  // mean of the two that arrived
+  EXPECT_EQ(ps.updates_applied(), 1u);
+  // The absentee was only late, not dead: the next round still counts it.
+  EXPECT_FALSE(ps.submit(2, std::vector<float>{0.0f}, 150.0));
+  EXPECT_FALSE(ps.submit(0, std::vector<float>{0.0f}, 151.0));
+  EXPECT_TRUE(ps.submit(1, std::vector<float>{3.0f}, 152.0));
+  EXPECT_FLOAT_EQ(ps.params()[0], 7.0f);
+}
+
+TEST(ParameterServer, DeactivateShrinksBarrier) {
+  ParameterServer ps({0.0f}, ParameterServer::Mode::kSync, 3);
+  EXPECT_EQ(ps.active_agents(), 3u);
+  EXPECT_FALSE(ps.deactivate(2));  // no round pending: nothing released
+  EXPECT_EQ(ps.active_agents(), 2u);
+  // The barrier now completes with the two survivors.
+  EXPECT_FALSE(ps.submit(0, std::vector<float>{2.0f}));
+  EXPECT_TRUE(ps.submit(1, std::vector<float>{4.0f}));
+  EXPECT_FLOAT_EQ(ps.params()[0], 3.0f);
+}
+
+TEST(ParameterServer, DeactivateCompletesPendingRound) {
+  ParameterServer ps({0.0f}, ParameterServer::Mode::kSync, 3);
+  EXPECT_FALSE(ps.submit(0, std::vector<float>{2.0f}, 5.0));
+  EXPECT_FALSE(ps.submit(1, std::vector<float>{6.0f}, 6.0));
+  // Agent 2's pool died while the others were parked on the barrier: its
+  // removal is what completes the round.
+  EXPECT_TRUE(ps.deactivate(2, 7.0));
+  EXPECT_FLOAT_EQ(ps.params()[0], 4.0f);  // mean of the arrivals only
+  EXPECT_EQ(ps.updates_applied(), 1u);
+}
+
+TEST(ParameterServer, DeactivatedAgentMustNotSubmit) {
+  ParameterServer ps({0.0f}, ParameterServer::Mode::kSync, 2);
+  EXPECT_FALSE(ps.deactivate(0));
+  EXPECT_THROW((void)ps.submit(0, std::vector<float>{1.0f}), std::logic_error);
+}
+
 }  // namespace
 }  // namespace ncnas::nas

@@ -1,0 +1,118 @@
+// Checkpoint overhead proof: the same small search scenario the telemetry
+// and fault overhead benches use, run (a) with SearchConfig::checkpoint null
+// — the seed driver's code path, which snapshotting must leave untouched —
+// and (b) with an active checkpoint policy at two cadences, to price the
+// serialize + hash + atomic-write cycle itself. The null path has no timer,
+// no writer, and no serialization: it must match the no-checkpoint baseline
+// (and produce bit-identical results). Compare the counters directly:
+//
+//   ./build/bench/bench_checkpoint_overhead --benchmark_repetitions=3
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "ncnas/ckpt/checkpoint.hpp"
+#include "ncnas/nas/driver.hpp"
+#include "ncnas/space/spaces.hpp"
+
+namespace {
+
+using namespace ncnas;
+
+const data::Dataset& small_dataset() {
+  static const data::Dataset ds = [] {
+    data::Nt3Dims dims;
+    dims.train = 64;
+    dims.valid = 32;
+    dims.length = 64;
+    dims.motif = 6;
+    return data::make_nt3(5, dims);
+  }();
+  return ds;
+}
+
+nas::SearchConfig small_search_config() {
+  nas::SearchConfig cfg;
+  cfg.strategy = nas::SearchStrategy::kA3C;
+  cfg.cluster = {.num_agents = 3, .workers_per_agent = 4};
+  cfg.wall_time_seconds = 900.0;
+  cfg.fidelity = {.epochs = 1, .subset_fraction = 1.0};
+  cfg.cost = {.startup_seconds = 20.0, .seconds_per_megaunit = 1.0, .timeout_seconds = 600.0};
+  cfg.seed = 11;
+  return cfg;
+}
+
+std::string scratch_dir(const char* name) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "ncnas_bench_ckpt" / name).string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+void BM_SearchRun_NoCheckpoint(benchmark::State& state) {
+  const space::SearchSpace sp = space::nt3_small_space();
+  const data::Dataset& ds = small_dataset();
+  const nas::SearchConfig cfg = small_search_config();
+  std::size_t evals = 0;
+  for (auto _ : state) {
+    nas::SearchResult res = nas::SearchDriver(sp, ds, cfg).run();
+    evals += res.evals.size();
+    benchmark::DoNotOptimize(res.end_time);
+  }
+  state.counters["evals"] =
+      benchmark::Counter(static_cast<double>(evals), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_SearchRun_NoCheckpoint)->Unit(benchmark::kMillisecond);
+
+// Active policy; the Arg is the snapshot cadence in virtual seconds. 150 s
+// over a 900 s search is an aggressively tight cadence (5 snapshots); 450 s
+// is the proportional equivalent of the recommended 30-min interval on the
+// paper's 6-hour allocations (1 snapshot mid-run + 1 at the end boundary).
+void BM_SearchRun_Checkpointed(benchmark::State& state) {
+  const space::SearchSpace sp = space::nt3_small_space();
+  const data::Dataset& ds = small_dataset();
+  ckpt::CheckpointConfig ckpt_cfg;
+  ckpt_cfg.directory = scratch_dir(std::to_string(state.range(0)).c_str());
+  ckpt_cfg.interval_seconds = static_cast<double>(state.range(0));
+  nas::SearchConfig cfg = small_search_config();
+  cfg.checkpoint = &ckpt_cfg;
+  std::size_t evals = 0, snapshots = 0;
+  for (auto _ : state) {
+    nas::SearchResult res = nas::SearchDriver(sp, ds, cfg).run();
+    evals += res.evals.size();
+    snapshots += res.checkpoints_written;
+    benchmark::DoNotOptimize(res.end_time);
+  }
+  state.counters["evals"] =
+      benchmark::Counter(static_cast<double>(evals), benchmark::Counter::kAvgIterations);
+  state.counters["snapshots"] =
+      benchmark::Counter(static_cast<double>(snapshots), benchmark::Counter::kAvgIterations);
+  std::filesystem::remove_all(ckpt_cfg.directory);
+}
+BENCHMARK(BM_SearchRun_Checkpointed)->Arg(450)->Arg(150)->Unit(benchmark::kMillisecond);
+
+// The snapshot write path in isolation: serialize-free, prices only the
+// FNV-1a hash + temp-file write + rename of a payload of Arg kilobytes
+// (driver payloads for the small scenario are in the tens of kilobytes).
+void BM_SnapshotWrite(benchmark::State& state) {
+  const std::string dir = scratch_dir("write");
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/snap-000001.ckpt";
+  ckpt::SnapshotHeader header;
+  header.fingerprint = "bench|a3c|3x4";
+  header.space_name = "nt3-small";
+  header.ordinal = 1;
+  std::vector<std::uint8_t> payload(static_cast<std::size_t>(state.range(0)) * 1024);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 2654435761u >> 13);
+  }
+  for (auto _ : state) {
+    ckpt::write_snapshot(path, header, payload);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(payload.size()));
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_SnapshotWrite)->Arg(16)->Arg(64)->Arg(256)->Unit(benchmark::kMicrosecond);
+
+}  // namespace

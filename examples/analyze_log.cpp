@@ -3,12 +3,18 @@
 // reports the reward trajectory, utilization, top architectures, and the
 // controller's decision histogram.
 //
-//   ./examples/analyze_log nas_logs/<tag>.log <space-name> [--journal <file>]
+//   ./examples/analyze_log nas_logs/<tag>.log <space-name> [--journal <file>]...
 //
 // With --journal the tool also replays a structured journal (JSONL written by
 // Telemetry::export_journal_jsonl) of the same run and cross-checks its final
 // eval count and best reward against the result log — a divergence means the
 // two artifacts are from different runs (exit 1).
+//
+// --journal may repeat for a checkpointed run that was interrupted and
+// resumed: pass the journals in process order (original first, each resumed
+// process after it) and they are stitched with obs::merge_resumed_journal at
+// each run_resumed watermark before the replay, so the cross-check covers
+// the whole lineage as if the run had never been interrupted.
 #include <cmath>
 #include <fstream>
 #include <iostream>
@@ -23,7 +29,7 @@
 int main(int argc, char** argv) {
   using namespace ncnas;
   std::vector<std::string> positional;
-  std::string journal_path;
+  std::vector<std::string> journal_paths;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--journal") {
@@ -31,13 +37,13 @@ int main(int argc, char** argv) {
         std::cerr << "--journal needs a file argument\n";
         return 2;
       }
-      journal_path = argv[++i];
+      journal_paths.push_back(argv[++i]);
     } else {
       positional.push_back(arg);
     }
   }
   if (positional.size() < 2) {
-    std::cerr << "usage: analyze_log <log-file> <space-name> [--journal <file>]\n  spaces:";
+    std::cerr << "usage: analyze_log <log-file> <space-name> [--journal <file>]...\n  spaces:";
     for (const auto& n : space::space_names()) std::cerr << ' ' << n;
     std::cerr << '\n';
     return 2;
@@ -74,6 +80,10 @@ int main(int argc, char** argv) {
               << res->crashed_workers << " crashed worker(s), " << res->dead_agents
               << " dead agent(s)\n";
   }
+  if (res->checkpoints_written + res->resumes > 0) {
+    std::cout << "checkpoints: " << res->checkpoints_written << " snapshot(s) written, "
+              << res->resumes << " resume(s) behind this result\n";
+  }
   std::cout << "\n";
 
   std::vector<std::pair<double, float>> rewards;
@@ -92,15 +102,23 @@ int main(int argc, char** argv) {
   const auto stats = analytics::compute_arch_stats(sp, *res, res->end_time / 2.0);
   analytics::print_arch_stats(std::cout, stats);
 
-  if (!journal_path.empty()) {
-    std::ifstream jin(journal_path);
-    if (!jin) {
-      std::cerr << "cannot open journal " << journal_path << "\n";
-      return 1;
-    }
+  if (!journal_paths.empty()) {
     obs::RunSummary sum;
+    std::vector<obs::JournalEvent> events;
     try {
-      sum = obs::summarize_journal(obs::Journal::import_jsonl(jin));
+      for (std::size_t j = 0; j < journal_paths.size(); ++j) {
+        std::ifstream jin(journal_paths[j]);
+        if (!jin) {
+          std::cerr << "cannot open journal " << journal_paths[j] << "\n";
+          return 1;
+        }
+        std::vector<obs::JournalEvent> part = obs::Journal::import_jsonl(jin);
+        // The first journal stands alone; each later one opens with a
+        // run_resumed event whose watermark stitches it onto the lineage.
+        events = j == 0 ? std::move(part)
+                        : obs::merge_resumed_journal(std::move(events), part);
+      }
+      sum = obs::summarize_journal(events);
     } catch (const std::exception& e) {
       std::cerr << e.what() << "\n";
       return 1;
@@ -108,7 +126,15 @@ int main(int argc, char** argv) {
     float log_best = -std::numeric_limits<float>::infinity();
     for (const auto& e : res->evals) log_best = std::max(log_best, e.reward);
 
-    std::cout << "\njournal cross-check (" << journal_path << "):\n";
+    std::cout << "\njournal cross-check (" << journal_paths.size() << " journal(s), "
+              << events.size() << " events):\n";
+    if (sum.resumes > 0) {
+      std::cout << "  resume boundaries:";
+      for (const double t : sum.resume_times) {
+        std::cout << ' ' << analytics::fmt(t / 60.0, 1) << " min";
+      }
+      std::cout << "\n";
+    }
     bool ok = true;
     if (sum.evals != res->evals.size()) {
       std::cout << "  MISMATCH: journal has " << sum.evals << " evals, log has "
@@ -133,6 +159,10 @@ int main(int argc, char** argv) {
     check_fault("lost results", sum.lost_results, res->lost_results);
     check_fault("crashed workers", sum.crashed_workers, res->crashed_workers);
     check_fault("dead agents", sum.dead_agents, res->dead_agents);
+    // Checkpoint accounting follows the same no-deadline convention, so a
+    // merged lineage must reconcile with the final result counter-for-counter.
+    check_fault("checkpoints", sum.checkpoints, res->checkpoints_written);
+    check_fault("resumes", sum.resumes, res->resumes);
     if (ok) {
       std::cout << "  OK: " << sum.evals << " evals, best reward "
                 << analytics::fmt(sum.best_reward) << " — journal and log agree\n";

@@ -5,7 +5,12 @@
 // HealthWatchdog's straggler/stall verdicts — the offline counterpart of
 // eyeballing a Balsam job database after a Theta allocation.
 //
-//   ./examples/run_report <journal.jsonl> [--md]
+//   ./examples/run_report <journal.jsonl>... [--md]
+//
+// A checkpointed run that was interrupted and resumed leaves one journal per
+// process; pass them in process order and they are stitched with
+// obs::merge_resumed_journal at each run_resumed watermark, so the report
+// covers the whole lineage and marks the resume boundaries.
 #include <algorithm>
 #include <fstream>
 #include <iostream>
@@ -40,28 +45,35 @@ double sample_quantile(const std::vector<double>& values, double q) {
 int main(int argc, char** argv) {
   using namespace ncnas;
   bool markdown = false;
-  std::string path;
+  std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--md") {
       markdown = true;
     } else {
-      path = arg;
+      paths.push_back(arg);
     }
   }
-  if (path.empty()) {
-    std::cerr << "usage: run_report <journal.jsonl> [--md]\n";
+  if (paths.empty()) {
+    std::cerr << "usage: run_report <journal.jsonl>... [--md]\n";
     return 2;
   }
+  const std::string path = paths.front();
 
-  std::ifstream in(path);
-  if (!in) {
-    std::cerr << "cannot open " << path << "\n";
-    return 1;
-  }
   std::vector<obs::JournalEvent> events;
   try {
-    events = obs::Journal::import_jsonl(in);
+    for (std::size_t j = 0; j < paths.size(); ++j) {
+      std::ifstream in(paths[j]);
+      if (!in) {
+        std::cerr << "cannot open " << paths[j] << "\n";
+        return 1;
+      }
+      std::vector<obs::JournalEvent> part = obs::Journal::import_jsonl(in);
+      // The first journal stands alone; each later one opens with a
+      // run_resumed event whose watermark stitches it onto the lineage.
+      events = j == 0 ? std::move(part)
+                      : obs::merge_resumed_journal(std::move(events), part);
+    }
   } catch (const std::exception& e) {
     std::cerr << e.what() << "\n";
     return 1;
@@ -95,7 +107,17 @@ int main(int argc, char** argv) {
                     : 0.0;
   os << "cache hit ratio: " << analytics::fmt(100.0 * hit_ratio, 1) << "%\n";
   os << "best reward: " << analytics::fmt(sum.best_reward) << " at "
-     << analytics::fmt(sum.best_reward_t / 60.0, 1) << " min\n\n";
+     << analytics::fmt(sum.best_reward_t / 60.0, 1) << " min\n";
+  if (sum.checkpoints + sum.resumes > 0) {
+    os << "checkpoints: " << sum.checkpoints << " snapshot(s) written, " << sum.resumes
+       << " resume(s)";
+    if (!sum.resume_times.empty()) {
+      os << " — resumed at";
+      for (const double t : sum.resume_times) os << ' ' << analytics::fmt(t / 60.0, 1) << " min";
+    }
+    os << "\n";
+  }
+  os << "\n";
 
   if (!sum.rewards.empty() && sum.end_time_s > 0.0) {
     os << h2 << "Reward trajectory\n";

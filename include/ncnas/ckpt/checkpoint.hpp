@@ -1,0 +1,82 @@
+// CheckpointWriter — the rotation policy around snapshot files.
+//
+// The driver opts in through SearchConfig::checkpoint, exactly the pattern
+// of SearchConfig::telemetry and SearchConfig::faults: a null policy leaves
+// the driver on its untouched path (zero overhead, bit-identical results),
+// and — like telemetry, unlike a non-empty fault plan — an active checkpoint
+// policy is deliberately excluded from config_fingerprint(), because saving
+// a search never changes it.
+//
+// Snapshots are named snap-<ordinal>.ckpt; the ordinal is the run's
+// cumulative snapshot count, so a resumed process continues the numbering of
+// the process it replaced and rotation (keep the newest K) works across
+// process generations.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ncnas/ckpt/snapshot.hpp"
+
+namespace ncnas::ckpt {
+
+struct CheckpointConfig {
+  /// Directory snapshots land in (created if absent).
+  std::string directory;
+  /// Virtual seconds between snapshots. The paper's 6-hour allocations make
+  /// every 30 simulated minutes a natural cadence.
+  double interval_seconds = 1800.0;
+  /// Newest snapshots kept on disk; 0 keeps all.
+  std::size_t keep_last = 3;
+  /// Test hook: after this many snapshots written *by this process*, the
+  /// driver throws SearchInterrupted — a deterministic stand-in for a
+  /// preemption signal, used by the kill-and-resume tests and by
+  /// examples/resume_search --kill-after (which escalates to a real
+  /// SIGKILL). 0 disables.
+  std::size_t abort_after_snapshots = 0;
+};
+
+/// Thrown by the driver when CheckpointConfig::abort_after_snapshots fires.
+/// Carries the path of the snapshot that was just made durable, so the
+/// catcher can hand it straight to resume_search().
+class SearchInterrupted : public std::runtime_error {
+ public:
+  explicit SearchInterrupted(std::string snapshot_path)
+      : std::runtime_error("search interrupted after snapshot " + snapshot_path),
+        path_(std::move(snapshot_path)) {}
+  [[nodiscard]] const std::string& snapshot_path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+};
+
+class CheckpointWriter {
+ public:
+  /// Creates the directory if needed. Throws SnapshotError when the
+  /// directory cannot be created or the interval is not positive.
+  explicit CheckpointWriter(CheckpointConfig config);
+
+  /// Writes snap-<header.ordinal>.ckpt atomically, then rotates (deletes
+  /// all but the newest keep_last snapshots). Returns the snapshot path.
+  std::string write(const SnapshotHeader& header, const std::vector<std::uint8_t>& payload);
+
+  /// Snapshots written by this writer (i.e. this process), which is what
+  /// abort_after_snapshots counts against — not the run-cumulative ordinal.
+  [[nodiscard]] std::size_t session_writes() const noexcept { return session_writes_; }
+  [[nodiscard]] const CheckpointConfig& config() const noexcept { return config_; }
+
+ private:
+  CheckpointConfig config_;
+  std::size_t session_writes_ = 0;
+};
+
+/// Snapshot files in `directory`, sorted by ordinal ascending. Non-snapshot
+/// files are ignored; a missing directory yields an empty list.
+[[nodiscard]] std::vector<std::string> list_checkpoints(const std::string& directory);
+
+/// Highest-ordinal snapshot in `directory`, or nullopt when there is none.
+[[nodiscard]] std::optional<std::string> latest_checkpoint(const std::string& directory);
+
+}  // namespace ncnas::ckpt

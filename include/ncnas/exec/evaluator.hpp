@@ -150,6 +150,17 @@ class CachedEvaluator final : public Evaluator {
   [[nodiscard]] std::size_t unique_archs() const noexcept { return cache_.size(); }
   void clear();
 
+  /// --- checkpoint/restore ---------------------------------------------------
+  /// Serializable cache contents. Entries are sorted by architecture key so
+  /// the exported form is canonical (the map's iteration order is not).
+  struct State {
+    std::vector<std::pair<std::string, EvalResult>> entries;
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+  };
+  [[nodiscard]] State export_state() const;
+  void import_state(const State& state);
+
  private:
   const Evaluator* inner_;
   mutable std::unordered_map<std::string, EvalResult> cache_;

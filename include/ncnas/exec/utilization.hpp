@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 namespace ncnas::exec {
@@ -34,6 +35,18 @@ class UtilizationMonitor {
   [[nodiscard]] double busy_worker_seconds() const noexcept { return busy_seconds_; }
   [[nodiscard]] std::size_t interval_count() const noexcept { return intervals_.size(); }
   [[nodiscard]] std::size_t capacity_losses() const noexcept { return losses_.size(); }
+
+  /// --- checkpoint/restore ---------------------------------------------------
+  /// Intervals are kept in recording order and busy_seconds is carried over
+  /// verbatim (not re-summed), so a restored monitor reproduces the original
+  /// float accumulation bit-for-bit.
+  struct State {
+    std::vector<std::pair<double, double>> intervals;  ///< (start, end)
+    std::vector<double> losses;
+    double busy_seconds = 0.0;
+  };
+  [[nodiscard]] State export_state() const;
+  void import_state(const State& state);
 
  private:
   struct Interval {

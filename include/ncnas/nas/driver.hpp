@@ -17,8 +17,10 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "ncnas/ckpt/checkpoint.hpp"
 #include "ncnas/exec/evaluator.hpp"
 #include "ncnas/exec/fault.hpp"
 #include "ncnas/nas/parameter_server.hpp"
@@ -91,6 +93,13 @@ struct SearchConfig {
   /// its fault-free path with bit-identical results. A non-empty plan IS
   /// covered by config_fingerprint(), because faults change the search.
   const exec::FaultInjector* faults = nullptr;
+  /// Optional checkpoint policy (not owned; must outlive the driver). Null
+  /// disables snapshotting entirely — zero overhead, bit-identical results.
+  /// Like telemetry — and unlike a non-empty fault plan — it is excluded
+  /// from config_fingerprint(): saving a search never changes it, and a
+  /// snapshot must be resumable under a config that differs only in where
+  /// (or whether) it keeps checkpointing.
+  const ckpt::CheckpointConfig* checkpoint = nullptr;
 };
 
 /// One completed reward estimation, stamped with its virtual completion time.
@@ -126,6 +135,12 @@ struct SearchResult {
   std::size_t lost_results = 0;     ///< completed tasks whose result was dropped
   std::size_t crashed_workers = 0;  ///< workers lost to the fault plan
   std::size_t dead_agents = 0;      ///< agents that lost every worker
+  // Checkpoint/restore accounting (both zero without a checkpoint policy).
+  // checkpoints_written is run-cumulative, so an interrupted-then-resumed
+  // run reports the same count as the uninterrupted one; resumes is the one
+  // field that legitimately differs (0 uninterrupted, +1 per resume).
+  std::size_t checkpoints_written = 0;  ///< snapshots made durable
+  std::size_t resumes = 0;              ///< process restarts behind this result
   std::vector<double> utilization;     ///< per-minute worker utilization
   double utilization_bucket = 60.0;
   /// Whether the run was instrumented (recorded in saved logs so replayed
@@ -159,5 +174,20 @@ class SearchDriver {
   SearchConfig config_;
   tensor::ThreadPool* pool_;
 };
+
+/// Resumes a search from a snapshot written under SearchConfig::checkpoint.
+/// `config` must describe the same search (config_fingerprint over
+/// `space.name()` is validated against the snapshot; telemetry/checkpoint
+/// wiring may differ). Restores the full driver state and runs to
+/// completion: the returned SearchResult is bit-identical to the
+/// uninterrupted run's, except `resumes` (incremented) — and, when a
+/// journal is attached, the new journal opens with a run_resumed event so
+/// obs::merge_resumed_journal can stitch it onto the interrupted journal.
+/// Throws ckpt::SnapshotError on a corrupt, truncated, or mismatched
+/// snapshot — bad state is never silently loaded.
+[[nodiscard]] SearchResult resume_search(const std::string& snapshot_path,
+                                         const space::SearchSpace& space,
+                                         const data::Dataset& dataset, SearchConfig config,
+                                         tensor::ThreadPool* pool = nullptr);
 
 }  // namespace ncnas::nas

@@ -83,6 +83,30 @@ class ParameterServer {
 
   [[nodiscard]] std::size_t active_agents() const noexcept { return active_count_; }
 
+  /// --- checkpoint/restore ---------------------------------------------------
+  /// Full mutable server state. Mode, agent count, async window, and the
+  /// absent timeout are config-derived and therefore not part of it — the
+  /// resume path reconstructs the server from the same SearchConfig and then
+  /// imports this. vector<bool> is avoided in the wire form on purpose.
+  struct State {
+    std::vector<float> params;
+    std::vector<std::vector<float>> pending;
+    std::vector<std::uint8_t> submitted;
+    std::vector<std::uint8_t> active;
+    std::size_t active_count = 0;
+    std::size_t pending_count = 0;
+    double last_arrival = 0.0;
+    std::vector<std::vector<float>> recent;
+    std::size_t recent_next = 0;
+    std::size_t updates_applied = 0;
+    std::vector<std::size_t> pulled_version;
+    std::vector<double> arrival_time;
+  };
+  [[nodiscard]] State export_state() const;
+  /// Throws std::invalid_argument when the state's agent count or parameter
+  /// dimension does not match this server.
+  void import_state(const State& state);
+
  private:
   void apply(std::span<const float> delta, float scale);
   void release_round(double now);

@@ -1,8 +1,11 @@
 // Optimizers. Adam (the paper's choice, default lr 1e-3) and plain SGD.
-// State is keyed by Parameter identity, so shared (mirrored) weights get a
-// single moment estimate no matter how many layers reference them.
+// Adam state is keyed by disambiguated parameter *name* (not raw pointer)
+// so moments survive serialization across processes; shared (mirrored)
+// weights still resolve to a single key — and a single moment estimate —
+// no matter how many layers reference them.
 #pragma once
 
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -41,15 +44,47 @@ class Adam final : public Optimizer {
   [[nodiscard]] float learning_rate() const override { return lr_; }
   void set_learning_rate(float lr) override { lr_ = lr; }
 
+  // ---- serialization -------------------------------------------------------
+  // Parameter names repeat across layers ("dense.w" exists in every dense
+  // layer), so a raw name cannot key the moment map. Keys are therefore the
+  // name disambiguated in first-seen order: "dense.w", "dense.w#2", ... —
+  // stable across runs because optimizers always see their parameter list in
+  // the same order, and identical for a shared (mirrored) parameter, which is
+  // one pointer and thus one key.
+
+  /// One parameter's moment estimates, under its disambiguated key.
+  struct MomentEntry {
+    std::string key;
+    tensor::Shape shape;
+    std::vector<float> m;
+    std::vector<float> v;
+  };
+  /// Complete optimizer state: bias-correction step count + all moments,
+  /// entries sorted by key so the serialized form is canonical.
+  struct State {
+    long step_count = 0;
+    std::vector<MomentEntry> entries;
+  };
+
+  [[nodiscard]] State export_state() const;
+  /// Replaces all optimizer state. Moments re-attach to parameters by key on
+  /// the next step(); a restored optimizer then continues bit-identically.
+  void import_state(const State& state);
+
  private:
   struct Moments {
     tensor::Tensor m;
     tensor::Tensor v;
   };
 
+  /// Disambiguated key for `p` ("name", "name#2", ... in first-seen order).
+  const std::string& key_for(const Parameter* p);
+
   float lr_, beta1_, beta2_, eps_;
   long step_count_ = 0;
-  std::unordered_map<const Parameter*, Moments> state_;
+  std::unordered_map<std::string, Moments> state_;
+  std::unordered_map<const Parameter*, std::string> key_cache_;
+  std::unordered_map<std::string, std::size_t> name_counts_;
 };
 
 }  // namespace ncnas::nn

@@ -61,6 +61,10 @@ enum class JournalEventType : std::uint8_t {
   kPsDropped,          ///< payload: mode (0 sync / 1 async)
   kPsDelayed,          ///< payload: mode, delay_s
   kBarrierTimeout,     ///< payload: absent, timeout_s (partial A2C release)
+  // Checkpoint/restore events (ncnas::ckpt + resumable driver). Additions
+  // within schema v1: older readers skip unknown event names.
+  kCheckpointWritten,  ///< payload: ordinal, bytes (t = snapshot virtual time)
+  kRunResumed,         ///< payload: from_t, prior_events, ordinal, wall_time_s, strategy
 };
 
 /// Stable wire name of an event type ("eval_finished", ...).
@@ -173,6 +177,13 @@ struct RunSummary {
   std::size_t ps_dropped = 0;      ///< PS exchanges that never arrived
   std::size_t ps_delayed = 0;      ///< PS exchanges that arrived late
   std::size_t barrier_timeouts = 0;///< partial A2C rounds forced by timeout
+
+  // Checkpoint/restore accounting. Counted with no deadline filter (a
+  // snapshot or a resume is real regardless of when it happened), mirroring
+  // SearchResult::checkpoints_written / resumes.
+  std::size_t checkpoints = 0;          ///< snapshots made durable
+  std::size_t resumes = 0;              ///< run_resumed events seen
+  std::vector<double> resume_times;     ///< virtual times the run was resumed at
   /// True when the journal recorded any injected fault or recovery action.
   [[nodiscard]] bool faulty() const {
     return eval_failures + retries + exhausted + lost_results + crashed_workers + dead_agents +
@@ -193,5 +204,16 @@ struct RunSummary {
 
 /// Replays a journal (as exported/imported) into a RunSummary.
 [[nodiscard]] RunSummary summarize_journal(const std::vector<JournalEvent>& events);
+
+/// Stitches the journal of a resumed process onto the journal of the process
+/// it replaced. `resumed` must contain a run_resumed event whose prior_events
+/// payload is the snapshot's journal watermark: every `prior` event past that
+/// watermark was re-done (and re-logged) after the resume, so `prior` is
+/// truncated to the watermark, `resumed` is appended, and seq is reassigned
+/// contiguously. Composes across chained resumes — merge pairwise in order.
+/// Throws std::runtime_error when `resumed` has no run_resumed event or
+/// `prior` is shorter than the watermark (the journals don't belong together).
+[[nodiscard]] std::vector<JournalEvent> merge_resumed_journal(
+    std::vector<JournalEvent> prior, const std::vector<JournalEvent>& resumed);
 
 }  // namespace ncnas::obs

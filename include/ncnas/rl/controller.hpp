@@ -79,6 +79,18 @@ class Controller {
 
   [[nodiscard]] std::vector<nn::ParamPtr> parameters() const;
 
+  /// --- checkpoint/restore ---------------------------------------------------
+  /// Everything that makes a controller resume bit-identically: the flat
+  /// parameter vector plus the internal Adam moments and step count. The
+  /// LSTM step cache is deliberately absent — ppo_update() fully unwinds it,
+  /// so it is empty at every point a driver may snapshot.
+  struct State {
+    std::vector<float> flat;
+    nn::Adam::State adam;
+  };
+  [[nodiscard]] State save_state() const;
+  void load_state(const State& state);
+
  private:
   /// Policy-head logits for one batch of hidden states, masked to `arity`.
   void head_logits(const tensor::Tensor& h, std::size_t arity, tensor::Tensor& probs) const;

@@ -13,6 +13,15 @@
 
 namespace ncnas::tensor {
 
+/// Complete serializable state of an Rng stream: the xoshiro256** words plus
+/// the Box–Muller cache, so a restored stream continues bit-identically even
+/// when it was saved between the two halves of a normal() pair.
+struct RngState {
+  std::uint64_t s[4]{};
+  bool has_cached_normal = false;
+  double cached_normal = 0.0;
+};
+
 /// xoshiro256** with SplitMix64 seeding. Fast, high quality, and — unlike
 /// std::mt19937 distributions — bit-reproducible across standard libraries.
 class Rng {
@@ -46,6 +55,12 @@ class Rng {
   /// Derives an independent child stream; children of distinct `stream` values
   /// are decorrelated even under sequential seeds.
   [[nodiscard]] Rng split(std::uint64_t stream) const;
+
+  /// Save/restore the full stream state (checkpoint/resume support). A
+  /// stream restored from state() produces the exact draw sequence the
+  /// original would have from that point on.
+  [[nodiscard]] RngState state() const;
+  void set_state(const RngState& st);
 
  private:
   std::uint64_t state_[4]{};

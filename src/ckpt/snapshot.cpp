@@ -1,0 +1,116 @@
+#include "ncnas/ckpt/snapshot.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace ncnas::ckpt {
+
+namespace {
+
+void encode_header(ByteWriter& w, const SnapshotHeader& h) {
+  w.str(h.fingerprint);
+  w.str(h.space_name);
+  w.f64(h.virtual_time);
+  w.u64(h.journal_events);
+  w.u64(h.ordinal);
+}
+
+SnapshotHeader decode_header(ByteReader& r) {
+  SnapshotHeader h;
+  h.fingerprint = r.str();
+  h.space_name = r.str();
+  h.virtual_time = r.f64();
+  h.journal_events = r.u64();
+  h.ordinal = r.u64();
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::span<const std::uint8_t> data) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (std::uint8_t b : data) {
+    h ^= b;
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+void write_snapshot(const std::string& path, const SnapshotHeader& header,
+                    const std::vector<std::uint8_t>& payload) {
+  ByteWriter hw;
+  encode_header(hw, header);
+  const std::vector<std::uint8_t>& hb = hw.bytes();
+
+  // One hash over header + payload: a flipped bit anywhere is caught.
+  std::vector<std::uint8_t> hashed;
+  hashed.reserve(hb.size() + payload.size());
+  hashed.insert(hashed.end(), hb.begin(), hb.end());
+  hashed.insert(hashed.end(), payload.begin(), payload.end());
+  const std::uint64_t hash = fnv1a64(hashed);
+
+  ByteWriter pre;
+  pre.u32(kSnapshotMagic);
+  pre.u32(kSnapshotVersion);
+  pre.u64(hb.size());
+  pre.u64(payload.size());
+  pre.u64(hash);
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw SnapshotError("snapshot: cannot open " + tmp + " for writing");
+    out.write(reinterpret_cast<const char*>(pre.bytes().data()),
+              static_cast<std::streamsize>(pre.size()));
+    out.write(reinterpret_cast<const char*>(hb.data()), static_cast<std::streamsize>(hb.size()));
+    out.write(reinterpret_cast<const char*>(payload.data()),
+              static_cast<std::streamsize>(payload.size()));
+    if (!out) throw SnapshotError("snapshot: write failed for " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    throw SnapshotError("snapshot: cannot rename " + tmp + " to " + path + ": " + ec.message());
+  }
+}
+
+Snapshot read_snapshot(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw SnapshotError("snapshot: cannot open " + path);
+  std::vector<std::uint8_t> raw((std::istreambuf_iterator<char>(in)),
+                                std::istreambuf_iterator<char>());
+
+  ByteReader pre(raw);
+  if (raw.size() < 4 + 4 + 8 + 8 + 8) throw SnapshotError("snapshot: " + path + " is truncated");
+  if (pre.u32() != kSnapshotMagic) {
+    throw SnapshotError("snapshot: " + path + " is not a ncnas snapshot (bad magic)");
+  }
+  const std::uint32_t version = pre.u32();
+  if (version != kSnapshotVersion) {
+    throw SnapshotError("snapshot: " + path + " has schema version " + std::to_string(version) +
+                        ", expected " + std::to_string(kSnapshotVersion));
+  }
+  const std::uint64_t header_size = pre.u64();
+  const std::uint64_t payload_size = pre.u64();
+  const std::uint64_t stored_hash = pre.u64();
+  if (pre.remaining() != header_size + payload_size) {
+    throw SnapshotError("snapshot: " + path + " is truncated or padded (expected " +
+                        std::to_string(header_size + payload_size) + " body bytes, have " +
+                        std::to_string(pre.remaining()) + ")");
+  }
+  const std::span<const std::uint8_t> body(raw.data() + (raw.size() - pre.remaining()),
+                                           pre.remaining());
+  if (fnv1a64(body) != stored_hash) {
+    throw SnapshotError("snapshot: " + path + " failed its integrity check (corrupted)");
+  }
+
+  ByteReader hr(body.subspan(0, header_size));
+  Snapshot snap;
+  snap.header = decode_header(hr);
+  hr.require_done();
+  snap.payload.assign(body.begin() + static_cast<std::ptrdiff_t>(header_size), body.end());
+  return snap;
+}
+
+}  // namespace ncnas::ckpt

@@ -182,4 +182,21 @@ void CachedEvaluator::clear() {
   misses_ = 0;
 }
 
+CachedEvaluator::State CachedEvaluator::export_state() const {
+  State out;
+  out.entries.assign(cache_.begin(), cache_.end());
+  std::sort(out.entries.begin(), out.entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  out.hits = hits_;
+  out.misses = misses_;
+  return out;
+}
+
+void CachedEvaluator::import_state(const State& state) {
+  cache_.clear();
+  for (const auto& [key, result] : state.entries) cache_.emplace(key, result);
+  hits_ = state.hits;
+  misses_ = state.misses;
+}
+
 }  // namespace ncnas::exec

@@ -72,6 +72,26 @@ std::vector<double> UtilizationMonitor::series(double t_end, double bucket_secon
   return busy;
 }
 
+UtilizationMonitor::State UtilizationMonitor::export_state() const {
+  State out;
+  out.intervals.reserve(intervals_.size());
+  for (const Interval& iv : intervals_) out.intervals.emplace_back(iv.start, iv.end);
+  out.losses = losses_;
+  out.busy_seconds = busy_seconds_;
+  return out;
+}
+
+void UtilizationMonitor::import_state(const State& state) {
+  if (state.losses.size() > total_workers_) {
+    throw std::invalid_argument("UtilizationMonitor: more losses than workers");
+  }
+  intervals_.clear();
+  intervals_.reserve(state.intervals.size());
+  for (const auto& [start, end] : state.intervals) intervals_.push_back({start, end});
+  losses_ = state.losses;
+  busy_seconds_ = state.busy_seconds;
+}
+
 double UtilizationMonitor::average(double t_end) const {
   if (t_end <= 0.0) return 0.0;
   double busy = 0.0;

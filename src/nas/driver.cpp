@@ -1,13 +1,17 @@
 #include "ncnas/nas/driver.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
+#include <limits>
 #include <map>
 #include <queue>
 #include <stdexcept>
 #include <unordered_set>
 
+#include "ncnas/ckpt/snapshot.hpp"
 #include "ncnas/exec/utilization.hpp"
+#include "ncnas/nas/result_io.hpp"
 
 namespace ncnas::nas {
 
@@ -106,6 +110,7 @@ struct Instruments {
   obs::Counter* fault_dead;
   obs::Counter* fault_ps_dropped;
   obs::Counter* fault_ps_delayed;
+  obs::Counter* checkpoints;
   obs::Gauge* streak_min;
   obs::Histogram* cycle_latency;
   obs::Histogram* eval_sim;
@@ -128,6 +133,7 @@ struct Instruments {
     fault_dead = &m.counter("ncnas_fault_dead_agents_total");
     fault_ps_dropped = &m.counter("ncnas_fault_ps_dropped_total");
     fault_ps_delayed = &m.counter("ncnas_fault_ps_delayed_total");
+    checkpoints = &m.counter("ncnas_checkpoints_total");
     streak_min = &m.gauge("ncnas_convergence_streak_min");
     cycle_latency = &m.histogram("ncnas_cycle_latency_seconds", obs::exp_buckets(4.0, 2.0, 14));
     eval_sim = &m.histogram("ncnas_eval_sim_duration_seconds", obs::exp_buckets(4.0, 2.0, 14));
@@ -136,695 +142,1238 @@ struct Instruments {
   }
 };
 
-}  // namespace
+// ---- snapshot payload helpers -----------------------------------------------
+// One read/write per statement throughout: C++ leaves argument evaluation
+// order unspecified, and the byte stream only works if reads happen in
+// exactly the order the writes did.
 
-SearchDriver::SearchDriver(const space::SearchSpace& space, const data::Dataset& dataset,
-                           SearchConfig config, tensor::ThreadPool* pool)
-    : space_(&space), dataset_(&dataset), config_(std::move(config)), pool_(pool) {
-  if (config_.cluster.num_agents == 0 || config_.cluster.workers_per_agent == 0) {
-    throw std::invalid_argument("SearchDriver: agents and workers must be positive");
-  }
-  if (config_.batch_per_agent == 0) {
-    config_.batch_per_agent = config_.cluster.workers_per_agent;
-  }
+void put_arch(ckpt::ByteWriter& w, const space::ArchEncoding& arch) {
+  w.u64(arch.size());
+  for (const auto v : arch) w.u16(static_cast<std::uint16_t>(v));
 }
 
-SearchResult SearchDriver::run() {
-  const std::size_t N = config_.cluster.num_agents;
-  const std::size_t W = config_.cluster.workers_per_agent;
-  const std::size_t M = config_.batch_per_agent;
-  const bool rl_enabled = config_.strategy == SearchStrategy::kA3C ||
-                          config_.strategy == SearchStrategy::kA2C;
-  const bool evolution = config_.strategy == SearchStrategy::kEvolution;
+space::ArchEncoding get_arch(ckpt::ByteReader& in) {
+  const std::uint64_t n = in.u64();
+  space::ArchEncoding arch(n);
+  for (auto& v : arch) v = in.u16();
+  return arch;
+}
 
+void put_record(ckpt::ByteWriter& w, const EvalRecord& e) {
+  w.f64(e.time);
+  w.f32(e.reward);
+  w.u64(e.params);
+  w.f64(e.sim_duration);
+  w.flag(e.cache_hit);
+  w.flag(e.timed_out);
+  w.flag(e.failed);
+  w.u64(e.agent);
+  w.u64(e.attempts);
+  put_arch(w, e.arch);
+}
+
+EvalRecord get_record(ckpt::ByteReader& in) {
+  EvalRecord e;
+  e.time = in.f64();
+  e.reward = in.f32();
+  e.params = in.u64();
+  e.sim_duration = in.f64();
+  e.cache_hit = in.flag();
+  e.timed_out = in.flag();
+  e.failed = in.flag();
+  e.agent = in.u64();
+  e.attempts = in.u64();
+  e.arch = get_arch(in);
+  return e;
+}
+
+void put_eval_result(ckpt::ByteWriter& w, const exec::EvalResult& r) {
+  w.f32(r.reward);
+  w.f64(r.sim_duration);
+  w.u64(r.params);
+  w.flag(r.timed_out);
+  w.flag(r.cache_hit);
+  w.f64(r.train_wall_ms);
+}
+
+exec::EvalResult get_eval_result(ckpt::ByteReader& in) {
+  exec::EvalResult r;
+  r.reward = in.f32();
+  r.sim_duration = in.f64();
+  r.params = in.u64();
+  r.timed_out = in.flag();
+  r.cache_hit = in.flag();
+  r.train_wall_ms = in.f64();
+  return r;
+}
+
+/// Shared between SearchDriver and resume_search: validates the cluster and
+/// resolves the batch default, so both paths run the exact same config.
+SearchConfig normalized(SearchConfig config) {
+  if (config.cluster.num_agents == 0 || config.cluster.workers_per_agent == 0) {
+    throw std::invalid_argument("SearchDriver: agents and workers must be positive");
+  }
+  if (config.batch_per_agent == 0) {
+    config.batch_per_agent = config.cluster.workers_per_agent;
+  }
+  return config;
+}
+
+/// The whole search as a resumable object: everything SearchDriver::run()
+/// used to hold in locals is a member, so the event loop can serialize it at
+/// a safe point (between completions) and a later process can reload it and
+/// continue the exact event sequence. Construction rebuilds the pure,
+/// config-derived parts (evaluator, PS skeleton, agent seeding); bootstrap()
+/// starts a fresh run, restore() overwrites the mutable state from a
+/// snapshot payload instead.
+class SearchRun {
+ public:
+  SearchRun(const space::SearchSpace& space, const data::Dataset& dataset,
+            SearchConfig config /* pre-normalized */, tensor::ThreadPool* pool);
+
+  void bootstrap();
+  void restore(const ckpt::SnapshotHeader& header, ckpt::ByteReader& in);
+  SearchResult run();
+
+ private:
+  bool process_completion(const Completion& done);  // true = converged, stop
+  bool dispatch_faulty(AgentState& agent, std::vector<double>& worker_free,
+                       const exec::EvalResult& r, EvalRecord& rec, double t,
+                       double& batch_done);
+  void start_cycle(AgentState& agent, double t);
+  void a2c_begin_round(double resume);
+  void a2c_release_stuck(double now);
+  void init_checkpointing(double from_t);
+  void maybe_checkpoint(double t);
+  void serialize_state(ckpt::ByteWriter& w) const;
+
+  const space::SearchSpace* space_;
+  const data::Dataset* dataset_;
+  SearchConfig config_;
+  tensor::ThreadPool* pool_;
+  std::size_t N_;
+  std::size_t W_;
+  std::size_t M_;
+  bool rl_enabled_;
+  bool evolution_;
   // The fault plan is consulted only when non-null AND non-empty, so an
   // injector built from an empty plan is indistinguishable from no injector:
   // bit-identical results, identical config fingerprint.
-  const exec::FaultInjector* fx =
-      (config_.faults != nullptr && config_.faults->enabled()) ? config_.faults : nullptr;
+  const exec::FaultInjector* fx_;
+  exec::TrainingEvaluator evaluator_;
+  float floor_reward_;
+  exec::UtilizationMonitor monitor_;
+  std::optional<Instruments> inst_;
+  std::optional<ParameterServer> ps_;
+  std::vector<AgentState> agents_;
 
-  exec::TrainingEvaluator evaluator(*space_, *dataset_, config_.fidelity, config_.cost);
-  const float floor_reward = evaluator.reward_floor();
-  exec::UtilizationMonitor monitor(config_.cluster.total_workers());
-  std::optional<Instruments> inst;
+  SearchResult result_;
+  std::priority_queue<Completion, std::vector<Completion>, std::greater<>> queue_;
+  std::size_t seq_ = 0;
+  std::size_t real_evals_ = 0;
+  bool budget_exhausted_ = false;
+  double a2c_round_time_ = 0.0;
+  // Number of agents of the current A2C round still to harvest; when it hits
+  // zero with the barrier stuck (drops / deaths) the round is force-released.
+  std::size_t a2c_outstanding_ = 0;
+  double last_completion_ = 0.0;
+
+  // Checkpointing (all inert when SearchConfig::checkpoint is null).
+  std::optional<ckpt::CheckpointWriter> writer_;
+  double next_due_ = std::numeric_limits<double>::infinity();
+  /// Journal events that existed before this process (snapshot watermark);
+  /// journal_base_ + journal->size() is the run-cumulative event count.
+  std::uint64_t journal_base_ = 0;
+  std::string fingerprint_;
+};
+
+SearchRun::SearchRun(const space::SearchSpace& space, const data::Dataset& dataset,
+                     SearchConfig config, tensor::ThreadPool* pool)
+    : space_(&space),
+      dataset_(&dataset),
+      config_(std::move(config)),
+      pool_(pool),
+      N_(config_.cluster.num_agents),
+      W_(config_.cluster.workers_per_agent),
+      M_(config_.batch_per_agent),
+      rl_enabled_(config_.strategy == SearchStrategy::kA3C ||
+                  config_.strategy == SearchStrategy::kA2C),
+      evolution_(config_.strategy == SearchStrategy::kEvolution),
+      fx_((config_.faults != nullptr && config_.faults->enabled()) ? config_.faults : nullptr),
+      evaluator_(space, dataset, config_.fidelity, config_.cost),
+      floor_reward_(evaluator_.reward_floor()),
+      monitor_(config_.cluster.total_workers()) {
   if (config_.telemetry != nullptr) {
-    inst.emplace(*config_.telemetry);
-    evaluator.set_telemetry(config_.telemetry);
-    if (inst->journal != nullptr) {
-      inst->journal->append(obs::JournalEventType::kRunStarted, 0.0, obs::kNoAgent,
-                            {{"agents", static_cast<double>(N)},
-                             {"workers", static_cast<double>(W)},
-                             {"batch", static_cast<double>(M)},
-                             {"wall_time_s", config_.wall_time_seconds},
-                             {"strategy", static_cast<double>(config_.strategy)},
-                             {"seed", static_cast<double>(config_.seed)}});
-    }
+    inst_.emplace(*config_.telemetry);
+    evaluator_.set_telemetry(config_.telemetry);
   }
 
   // All agents start from the same policy parameters, held by the PS.
-  std::optional<ParameterServer> ps;
-  if (rl_enabled) {
+  if (rl_enabled_) {
     rl::Controller init(space_->arities(), config_.seed);
-    ps.emplace(init.get_flat(),
-               config_.strategy == SearchStrategy::kA2C ? ParameterServer::Mode::kSync
-                                                        : ParameterServer::Mode::kAsync,
-               N, config_.async_window);
-    ps->set_telemetry(config_.telemetry);
-    if (fx != nullptr) ps->set_absent_timeout(fx->plan().barrier_timeout_seconds);
+    ps_.emplace(init.get_flat(),
+                config_.strategy == SearchStrategy::kA2C ? ParameterServer::Mode::kSync
+                                                         : ParameterServer::Mode::kAsync,
+                N_, config_.async_window);
+    ps_->set_telemetry(config_.telemetry);
+    if (fx_ != nullptr) ps_->set_absent_timeout(fx_->plan().barrier_timeout_seconds);
   }
 
   tensor::Rng seeder(config_.seed);
-  std::vector<AgentState> agents(N);
-  for (std::size_t i = 0; i < N; ++i) {
-    agents[i].id = i;
-    agents[i].rng = seeder.split(1000 + i);
-    agents[i].eval_seed = seeder.split(5000 + i).next_u64();
-    agents[i].cache = std::make_unique<exec::CachedEvaluator>(evaluator);
-    agents[i].cache->set_telemetry(config_.telemetry);
-    if (rl_enabled) {
-      agents[i].controller.emplace(space_->arities(), config_.seed + 17 * i);
-      agents[i].controller->set_telemetry(config_.telemetry);
+  agents_.resize(N_);
+  for (std::size_t i = 0; i < N_; ++i) {
+    agents_[i].id = i;
+    agents_[i].rng = seeder.split(1000 + i);
+    agents_[i].eval_seed = seeder.split(5000 + i).next_u64();
+    agents_[i].cache = std::make_unique<exec::CachedEvaluator>(evaluator_);
+    agents_[i].cache->set_telemetry(config_.telemetry);
+    if (rl_enabled_) {
+      agents_[i].controller.emplace(space_->arities(), config_.seed + 17 * i);
+      agents_[i].controller->set_telemetry(config_.telemetry);
     }
   }
+}
 
-  SearchResult result;
-  std::priority_queue<Completion, std::vector<Completion>, std::greater<>> queue;
-  std::size_t seq = 0;
-  std::size_t real_evals = 0;
-  bool budget_exhausted = false;
-  double a2c_round_time = 0.0;
-  // Number of agents of the current A2C round still to harvest; when it hits
-  // zero with the barrier stuck (drops / deaths) the round is force-released.
-  std::size_t a2c_outstanding = 0;
-  double last_completion = 0.0;
+void SearchRun::bootstrap() {
+  if (inst_ && inst_->journal != nullptr) {
+    inst_->journal->append(obs::JournalEventType::kRunStarted, 0.0, obs::kNoAgent,
+                           {{"agents", static_cast<double>(N_)},
+                            {"workers", static_cast<double>(W_)},
+                            {"batch", static_cast<double>(M_)},
+                            {"wall_time_s", config_.wall_time_seconds},
+                            {"strategy", static_cast<double>(config_.strategy)},
+                            {"seed", static_cast<double>(config_.seed)}});
+  }
 
   // Register the plan's worker crashes up front: the planned death times are
   // known (a crash schedule, like a maintenance window), the capacity loss
   // leaves the utilization denominator from the crash on, and the journal
   // records each at t=0 with the crash time in the payload so the watchdog's
   // event clock never runs ahead of the search.
-  if (fx != nullptr) {
-    for (AgentState& agent : agents) {
-      agent.crash_at.assign(W, std::numeric_limits<double>::infinity());
-      for (std::size_t w = 0; w < W; ++w) {
-        const double when = fx->crash_time(agent.id, w);
+  if (fx_ != nullptr) {
+    for (AgentState& agent : agents_) {
+      agent.crash_at.assign(W_, std::numeric_limits<double>::infinity());
+      for (std::size_t w = 0; w < W_; ++w) {
+        const double when = fx_->crash_time(agent.id, w);
         if (when >= config_.wall_time_seconds) continue;  // never felt by this run
         agent.crash_at[w] = when;
-        ++result.crashed_workers;
-        monitor.add_capacity_loss(when);
-        if (inst) {
-          inst->fault_crashes->inc();
-          if (inst->journal != nullptr) {
-            inst->journal->append(obs::JournalEventType::kWorkerCrashed, 0.0,
-                                  static_cast<std::uint32_t>(agent.id),
-                                  {{"worker", static_cast<double>(w)}, {"at", when}});
+        ++result_.crashed_workers;
+        monitor_.add_capacity_loss(when);
+        if (inst_) {
+          inst_->fault_crashes->inc();
+          if (inst_->journal != nullptr) {
+            inst_->journal->append(obs::JournalEventType::kWorkerCrashed, 0.0,
+                                   static_cast<std::uint32_t>(agent.id),
+                                   {{"worker", static_cast<double>(w)}, {"at", when}});
           }
         }
       }
     }
   }
 
-  // ---- fault-aware dispatch: one real task with retries and backoff -----
-  // Only reached when a fault plan is active. Walks the retry loop on the
-  // virtual clock: each attempt picks the earliest-start live worker, asks
-  // the injector for this attempt's verdict, and on failure re-dispatches
-  // after capped exponential backoff until success or the retry budget is
-  // spent (the record is then floored). Returns false when no live worker
-  // remains — the caller marks the agent dead. The real training behind the
-  // record ran once up front; faults only replay its virtual-time cost.
-  const auto dispatch_faulty = [&](AgentState& agent, std::vector<double>& worker_free,
-                                   const exec::EvalResult& r, EvalRecord& rec, double t,
-                                   double& batch_done) -> bool {
-    const std::string key = space::arch_key(rec.arch);
-    const auto aid = static_cast<std::uint32_t>(agent.id);
-    const std::size_t max_retries = fx->plan().max_retries;
-    const auto floor_record = [&](double at, std::size_t attempts) {
-      rec.time = at;
-      rec.reward = floor_reward;
-      rec.failed = true;
-      rec.attempts = attempts;
-      batch_done = std::max(batch_done, at);
-      ++result.exhausted;
-      // The cache was primed with the real result before dispatch; a task
-      // that never delivered must not leave that result behind (a later
-      // regeneration re-evaluates instead of replaying a non-measurement).
-      if (config_.use_cache) agent.cache->erase(rec.arch);
-      if (inst) {
-        inst->fault_exhausted->inc();
-        if (inst->journal != nullptr) {
-          inst->journal->append(obs::JournalEventType::kEvalExhausted, at, aid,
-                                {{"attempts", static_cast<double>(attempts)},
-                                 {"reward", static_cast<double>(floor_reward)}});
-        }
-      }
-    };
-
-    std::size_t attempt = 0;
-    double ready = t;
-    for (;;) {
-      // Earliest-start live worker; a worker is usable only when the task
-      // can begin before its planned crash. With no crashes this reduces to
-      // the fault-free earliest-free choice.
-      std::size_t slot = W;
-      double start = std::numeric_limits<double>::infinity();
-      for (std::size_t w = 0; w < W; ++w) {
-        const double s = std::max(worker_free[w], ready);
-        if (s >= agent.crash_at[w]) continue;
-        if (s < start) {
-          start = s;
-          slot = w;
-        }
-      }
-      if (slot == W) {
-        floor_record(ready, attempt);
-        return false;  // agent has no live worker left
-      }
-
-      const exec::FaultInjector::TaskFault tf = fx->task_fault(agent.id, key, attempt);
-      const double dur = r.sim_duration * tf.slowdown;
-      const double end = start + dur;
-      const double crash = agent.crash_at[slot];
-
-      double fail_time = 0.0;
-      bool emit_failed = true;  // lost results carry their own event type
-      double fail_reason = 0.0;  // 0 injected failure, 1 worker crash
-      if (end > crash) {
-        // The worker dies mid-task and takes the task down with it.
-        if (crash > start) monitor.add_busy_interval(start, crash);
-        worker_free[slot] = crash;
-        fail_time = crash;
-        fail_reason = 1.0;
-      } else if (tf.fail) {
-        fail_time = start + dur * tf.fail_frac;
-        monitor.add_busy_interval(start, fail_time);
-        worker_free[slot] = fail_time;
-      } else if (tf.lost) {
-        // The task ran to completion; the result vanished in flight, so the
-        // full duration is paid and the attempt still counts as failed.
-        monitor.add_busy_interval(start, end);
-        worker_free[slot] = end;
-        fail_time = end;
-        emit_failed = false;
-        ++result.lost_results;
-        if (inst) {
-          inst->fault_lost->inc();
-          if (inst->journal != nullptr) {
-            inst->journal->append(obs::JournalEventType::kResultLost, end, aid,
-                                  {{"attempt", static_cast<double>(attempt)},
-                                   {"worker", static_cast<double>(slot)},
-                                   {"duration_s", dur}});
-          }
-        }
-      } else {
-        // Success (possibly slowed — the watchdog sees the stretched span).
-        worker_free[slot] = end;
-        monitor.add_busy_interval(start, end);
-        rec.time = end;
-        rec.attempts = attempt + 1;
-        batch_done = std::max(batch_done, end);
-        ++real_evals;
-        if (inst) {
-          inst->trace->span("eval", "exec", start, dur, aid,
-                            {{"reward", rec.reward},
-                             {"timed_out", rec.timed_out ? 1.0 : 0.0}});
-          if (inst->journal != nullptr) {
-            inst->journal->append(obs::JournalEventType::kEvalDispatched, start, aid,
-                                  {{"duration_s", dur},
-                                   {"worker", static_cast<double>(slot)},
-                                   {"train_wall_ms", r.train_wall_ms},
-                                   {"attempt", static_cast<double>(attempt)}});
-          }
-        }
-        return true;
-      }
-
-      if (emit_failed && inst) {
-        inst->fault_failures->inc();
-        if (inst->journal != nullptr) {
-          inst->journal->append(obs::JournalEventType::kEvalFailed, fail_time, aid,
-                                {{"attempt", static_cast<double>(attempt)},
-                                 {"worker", static_cast<double>(slot)},
-                                 {"reason", fail_reason}});
-        }
-      }
-      ++attempt;
-      if (attempt > max_retries) {
-        floor_record(fail_time, attempt);
-        ++real_evals;  // the failed attempts occupied real worker time
-        return true;
-      }
-      const double backoff = fx->backoff(attempt);
-      ready = fail_time + backoff;
-      ++result.retries;
-      if (inst) {
-        inst->fault_retries->inc();
-        if (inst->journal != nullptr) {
-          inst->journal->append(obs::JournalEventType::kEvalRetried, ready, aid,
-                                {{"attempt", static_cast<double>(attempt)},
-                                 {"backoff_s", backoff}});
-        }
-      }
-    }
-  };
-
-  // ---- one agent cycle: sample M, evaluate, occupy workers, schedule ----
-  const auto start_cycle = [&](AgentState& agent, double t) {
-    if (agent.dead) {  // lost every worker; nothing left to run a batch on
-      agent.stopped = true;
-      return;
-    }
-    if (t >= config_.wall_time_seconds || budget_exhausted) {
-      agent.stopped = true;
-      return;
-    }
-    if (rl_enabled) {
-      agent.theta_pull = ps->pull(agent.id);
-      agent.controller->set_flat(agent.theta_pull);
-    }
-    agent.rollouts.clear();
-    agent.archs.clear();
-    agent.records.clear();
-    for (std::size_t m = 0; m < M; ++m) {
-      if (rl_enabled) {
-        agent.rollouts.push_back(agent.controller->sample(agent.rng));
-        agent.archs.push_back(agent.rollouts.back().actions);
-      } else if (evolution && agent.population.size() >= config_.evolution.population) {
-        // Tournament selection over the aging window, then a single-gene
-        // mutation (regularized-evolution child generation).
-        const auto& pop = agent.population;
-        std::size_t best_idx = agent.rng.uniform_int(pop.size());
-        for (std::size_t round = 1; round < config_.evolution.tournament; ++round) {
-          const std::size_t idx = agent.rng.uniform_int(pop.size());
-          if (pop[idx].second > pop[best_idx].second) best_idx = idx;
-        }
-        space::ArchEncoding child = pop[best_idx].first;
-        const std::size_t gene = agent.rng.uniform_int(child.size());
-        const std::size_t arity = space_->decisions()[gene].arity;
-        if (arity > 1) {
-          std::uint16_t v = child[gene];
-          while (v == child[gene]) {
-            v = static_cast<std::uint16_t>(agent.rng.uniform_int(arity));
-          }
-          child[gene] = v;
-        }
-        agent.archs.push_back(std::move(child));
-      } else {
-        agent.archs.push_back(space_->random_arch(agent.rng));
-      }
-    }
-
-    // Resolve against the agent's cache; farm unique misses out for real.
-    std::vector<std::optional<exec::EvalResult>> results(M);
-    std::vector<std::size_t> miss_index;           // batch position per unique miss
-    std::unordered_set<std::string> miss_keys;
-    for (std::size_t m = 0; m < M; ++m) {
-      if (config_.use_cache) results[m] = agent.cache->lookup(agent.archs[m]);
-      if (!results[m] && miss_keys.insert(space::arch_key(agent.archs[m])).second) {
-        miss_index.push_back(m);
-      }
-    }
-    std::vector<exec::EvalResult> fresh(miss_index.size());
-    const auto eval_one = [&](std::size_t i) {
-      fresh[i] = evaluator.evaluate(agent.archs[miss_index[i]], agent.eval_seed);
-    };
-    if (pool_ != nullptr && miss_index.size() > 1) {
-      tensor::parallel_for(*pool_, miss_index.size(), eval_one);
-    } else {
-      for (std::size_t i = 0; i < miss_index.size(); ++i) eval_one(i);
-    }
-    for (std::size_t i = 0; i < miss_index.size(); ++i) {
-      agent.cache->insert(agent.archs[miss_index[i]], fresh[i]);
-      results[miss_index[i]] = fresh[i];  // first occurrence stays a real task
-    }
-    // Within-batch duplicates of a fresh miss read the cache result.
-    for (std::size_t m = 0; m < M; ++m) {
-      if (!results[m]) results[m] = agent.cache->lookup(agent.archs[m]);
-    }
-
-    // Worker occupancy: non-cached tasks dispatch onto the agent's W
-    // dedicated nodes (earliest-free first); cached results cost nothing.
-    std::vector<double> worker_free(W, t);
-    double batch_done = t;
-    for (std::size_t m = 0; m < M; ++m) {
-      const exec::EvalResult& r = *results[m];
-      EvalRecord rec;
-      rec.reward = r.reward;
-      rec.params = r.params;
-      rec.sim_duration = r.sim_duration;
-      rec.cache_hit = r.cache_hit;
-      rec.timed_out = r.timed_out;
-      rec.agent = agent.id;
-      rec.arch = agent.archs[m];
-      if (r.cache_hit) {
-        rec.time = t;
-        if (inst) {
-          inst->trace->instant("eval_cached", "exec", t, static_cast<std::uint32_t>(agent.id),
-                               {{"reward", rec.reward}});
-        }
-      } else if (fx == nullptr) {
-        const auto slot = static_cast<std::size_t>(
-            std::min_element(worker_free.begin(), worker_free.end()) - worker_free.begin());
-        const double start = worker_free[slot];
-        const double end = start + r.sim_duration;
-        worker_free[slot] = end;
-        monitor.add_busy_interval(start, end);
-        rec.time = end;
-        batch_done = std::max(batch_done, end);
-        ++real_evals;
-        if (inst) {
-          inst->trace->span("eval", "exec", start, r.sim_duration,
-                            static_cast<std::uint32_t>(agent.id),
-                            {{"reward", rec.reward},
-                             {"timed_out", rec.timed_out ? 1.0 : 0.0}});
-          if (inst->journal != nullptr) {
-            inst->journal->append(obs::JournalEventType::kEvalDispatched, start,
-                                  static_cast<std::uint32_t>(agent.id),
-                                  {{"duration_s", r.sim_duration},
-                                   {"worker", static_cast<double>(slot)},
-                                   {"train_wall_ms", r.train_wall_ms}});
-          }
-        }
-      } else if (!dispatch_faulty(agent, worker_free, r, rec, t, batch_done) &&
-                 !agent.dead) {
-        // First task that found no live worker: the agent's pool is gone.
-        // Remaining tasks of this batch floor the same way; the batch still
-        // completes (and is harvested) so PPO reward vectors stay aligned.
-        agent.dead = true;
-        agent.stopped = true;
-        ++result.dead_agents;
-        if (inst) {
-          inst->fault_dead->inc();
-          if (inst->journal != nullptr) {
-            inst->journal->append(obs::JournalEventType::kAgentDead, t,
-                                  static_cast<std::uint32_t>(agent.id),
-                                  {{"workers", static_cast<double>(W)}});
-          }
-        }
-      }
-      agent.records.push_back(std::move(rec));
-    }
-    if (config_.max_evaluations != 0 && real_evals >= config_.max_evaluations) {
-      budget_exhausted = true;
-    }
-    const double scheduled = std::max(batch_done, t + 1e-3);
-    if (inst) {
-      inst->cycles->inc();
-      inst->cycle_latency->observe(scheduled - t);
-      inst->trace->span("agent_cycle", "driver", t, scheduled - t,
-                        static_cast<std::uint32_t>(agent.id),
-                        {{"batch", static_cast<double>(M)},
-                         {"misses", static_cast<double>(miss_index.size())}});
-    }
-    queue.push({scheduled, seq++, agent.id});
-  };
-
-  // ---- A2C round bookkeeping --------------------------------------------
-  // Starts (or restarts) a synchronized round and counts how many agents
-  // actually queued a batch — including one that died mid-dispatch, whose
-  // floored batch still completes and is harvested. Wall/budget-stopped and
-  // already-dead agents queue nothing.
-  const auto a2c_begin_round = [&](double resume) {
-    a2c_round_time = 0.0;
-    a2c_outstanding = 0;
-    for (AgentState& a : agents) {
-      const bool was_dead = a.dead;
-      start_cycle(a, resume);
-      if (!was_dead && (!a.stopped || a.dead)) ++a2c_outstanding;
-    }
-  };
-
-  // When every agent of the round has been harvested but the barrier still
-  // holds (dropped exchanges, dead agents), release whatever arrived after
-  // the plan's absent-agent timeout and start the next round. If nothing
-  // arrived at all the round restarts without a parameter update.
-  const auto a2c_release_stuck = [&](double now) {
-    if (fx == nullptr || a2c_outstanding != 0) return;
-    const double release_t =
-        std::max(a2c_round_time, now) + fx->plan().barrier_timeout_seconds;
-    (void)ps->try_release(release_t);
-    a2c_begin_round(release_t + config_.agent_overhead_seconds);
-  };
+  journal_base_ = 0;
+  init_checkpointing(0.0);
 
   // ---- bootstrap: every agent starts at t = 0 ----
   if (config_.strategy == SearchStrategy::kA2C) {
     a2c_begin_round(0.0);
   } else {
-    for (AgentState& agent : agents) start_cycle(agent, 0.0);
+    for (AgentState& agent : agents_) start_cycle(agent, 0.0);
   }
+}
 
+SearchResult SearchRun::run() {
   // ---- event loop over batch completions ----
-  while (!queue.empty()) {
-    const Completion done = queue.top();
-    queue.pop();
-    AgentState& agent = agents[done.agent];
-    const double t = done.time;
-    last_completion = std::max(last_completion, t);
-
-    // Harvest the batch.
-    bool all_cached = true;
-    std::vector<float> rewards;
-    rewards.reserve(agent.records.size());
-    for (EvalRecord& rec : agent.records) {
-      all_cached = all_cached && rec.cache_hit;
-      if (rec.cache_hit) rec.time = t;  // resolved when the batch closes
-      rewards.push_back(rec.reward);
-      if (rec.cache_hit) ++result.cache_hits;
-      if (rec.timed_out) ++result.timeouts;
-      if (inst) {
-        inst->evals->inc();
-        if (rec.cache_hit) {
-          inst->cache_hits->inc();
-        } else {
-          inst->real_evals->inc();
-          inst->eval_sim->observe(rec.sim_duration);
-        }
-        if (rec.timed_out) inst->timeouts->inc();
-        // Journal events are emitted at the same harvest point the counters
-        // increment, with the record's own completion time, so a journal
-        // replay reconciles with both the counters and SearchResult.evals.
-        if (inst->journal != nullptr) {
-          const auto aid = static_cast<std::uint32_t>(agent.id);
-          if (rec.cache_hit) {
-            inst->journal->append(obs::JournalEventType::kEvalCached, rec.time, aid,
-                                  {{"reward", rec.reward},
-                                   {"timed_out", rec.timed_out ? 1.0 : 0.0}});
-          } else {
-            std::vector<obs::JournalField> fields{
-                {"reward", rec.reward},
-                {"duration_s", rec.sim_duration},
-                {"timed_out", rec.timed_out ? 1.0 : 0.0},
-                {"params", static_cast<double>(rec.params)}};
-            if (rec.failed) {
-              fields.push_back({"failed", 1.0});
-              fields.push_back({"attempts", static_cast<double>(rec.attempts)});
-            }
-            inst->journal->append(obs::JournalEventType::kEvalFinished, rec.time, aid,
-                                  std::move(fields));
-          }
-          if (rec.timed_out) {
-            inst->journal->append(obs::JournalEventType::kEvalTimeout, rec.time, aid,
-                                  {{"duration_s", rec.sim_duration}});
-          }
-        }
-      }
-      result.evals.push_back(rec);
-    }
-    agent.cached_streak = all_cached ? agent.cached_streak + 1 : 0;
-    if (inst && inst->journal != nullptr &&
-        agent.cached_streak == config_.convergence_streak) {
-      inst->journal->append(obs::JournalEventType::kAgentConverged, t,
-                            static_cast<std::uint32_t>(agent.id),
-                            {{"streak", static_cast<double>(agent.cached_streak)}});
-    }
-    if (inst) {
-      std::size_t min_streak = agents[0].cached_streak;
-      for (const AgentState& a : agents) min_streak = std::min(min_streak, a.cached_streak);
-      inst->streak_min->set(static_cast<double>(min_streak));
-    }
-
-    if (config_.strategy == SearchStrategy::kEvolution) {
-      for (const EvalRecord& rec : agent.records) {
-        agent.population.emplace_back(rec.arch, rec.reward);
-        if (agent.population.size() > config_.evolution.population) {
-          agent.population.pop_front();  // aging: oldest individual dies
-        }
-      }
-    }
-
-    // Convergence: every agent keeps regenerating cached architectures.
-    // Dead agents can't regenerate anything, so they are exempt — as long as
-    // at least one agent survived to actually converge.
-    const bool converged =
-        std::ranges::all_of(agents,
-                            [&](const AgentState& a) {
-                              return (fx != nullptr && a.dead) ||
-                                     a.cached_streak >= config_.convergence_streak;
-                            }) &&
-        std::ranges::any_of(agents, [](const AgentState& a) { return !a.dead; });
-    if (converged) {
-      result.converged_early = true;
-      result.end_time = t;
-      break;
-    }
-
-    if (!rl_enabled) {
-      start_cycle(agent, t + config_.agent_overhead_seconds);
-      continue;
-    }
-
-    if (fx != nullptr && agent.dead) {
-      // The dead agent's final (floored) batch was harvested above; there is
-      // no controller state worth updating and nothing to submit. In A2C the
-      // barrier must stop waiting for it — its removal may itself complete
-      // the round the surviving agents are parked on.
-      if (config_.strategy == SearchStrategy::kA2C) {
-        if (a2c_outstanding > 0) --a2c_outstanding;
-        a2c_round_time = std::max(a2c_round_time, t);
-        if (ps->deactivate(agent.id, t)) {
-          a2c_begin_round(a2c_round_time + config_.agent_overhead_seconds);
-        } else {
-          a2c_release_stuck(t);
-        }
-      }
-      continue;
-    }
-
-    // Local PPO epochs, then exchange the parameter delta through the PS.
-    const rl::PpoStats ppo_stats = agent.controller->ppo_update(
-        agent.rollouts, rewards, config_.ppo, t, static_cast<std::uint32_t>(agent.id));
-    ++result.ppo_updates;
-    if (inst) {
-      inst->ppo_updates->inc();
-      inst->trace->instant("ppo_update", "rl", t, static_cast<std::uint32_t>(agent.id),
-                           {{"policy_loss", ppo_stats.policy_loss},
-                            {"value_loss", ppo_stats.value_loss},
-                            {"entropy", ppo_stats.entropy},
-                            {"approx_kl", ppo_stats.approx_kl}});
-    }
-    std::vector<float> delta = agent.controller->get_flat();
-    for (std::size_t i = 0; i < delta.size(); ++i) delta[i] -= agent.theta_pull[i];
-
-    if (config_.strategy == SearchStrategy::kA3C) {
-      if (fx == nullptr) {
-        ps->submit(agent.id, delta, t);
-        start_cycle(agent, t + config_.agent_overhead_seconds);
-      } else {
-        const exec::FaultInjector::ExchangeFault ef =
-            fx->exchange_fault(agent.id, agent.exchange_seq++);
-        double resume = t + config_.agent_overhead_seconds;
-        if (ef.drop) {
-          // The delta is lost in flight; the agent carries on with the stale
-          // parameters it already holds.
-          if (inst) {
-            inst->fault_ps_dropped->inc();
-            if (inst->journal != nullptr) {
-              inst->journal->append(obs::JournalEventType::kPsDropped, t,
-                                    static_cast<std::uint32_t>(agent.id), {{"mode", 1.0}});
-            }
-          }
-        } else {
-          if (ef.delay_seconds > 0.0) {
-            resume += ef.delay_seconds;  // the exchange round trip stretches
-            if (inst) {
-              inst->fault_ps_delayed->inc();
-              if (inst->journal != nullptr) {
-                inst->journal->append(obs::JournalEventType::kPsDelayed, t,
-                                      static_cast<std::uint32_t>(agent.id),
-                                      {{"mode", 1.0}, {"delay_s", ef.delay_seconds}});
-              }
-            }
-          }
-          ps->submit(agent.id, delta, t);
-        }
-        start_cycle(agent, resume);
-      }
-    } else {
-      a2c_round_time = std::max(a2c_round_time, t);
-      if (fx == nullptr) {
-        const bool round_complete = ps->submit(agent.id, delta, t);
-        if (round_complete) {
-          const double resume = a2c_round_time + config_.agent_overhead_seconds;
-          a2c_begin_round(resume);
-        }
-      } else {
-        if (a2c_outstanding > 0) --a2c_outstanding;
-        const exec::FaultInjector::ExchangeFault ef =
-            fx->exchange_fault(agent.id, agent.exchange_seq++);
-        bool round_complete = false;
-        if (ef.drop) {
-          // The delta never reaches the barrier; the agent idles while the
-          // round is resolved for it (submit next round as usual).
-          if (inst) {
-            inst->fault_ps_dropped->inc();
-            if (inst->journal != nullptr) {
-              inst->journal->append(obs::JournalEventType::kPsDropped, t,
-                                    static_cast<std::uint32_t>(agent.id), {{"mode", 0.0}});
-            }
-          }
-        } else {
-          double arrival = t;
-          if (ef.delay_seconds > 0.0) {
-            arrival += ef.delay_seconds;
-            if (inst) {
-              inst->fault_ps_delayed->inc();
-              if (inst->journal != nullptr) {
-                inst->journal->append(obs::JournalEventType::kPsDelayed, t,
-                                      static_cast<std::uint32_t>(agent.id),
-                                      {{"mode", 0.0}, {"delay_s", ef.delay_seconds}});
-              }
-            }
-          }
-          a2c_round_time = std::max(a2c_round_time, arrival);
-          round_complete = ps->submit(agent.id, delta, arrival);
-        }
-        if (round_complete) {
-          a2c_begin_round(a2c_round_time + config_.agent_overhead_seconds);
-        } else {
-          a2c_release_stuck(t);
-        }
-      }
-    }
+  while (!queue_.empty()) {
+    const Completion done = queue_.top();
+    queue_.pop();
+    if (process_completion(done)) break;
+    // The gap between two completions is the one point where no batch is
+    // half-harvested and no lambda is mid-flight: the members above are the
+    // complete search state, which is what makes this the snapshot point.
+    maybe_checkpoint(done.time);
   }
 
-  if (result.end_time == 0.0) {
-    result.end_time = std::min(config_.wall_time_seconds, std::max(last_completion, 1.0));
+  if (result_.end_time == 0.0) {
+    result_.end_time = std::min(config_.wall_time_seconds, std::max(last_completion_, 1.0));
   }
 
   // Order the record stream by completion time and drop post-deadline tails.
-  std::ranges::stable_sort(result.evals, [](const EvalRecord& a, const EvalRecord& b) {
+  std::ranges::stable_sort(result_.evals, [](const EvalRecord& a, const EvalRecord& b) {
     return a.time < b.time;
   });
-  std::erase_if(result.evals, [&](const EvalRecord& e) {
+  std::erase_if(result_.evals, [&](const EvalRecord& e) {
     return e.time > config_.wall_time_seconds;
   });
 
   std::unordered_set<std::string> unique;
-  for (const EvalRecord& e : result.evals) unique.insert(space::arch_key(e.arch));
-  result.unique_archs = unique.size();
+  for (const EvalRecord& e : result_.evals) unique.insert(space::arch_key(e.arch));
+  result_.unique_archs = unique.size();
 
-  result.utilization = monitor.series(result.end_time, result.utilization_bucket);
+  result_.utilization = monitor_.series(result_.end_time, result_.utilization_bucket);
 
-  if (inst && inst->journal != nullptr) {
+  if (inst_ && inst_->journal != nullptr) {
     float best = -std::numeric_limits<float>::infinity();
-    for (const EvalRecord& e : result.evals) best = std::max(best, e.reward);
-    inst->journal->append(
-        obs::JournalEventType::kRunFinished, result.end_time, obs::kNoAgent,
-        {{"end_time_s", result.end_time},
-         {"evals", static_cast<double>(result.evals.size())},
-         {"best_reward", result.evals.empty() ? 0.0 : static_cast<double>(best)},
-         {"cache_hits", static_cast<double>(result.cache_hits)},
-         {"timeouts", static_cast<double>(result.timeouts)},
-         {"ppo_updates", static_cast<double>(result.ppo_updates)},
-         {"converged", result.converged_early ? 1.0 : 0.0},
+    for (const EvalRecord& e : result_.evals) best = std::max(best, e.reward);
+    inst_->journal->append(
+        obs::JournalEventType::kRunFinished, result_.end_time, obs::kNoAgent,
+        {{"end_time_s", result_.end_time},
+         {"evals", static_cast<double>(result_.evals.size())},
+         {"best_reward", result_.evals.empty() ? 0.0 : static_cast<double>(best)},
+         {"cache_hits", static_cast<double>(result_.cache_hits)},
+         {"timeouts", static_cast<double>(result_.timeouts)},
+         {"ppo_updates", static_cast<double>(result_.ppo_updates)},
+         {"converged", result_.converged_early ? 1.0 : 0.0},
          {"wall_time_s", config_.wall_time_seconds}});
   }
 
   if (config_.telemetry != nullptr) {
-    result.telemetry_enabled = true;
-    result.telemetry =
+    result_.telemetry_enabled = true;
+    result_.telemetry =
         std::make_shared<const obs::TelemetrySnapshot>(config_.telemetry->snapshot());
   }
-  return result;
+  return std::move(result_);
+}
+
+// ---- fault-aware dispatch: one real task with retries and backoff -----
+// Only reached when a fault plan is active. Walks the retry loop on the
+// virtual clock: each attempt picks the earliest-start live worker, asks
+// the injector for this attempt's verdict, and on failure re-dispatches
+// after capped exponential backoff until success or the retry budget is
+// spent (the record is then floored). Returns false when no live worker
+// remains — the caller marks the agent dead. The real training behind the
+// record ran once up front; faults only replay its virtual-time cost.
+bool SearchRun::dispatch_faulty(AgentState& agent, std::vector<double>& worker_free,
+                                const exec::EvalResult& r, EvalRecord& rec, double t,
+                                double& batch_done) {
+  const std::string key = space::arch_key(rec.arch);
+  const auto aid = static_cast<std::uint32_t>(agent.id);
+  const std::size_t max_retries = fx_->plan().max_retries;
+  const auto floor_record = [&](double at, std::size_t attempts) {
+    rec.time = at;
+    rec.reward = floor_reward_;
+    rec.failed = true;
+    rec.attempts = attempts;
+    batch_done = std::max(batch_done, at);
+    ++result_.exhausted;
+    // The cache was primed with the real result before dispatch; a task
+    // that never delivered must not leave that result behind (a later
+    // regeneration re-evaluates instead of replaying a non-measurement).
+    if (config_.use_cache) agent.cache->erase(rec.arch);
+    if (inst_) {
+      inst_->fault_exhausted->inc();
+      if (inst_->journal != nullptr) {
+        inst_->journal->append(obs::JournalEventType::kEvalExhausted, at, aid,
+                               {{"attempts", static_cast<double>(attempts)},
+                                {"reward", static_cast<double>(floor_reward_)}});
+      }
+    }
+  };
+
+  std::size_t attempt = 0;
+  double ready = t;
+  for (;;) {
+    // Earliest-start live worker; a worker is usable only when the task
+    // can begin before its planned crash. With no crashes this reduces to
+    // the fault-free earliest-free choice.
+    std::size_t slot = W_;
+    double start = std::numeric_limits<double>::infinity();
+    for (std::size_t w = 0; w < W_; ++w) {
+      const double s = std::max(worker_free[w], ready);
+      if (s >= agent.crash_at[w]) continue;
+      if (s < start) {
+        start = s;
+        slot = w;
+      }
+    }
+    if (slot == W_) {
+      floor_record(ready, attempt);
+      return false;  // agent has no live worker left
+    }
+
+    const exec::FaultInjector::TaskFault tf = fx_->task_fault(agent.id, key, attempt);
+    const double dur = r.sim_duration * tf.slowdown;
+    const double end = start + dur;
+    const double crash = agent.crash_at[slot];
+
+    double fail_time = 0.0;
+    bool emit_failed = true;  // lost results carry their own event type
+    double fail_reason = 0.0;  // 0 injected failure, 1 worker crash
+    if (end > crash) {
+      // The worker dies mid-task and takes the task down with it.
+      if (crash > start) monitor_.add_busy_interval(start, crash);
+      worker_free[slot] = crash;
+      fail_time = crash;
+      fail_reason = 1.0;
+    } else if (tf.fail) {
+      fail_time = start + dur * tf.fail_frac;
+      monitor_.add_busy_interval(start, fail_time);
+      worker_free[slot] = fail_time;
+    } else if (tf.lost) {
+      // The task ran to completion; the result vanished in flight, so the
+      // full duration is paid and the attempt still counts as failed.
+      monitor_.add_busy_interval(start, end);
+      worker_free[slot] = end;
+      fail_time = end;
+      emit_failed = false;
+      ++result_.lost_results;
+      if (inst_) {
+        inst_->fault_lost->inc();
+        if (inst_->journal != nullptr) {
+          inst_->journal->append(obs::JournalEventType::kResultLost, end, aid,
+                                 {{"attempt", static_cast<double>(attempt)},
+                                  {"worker", static_cast<double>(slot)},
+                                  {"duration_s", dur}});
+        }
+      }
+    } else {
+      // Success (possibly slowed — the watchdog sees the stretched span).
+      worker_free[slot] = end;
+      monitor_.add_busy_interval(start, end);
+      rec.time = end;
+      rec.attempts = attempt + 1;
+      batch_done = std::max(batch_done, end);
+      ++real_evals_;
+      if (inst_) {
+        inst_->trace->span("eval", "exec", start, dur, aid,
+                           {{"reward", rec.reward},
+                            {"timed_out", rec.timed_out ? 1.0 : 0.0}});
+        if (inst_->journal != nullptr) {
+          inst_->journal->append(obs::JournalEventType::kEvalDispatched, start, aid,
+                                 {{"duration_s", dur},
+                                  {"worker", static_cast<double>(slot)},
+                                  {"train_wall_ms", r.train_wall_ms},
+                                  {"attempt", static_cast<double>(attempt)}});
+        }
+      }
+      return true;
+    }
+
+    if (emit_failed && inst_) {
+      inst_->fault_failures->inc();
+      if (inst_->journal != nullptr) {
+        inst_->journal->append(obs::JournalEventType::kEvalFailed, fail_time, aid,
+                               {{"attempt", static_cast<double>(attempt)},
+                                {"worker", static_cast<double>(slot)},
+                                {"reason", fail_reason}});
+      }
+    }
+    ++attempt;
+    if (attempt > max_retries) {
+      floor_record(fail_time, attempt);
+      ++real_evals_;  // the failed attempts occupied real worker time
+      return true;
+    }
+    const double backoff = fx_->backoff(attempt);
+    ready = fail_time + backoff;
+    ++result_.retries;
+    if (inst_) {
+      inst_->fault_retries->inc();
+      if (inst_->journal != nullptr) {
+        inst_->journal->append(obs::JournalEventType::kEvalRetried, ready, aid,
+                               {{"attempt", static_cast<double>(attempt)},
+                                {"backoff_s", backoff}});
+      }
+    }
+  }
+}
+
+// ---- one agent cycle: sample M, evaluate, occupy workers, schedule ----
+void SearchRun::start_cycle(AgentState& agent, double t) {
+  if (agent.dead) {  // lost every worker; nothing left to run a batch on
+    agent.stopped = true;
+    return;
+  }
+  if (t >= config_.wall_time_seconds || budget_exhausted_) {
+    agent.stopped = true;
+    return;
+  }
+  if (rl_enabled_) {
+    agent.theta_pull = ps_->pull(agent.id);
+    agent.controller->set_flat(agent.theta_pull);
+  }
+  agent.rollouts.clear();
+  agent.archs.clear();
+  agent.records.clear();
+  for (std::size_t m = 0; m < M_; ++m) {
+    if (rl_enabled_) {
+      agent.rollouts.push_back(agent.controller->sample(agent.rng));
+      agent.archs.push_back(agent.rollouts.back().actions);
+    } else if (evolution_ && agent.population.size() >= config_.evolution.population) {
+      // Tournament selection over the aging window, then a single-gene
+      // mutation (regularized-evolution child generation).
+      const auto& pop = agent.population;
+      std::size_t best_idx = agent.rng.uniform_int(pop.size());
+      for (std::size_t round = 1; round < config_.evolution.tournament; ++round) {
+        const std::size_t idx = agent.rng.uniform_int(pop.size());
+        if (pop[idx].second > pop[best_idx].second) best_idx = idx;
+      }
+      space::ArchEncoding child = pop[best_idx].first;
+      const std::size_t gene = agent.rng.uniform_int(child.size());
+      const std::size_t arity = space_->decisions()[gene].arity;
+      if (arity > 1) {
+        std::uint16_t v = child[gene];
+        while (v == child[gene]) {
+          v = static_cast<std::uint16_t>(agent.rng.uniform_int(arity));
+        }
+        child[gene] = v;
+      }
+      agent.archs.push_back(std::move(child));
+    } else {
+      agent.archs.push_back(space_->random_arch(agent.rng));
+    }
+  }
+
+  // Resolve against the agent's cache; farm unique misses out for real.
+  std::vector<std::optional<exec::EvalResult>> results(M_);
+  std::vector<std::size_t> miss_index;           // batch position per unique miss
+  std::unordered_set<std::string> miss_keys;
+  for (std::size_t m = 0; m < M_; ++m) {
+    if (config_.use_cache) results[m] = agent.cache->lookup(agent.archs[m]);
+    if (!results[m] && miss_keys.insert(space::arch_key(agent.archs[m])).second) {
+      miss_index.push_back(m);
+    }
+  }
+  std::vector<exec::EvalResult> fresh(miss_index.size());
+  const auto eval_one = [&](std::size_t i) {
+    fresh[i] = evaluator_.evaluate(agent.archs[miss_index[i]], agent.eval_seed);
+  };
+  if (pool_ != nullptr && miss_index.size() > 1) {
+    tensor::parallel_for(*pool_, miss_index.size(), eval_one);
+  } else {
+    for (std::size_t i = 0; i < miss_index.size(); ++i) eval_one(i);
+  }
+  for (std::size_t i = 0; i < miss_index.size(); ++i) {
+    agent.cache->insert(agent.archs[miss_index[i]], fresh[i]);
+    results[miss_index[i]] = fresh[i];  // first occurrence stays a real task
+  }
+  // Within-batch duplicates of a fresh miss read the cache result.
+  for (std::size_t m = 0; m < M_; ++m) {
+    if (!results[m]) results[m] = agent.cache->lookup(agent.archs[m]);
+  }
+
+  // Worker occupancy: non-cached tasks dispatch onto the agent's W
+  // dedicated nodes (earliest-free first); cached results cost nothing.
+  std::vector<double> worker_free(W_, t);
+  double batch_done = t;
+  for (std::size_t m = 0; m < M_; ++m) {
+    const exec::EvalResult& r = *results[m];
+    EvalRecord rec;
+    rec.reward = r.reward;
+    rec.params = r.params;
+    rec.sim_duration = r.sim_duration;
+    rec.cache_hit = r.cache_hit;
+    rec.timed_out = r.timed_out;
+    rec.agent = agent.id;
+    rec.arch = agent.archs[m];
+    if (r.cache_hit) {
+      rec.time = t;
+      if (inst_) {
+        inst_->trace->instant("eval_cached", "exec", t, static_cast<std::uint32_t>(agent.id),
+                              {{"reward", rec.reward}});
+      }
+    } else if (fx_ == nullptr) {
+      const auto slot = static_cast<std::size_t>(
+          std::min_element(worker_free.begin(), worker_free.end()) - worker_free.begin());
+      const double start = worker_free[slot];
+      const double end = start + r.sim_duration;
+      worker_free[slot] = end;
+      monitor_.add_busy_interval(start, end);
+      rec.time = end;
+      batch_done = std::max(batch_done, end);
+      ++real_evals_;
+      if (inst_) {
+        inst_->trace->span("eval", "exec", start, r.sim_duration,
+                           static_cast<std::uint32_t>(agent.id),
+                           {{"reward", rec.reward},
+                            {"timed_out", rec.timed_out ? 1.0 : 0.0}});
+        if (inst_->journal != nullptr) {
+          inst_->journal->append(obs::JournalEventType::kEvalDispatched, start,
+                                 static_cast<std::uint32_t>(agent.id),
+                                 {{"duration_s", r.sim_duration},
+                                  {"worker", static_cast<double>(slot)},
+                                  {"train_wall_ms", r.train_wall_ms}});
+        }
+      }
+    } else if (!dispatch_faulty(agent, worker_free, r, rec, t, batch_done) &&
+               !agent.dead) {
+      // First task that found no live worker: the agent's pool is gone.
+      // Remaining tasks of this batch floor the same way; the batch still
+      // completes (and is harvested) so PPO reward vectors stay aligned.
+      agent.dead = true;
+      agent.stopped = true;
+      ++result_.dead_agents;
+      if (inst_) {
+        inst_->fault_dead->inc();
+        if (inst_->journal != nullptr) {
+          inst_->journal->append(obs::JournalEventType::kAgentDead, t,
+                                 static_cast<std::uint32_t>(agent.id),
+                                 {{"workers", static_cast<double>(W_)}});
+        }
+      }
+    }
+    agent.records.push_back(std::move(rec));
+  }
+  if (config_.max_evaluations != 0 && real_evals_ >= config_.max_evaluations) {
+    budget_exhausted_ = true;
+  }
+  const double scheduled = std::max(batch_done, t + 1e-3);
+  if (inst_) {
+    inst_->cycles->inc();
+    inst_->cycle_latency->observe(scheduled - t);
+    inst_->trace->span("agent_cycle", "driver", t, scheduled - t,
+                       static_cast<std::uint32_t>(agent.id),
+                       {{"batch", static_cast<double>(M_)},
+                        {"misses", static_cast<double>(miss_index.size())}});
+  }
+  queue_.push({scheduled, seq_++, agent.id});
+}
+
+// ---- A2C round bookkeeping --------------------------------------------
+// Starts (or restarts) a synchronized round and counts how many agents
+// actually queued a batch — including one that died mid-dispatch, whose
+// floored batch still completes and is harvested. Wall/budget-stopped and
+// already-dead agents queue nothing.
+void SearchRun::a2c_begin_round(double resume) {
+  a2c_round_time_ = 0.0;
+  a2c_outstanding_ = 0;
+  for (AgentState& a : agents_) {
+    const bool was_dead = a.dead;
+    start_cycle(a, resume);
+    if (!was_dead && (!a.stopped || a.dead)) ++a2c_outstanding_;
+  }
+}
+
+// When every agent of the round has been harvested but the barrier still
+// holds (dropped exchanges, dead agents), release whatever arrived after
+// the plan's absent-agent timeout and start the next round. If nothing
+// arrived at all the round restarts without a parameter update.
+void SearchRun::a2c_release_stuck(double now) {
+  if (fx_ == nullptr || a2c_outstanding_ != 0) return;
+  const double release_t =
+      std::max(a2c_round_time_, now) + fx_->plan().barrier_timeout_seconds;
+  (void)ps_->try_release(release_t);
+  a2c_begin_round(release_t + config_.agent_overhead_seconds);
+}
+
+bool SearchRun::process_completion(const Completion& done) {
+  AgentState& agent = agents_[done.agent];
+  const double t = done.time;
+  last_completion_ = std::max(last_completion_, t);
+
+  // Harvest the batch.
+  bool all_cached = true;
+  std::vector<float> rewards;
+  rewards.reserve(agent.records.size());
+  for (EvalRecord& rec : agent.records) {
+    all_cached = all_cached && rec.cache_hit;
+    if (rec.cache_hit) rec.time = t;  // resolved when the batch closes
+    rewards.push_back(rec.reward);
+    if (rec.cache_hit) ++result_.cache_hits;
+    if (rec.timed_out) ++result_.timeouts;
+    if (inst_) {
+      inst_->evals->inc();
+      if (rec.cache_hit) {
+        inst_->cache_hits->inc();
+      } else {
+        inst_->real_evals->inc();
+        inst_->eval_sim->observe(rec.sim_duration);
+      }
+      if (rec.timed_out) inst_->timeouts->inc();
+      // Journal events are emitted at the same harvest point the counters
+      // increment, with the record's own completion time, so a journal
+      // replay reconciles with both the counters and SearchResult.evals.
+      if (inst_->journal != nullptr) {
+        const auto aid = static_cast<std::uint32_t>(agent.id);
+        if (rec.cache_hit) {
+          inst_->journal->append(obs::JournalEventType::kEvalCached, rec.time, aid,
+                                 {{"reward", rec.reward},
+                                  {"timed_out", rec.timed_out ? 1.0 : 0.0}});
+        } else {
+          std::vector<obs::JournalField> fields{
+              {"reward", rec.reward},
+              {"duration_s", rec.sim_duration},
+              {"timed_out", rec.timed_out ? 1.0 : 0.0},
+              {"params", static_cast<double>(rec.params)}};
+          if (rec.failed) {
+            fields.push_back({"failed", 1.0});
+            fields.push_back({"attempts", static_cast<double>(rec.attempts)});
+          }
+          inst_->journal->append(obs::JournalEventType::kEvalFinished, rec.time, aid,
+                                 std::move(fields));
+        }
+        if (rec.timed_out) {
+          inst_->journal->append(obs::JournalEventType::kEvalTimeout, rec.time, aid,
+                                 {{"duration_s", rec.sim_duration}});
+        }
+      }
+    }
+    result_.evals.push_back(rec);
+  }
+  agent.cached_streak = all_cached ? agent.cached_streak + 1 : 0;
+  if (inst_ && inst_->journal != nullptr &&
+      agent.cached_streak == config_.convergence_streak) {
+    inst_->journal->append(obs::JournalEventType::kAgentConverged, t,
+                           static_cast<std::uint32_t>(agent.id),
+                           {{"streak", static_cast<double>(agent.cached_streak)}});
+  }
+  if (inst_) {
+    std::size_t min_streak = agents_[0].cached_streak;
+    for (const AgentState& a : agents_) min_streak = std::min(min_streak, a.cached_streak);
+    inst_->streak_min->set(static_cast<double>(min_streak));
+  }
+
+  if (config_.strategy == SearchStrategy::kEvolution) {
+    for (const EvalRecord& rec : agent.records) {
+      agent.population.emplace_back(rec.arch, rec.reward);
+      if (agent.population.size() > config_.evolution.population) {
+        agent.population.pop_front();  // aging: oldest individual dies
+      }
+    }
+  }
+
+  // Convergence: every agent keeps regenerating cached architectures.
+  // Dead agents can't regenerate anything, so they are exempt — as long as
+  // at least one agent survived to actually converge.
+  const bool converged =
+      std::ranges::all_of(agents_,
+                          [&](const AgentState& a) {
+                            return (fx_ != nullptr && a.dead) ||
+                                   a.cached_streak >= config_.convergence_streak;
+                          }) &&
+      std::ranges::any_of(agents_, [](const AgentState& a) { return !a.dead; });
+  if (converged) {
+    result_.converged_early = true;
+    result_.end_time = t;
+    return true;
+  }
+
+  if (!rl_enabled_) {
+    start_cycle(agent, t + config_.agent_overhead_seconds);
+    return false;
+  }
+
+  if (fx_ != nullptr && agent.dead) {
+    // The dead agent's final (floored) batch was harvested above; there is
+    // no controller state worth updating and nothing to submit. In A2C the
+    // barrier must stop waiting for it — its removal may itself complete
+    // the round the surviving agents are parked on.
+    if (config_.strategy == SearchStrategy::kA2C) {
+      if (a2c_outstanding_ > 0) --a2c_outstanding_;
+      a2c_round_time_ = std::max(a2c_round_time_, t);
+      if (ps_->deactivate(agent.id, t)) {
+        a2c_begin_round(a2c_round_time_ + config_.agent_overhead_seconds);
+      } else {
+        a2c_release_stuck(t);
+      }
+    }
+    return false;
+  }
+
+  // Local PPO epochs, then exchange the parameter delta through the PS.
+  const rl::PpoStats ppo_stats = agent.controller->ppo_update(
+      agent.rollouts, rewards, config_.ppo, t, static_cast<std::uint32_t>(agent.id));
+  ++result_.ppo_updates;
+  if (inst_) {
+    inst_->ppo_updates->inc();
+    inst_->trace->instant("ppo_update", "rl", t, static_cast<std::uint32_t>(agent.id),
+                          {{"policy_loss", ppo_stats.policy_loss},
+                           {"value_loss", ppo_stats.value_loss},
+                           {"entropy", ppo_stats.entropy},
+                           {"approx_kl", ppo_stats.approx_kl}});
+  }
+  std::vector<float> delta = agent.controller->get_flat();
+  for (std::size_t i = 0; i < delta.size(); ++i) delta[i] -= agent.theta_pull[i];
+
+  if (config_.strategy == SearchStrategy::kA3C) {
+    if (fx_ == nullptr) {
+      ps_->submit(agent.id, delta, t);
+      start_cycle(agent, t + config_.agent_overhead_seconds);
+    } else {
+      const exec::FaultInjector::ExchangeFault ef =
+          fx_->exchange_fault(agent.id, agent.exchange_seq++);
+      double resume = t + config_.agent_overhead_seconds;
+      if (ef.drop) {
+        // The delta is lost in flight; the agent carries on with the stale
+        // parameters it already holds.
+        if (inst_) {
+          inst_->fault_ps_dropped->inc();
+          if (inst_->journal != nullptr) {
+            inst_->journal->append(obs::JournalEventType::kPsDropped, t,
+                                   static_cast<std::uint32_t>(agent.id), {{"mode", 1.0}});
+          }
+        }
+      } else {
+        if (ef.delay_seconds > 0.0) {
+          resume += ef.delay_seconds;  // the exchange round trip stretches
+          if (inst_) {
+            inst_->fault_ps_delayed->inc();
+            if (inst_->journal != nullptr) {
+              inst_->journal->append(obs::JournalEventType::kPsDelayed, t,
+                                     static_cast<std::uint32_t>(agent.id),
+                                     {{"mode", 1.0}, {"delay_s", ef.delay_seconds}});
+            }
+          }
+        }
+        ps_->submit(agent.id, delta, t);
+      }
+      start_cycle(agent, resume);
+    }
+  } else {
+    a2c_round_time_ = std::max(a2c_round_time_, t);
+    if (fx_ == nullptr) {
+      const bool round_complete = ps_->submit(agent.id, delta, t);
+      if (round_complete) {
+        const double resume = a2c_round_time_ + config_.agent_overhead_seconds;
+        a2c_begin_round(resume);
+      }
+    } else {
+      if (a2c_outstanding_ > 0) --a2c_outstanding_;
+      const exec::FaultInjector::ExchangeFault ef =
+          fx_->exchange_fault(agent.id, agent.exchange_seq++);
+      bool round_complete = false;
+      if (ef.drop) {
+        // The delta never reaches the barrier; the agent idles while the
+        // round is resolved for it (submit next round as usual).
+        if (inst_) {
+          inst_->fault_ps_dropped->inc();
+          if (inst_->journal != nullptr) {
+            inst_->journal->append(obs::JournalEventType::kPsDropped, t,
+                                   static_cast<std::uint32_t>(agent.id), {{"mode", 0.0}});
+          }
+        }
+      } else {
+        double arrival = t;
+        if (ef.delay_seconds > 0.0) {
+          arrival += ef.delay_seconds;
+          if (inst_) {
+            inst_->fault_ps_delayed->inc();
+            if (inst_->journal != nullptr) {
+              inst_->journal->append(obs::JournalEventType::kPsDelayed, t,
+                                     static_cast<std::uint32_t>(agent.id),
+                                     {{"mode", 0.0}, {"delay_s", ef.delay_seconds}});
+            }
+          }
+        }
+        a2c_round_time_ = std::max(a2c_round_time_, arrival);
+        round_complete = ps_->submit(agent.id, delta, arrival);
+      }
+      if (round_complete) {
+        a2c_begin_round(a2c_round_time_ + config_.agent_overhead_seconds);
+      } else {
+        a2c_release_stuck(t);
+      }
+    }
+  }
+  return false;
+}
+
+void SearchRun::init_checkpointing(double from_t) {
+  if (config_.checkpoint == nullptr) return;
+  writer_.emplace(*config_.checkpoint);
+  fingerprint_ = config_fingerprint(config_, space_->name());
+  // The same formula runs after every write and on restore, so the snapshot
+  // cadence of a resumed run lines up exactly with the uninterrupted one.
+  const double interval = writer_->config().interval_seconds;
+  next_due_ = (std::floor(from_t / interval) + 1.0) * interval;
+}
+
+void SearchRun::maybe_checkpoint(double t) {
+  if (!writer_ || t < next_due_) return;
+  // Count and journal the snapshot *before* serializing, so the snapshot
+  // carries its own ordinal and its own journal event: the watermark then
+  // covers everything up to and including this checkpoint, and a resumed
+  // run's counters reconcile with the merged journal 1:1.
+  ++result_.checkpoints_written;
+  if (inst_) inst_->checkpoints->inc();
+  ckpt::ByteWriter payload;
+  serialize_state(payload);
+  if (inst_ && inst_->journal != nullptr) {
+    inst_->journal->append(obs::JournalEventType::kCheckpointWritten, t, obs::kNoAgent,
+                           {{"ordinal", static_cast<double>(result_.checkpoints_written)},
+                            {"bytes", static_cast<double>(payload.size())}});
+  }
+  ckpt::SnapshotHeader header;
+  header.fingerprint = fingerprint_;
+  header.space_name = space_->name();
+  header.virtual_time = t;
+  header.journal_events =
+      journal_base_ +
+      (inst_ && inst_->journal != nullptr ? inst_->journal->size() : 0);
+  header.ordinal = result_.checkpoints_written;
+  const std::string path = writer_->write(header, payload.bytes());
+  const double interval = writer_->config().interval_seconds;
+  next_due_ = (std::floor(t / interval) + 1.0) * interval;
+  const std::size_t abort_after = writer_->config().abort_after_snapshots;
+  if (abort_after != 0 && writer_->session_writes() >= abort_after) {
+    throw ckpt::SearchInterrupted(path);
+  }
+}
+
+void SearchRun::serialize_state(ckpt::ByteWriter& w) const {
+  // Prelude: enough config-derived shape for restore() to refuse a payload
+  // that cannot belong to this search (fingerprint catches this first; the
+  // prelude makes the failure mode a clean error even without one).
+  w.u32(static_cast<std::uint32_t>(config_.strategy));
+  w.u64(N_);
+  w.u64(W_);
+  w.u64(M_);
+
+  // Event-loop globals.
+  w.u64(seq_);
+  w.u64(real_evals_);
+  w.flag(budget_exhausted_);
+  w.f64(a2c_round_time_);
+  w.u64(a2c_outstanding_);
+  w.f64(last_completion_);
+
+  // Pending completions, drained from a copy in pop order. Re-pushing them
+  // in this order rebuilds a heap with the identical pop sequence (time,
+  // seq) — which is all the event loop observes.
+  auto pending = queue_;
+  w.u64(pending.size());
+  while (!pending.empty()) {
+    const Completion c = pending.top();
+    pending.pop();
+    w.f64(c.time);
+    w.u64(c.seq);
+    w.u64(c.agent);
+  }
+
+  // Partial result (records are pre-sort, exactly as the live vector).
+  w.u64(result_.evals.size());
+  for (const EvalRecord& e : result_.evals) put_record(w, e);
+  w.f64(result_.end_time);
+  w.flag(result_.converged_early);
+  w.u64(result_.cache_hits);
+  w.u64(result_.timeouts);
+  w.u64(result_.unique_archs);
+  w.u64(result_.ppo_updates);
+  w.u64(result_.retries);
+  w.u64(result_.exhausted);
+  w.u64(result_.lost_results);
+  w.u64(result_.crashed_workers);
+  w.u64(result_.dead_agents);
+  w.u64(result_.checkpoints_written);
+  w.u64(result_.resumes);
+
+  // Utilization monitor.
+  const exec::UtilizationMonitor::State ms = monitor_.export_state();
+  w.u64(ms.intervals.size());
+  for (const auto& [start, end] : ms.intervals) {
+    w.f64(start);
+    w.f64(end);
+  }
+  w.doubles(ms.losses);
+  w.f64(ms.busy_seconds);
+
+  // Parameter server.
+  w.flag(ps_.has_value());
+  if (ps_) {
+    const ParameterServer::State s = ps_->export_state();
+    w.floats(s.params);
+    w.u64(s.pending.size());
+    for (const auto& d : s.pending) w.floats(d);
+    w.u64(s.submitted.size());
+    for (const auto v : s.submitted) w.u8(v);
+    w.u64(s.active.size());
+    for (const auto v : s.active) w.u8(v);
+    w.u64(s.active_count);
+    w.u64(s.pending_count);
+    w.f64(s.last_arrival);
+    w.u64(s.recent.size());
+    for (const auto& d : s.recent) w.floats(d);
+    w.u64(s.recent_next);
+    w.u64(s.updates_applied);
+    w.u64(s.pulled_version.size());
+    for (const auto v : s.pulled_version) w.u64(v);
+    w.doubles(s.arrival_time);
+  }
+
+  // Per-agent state. crash_at is deliberately absent: it is a pure function
+  // of the fault plan and the wall-time limit, recomputed on restore.
+  for (const AgentState& a : agents_) {
+    const tensor::RngState rs = a.rng.state();
+    for (int i = 0; i < 4; ++i) w.u64(rs.s[i]);
+    w.flag(rs.has_cached_normal);
+    w.f64(rs.cached_normal);
+    w.u64(a.eval_seed);
+    w.u64(a.cached_streak);
+    w.flag(a.stopped);
+    w.flag(a.dead);
+    w.u64(a.exchange_seq);
+    w.floats(a.theta_pull);
+
+    w.flag(a.controller.has_value());
+    if (a.controller) {
+      const rl::Controller::State cs = a.controller->save_state();
+      w.floats(cs.flat);
+      w.i64(cs.adam.step_count);
+      w.u64(cs.adam.entries.size());
+      for (const auto& e : cs.adam.entries) {
+        w.str(e.key);
+        w.u64(e.shape.size());
+        for (const std::size_t d : e.shape) w.u64(d);
+        w.floats(e.m);
+        w.floats(e.v);
+      }
+    }
+
+    w.u64(a.population.size());
+    for (const auto& [arch, reward] : a.population) {
+      put_arch(w, arch);
+      w.f32(reward);
+    }
+
+    const exec::CachedEvaluator::State cache = a.cache->export_state();
+    w.u64(cache.entries.size());
+    for (const auto& [key, res] : cache.entries) {
+      w.str(key);
+      put_eval_result(w, res);
+    }
+    w.u64(cache.hits);
+    w.u64(cache.misses);
+
+    // The in-flight batch: its Completion sits in the queue above, and its
+    // evaluations already ran on the host, so the resumed process harvests
+    // these records without re-training anything.
+    w.u64(a.rollouts.size());
+    for (const rl::Rollout& ro : a.rollouts) {
+      put_arch(w, ro.actions);
+      w.floats(ro.log_probs);
+      w.floats(ro.values);
+    }
+    w.u64(a.archs.size());
+    for (const auto& arch : a.archs) put_arch(w, arch);
+    w.u64(a.records.size());
+    for (const EvalRecord& e : a.records) put_record(w, e);
+  }
+}
+
+void SearchRun::restore(const ckpt::SnapshotHeader& header, ckpt::ByteReader& in) {
+  // Prelude sanity (the fingerprint was validated by the caller already).
+  const std::uint32_t strategy = in.u32();
+  const std::uint64_t n = in.u64();
+  const std::uint64_t w = in.u64();
+  const std::uint64_t m = in.u64();
+  if (strategy != static_cast<std::uint32_t>(config_.strategy) || n != N_ || w != W_ ||
+      m != M_) {
+    throw ckpt::SnapshotError(
+        "snapshot: strategy/cluster shape does not match the resume config");
+  }
+
+  seq_ = in.u64();
+  real_evals_ = in.u64();
+  budget_exhausted_ = in.flag();
+  a2c_round_time_ = in.f64();
+  a2c_outstanding_ = in.u64();
+  last_completion_ = in.f64();
+
+  const std::uint64_t pending = in.u64();
+  for (std::uint64_t i = 0; i < pending; ++i) {
+    Completion c{};
+    c.time = in.f64();
+    c.seq = in.u64();
+    c.agent = in.u64();
+    queue_.push(c);
+  }
+
+  const std::uint64_t evals = in.u64();
+  result_.evals.clear();
+  result_.evals.reserve(evals);
+  for (std::uint64_t i = 0; i < evals; ++i) result_.evals.push_back(get_record(in));
+  result_.end_time = in.f64();
+  result_.converged_early = in.flag();
+  result_.cache_hits = in.u64();
+  result_.timeouts = in.u64();
+  result_.unique_archs = in.u64();
+  result_.ppo_updates = in.u64();
+  result_.retries = in.u64();
+  result_.exhausted = in.u64();
+  result_.lost_results = in.u64();
+  result_.crashed_workers = in.u64();
+  result_.dead_agents = in.u64();
+  result_.checkpoints_written = in.u64();
+  result_.resumes = in.u64();
+
+  exec::UtilizationMonitor::State ms;
+  const std::uint64_t intervals = in.u64();
+  ms.intervals.resize(intervals);
+  for (auto& [start, end] : ms.intervals) {
+    start = in.f64();
+    end = in.f64();
+  }
+  ms.losses = in.doubles();
+  ms.busy_seconds = in.f64();
+  monitor_.import_state(ms);
+
+  const bool has_ps = in.flag();
+  if (has_ps != ps_.has_value()) {
+    throw ckpt::SnapshotError("snapshot: parameter-server presence mismatch");
+  }
+  if (has_ps) {
+    ParameterServer::State s;
+    s.params = in.floats();
+    const std::uint64_t rounds = in.u64();
+    s.pending.resize(rounds);
+    for (auto& d : s.pending) d = in.floats();
+    const std::uint64_t submitted = in.u64();
+    s.submitted.resize(submitted);
+    for (auto& v : s.submitted) v = in.u8();
+    const std::uint64_t active = in.u64();
+    s.active.resize(active);
+    for (auto& v : s.active) v = in.u8();
+    s.active_count = in.u64();
+    s.pending_count = in.u64();
+    s.last_arrival = in.f64();
+    const std::uint64_t recent = in.u64();
+    s.recent.resize(recent);
+    for (auto& d : s.recent) d = in.floats();
+    s.recent_next = in.u64();
+    s.updates_applied = in.u64();
+    const std::uint64_t pulled = in.u64();
+    s.pulled_version.resize(pulled);
+    for (auto& v : s.pulled_version) v = in.u64();
+    s.arrival_time = in.doubles();
+    ps_->import_state(s);
+  }
+
+  for (AgentState& a : agents_) {
+    tensor::RngState rs;
+    for (int i = 0; i < 4; ++i) rs.s[i] = in.u64();
+    rs.has_cached_normal = in.flag();
+    rs.cached_normal = in.f64();
+    a.rng.set_state(rs);
+    a.eval_seed = in.u64();
+    a.cached_streak = in.u64();
+    a.stopped = in.flag();
+    a.dead = in.flag();
+    a.exchange_seq = in.u64();
+    a.theta_pull = in.floats();
+
+    const bool has_controller = in.flag();
+    if (has_controller != a.controller.has_value()) {
+      throw ckpt::SnapshotError("snapshot: controller presence mismatch");
+    }
+    if (has_controller) {
+      rl::Controller::State cs;
+      cs.flat = in.floats();
+      cs.adam.step_count = static_cast<long>(in.i64());
+      const std::uint64_t entries = in.u64();
+      cs.adam.entries.resize(entries);
+      for (auto& e : cs.adam.entries) {
+        e.key = in.str();
+        const std::uint64_t rank = in.u64();
+        e.shape.resize(rank);
+        for (auto& d : e.shape) d = in.u64();
+        e.m = in.floats();
+        e.v = in.floats();
+      }
+      a.controller->load_state(cs);
+    }
+
+    const std::uint64_t pop = in.u64();
+    a.population.clear();
+    for (std::uint64_t i = 0; i < pop; ++i) {
+      space::ArchEncoding arch = get_arch(in);
+      const float reward = in.f32();
+      a.population.emplace_back(std::move(arch), reward);
+    }
+
+    exec::CachedEvaluator::State cache;
+    const std::uint64_t cached = in.u64();
+    cache.entries.resize(cached);
+    for (auto& [key, res] : cache.entries) {
+      key = in.str();
+      res = get_eval_result(in);
+    }
+    cache.hits = in.u64();
+    cache.misses = in.u64();
+    a.cache->import_state(cache);
+
+    const std::uint64_t rollouts = in.u64();
+    a.rollouts.clear();
+    a.rollouts.resize(rollouts);
+    for (rl::Rollout& ro : a.rollouts) {
+      ro.actions = get_arch(in);
+      ro.log_probs = in.floats();
+      ro.values = in.floats();
+    }
+    const std::uint64_t archs = in.u64();
+    a.archs.clear();
+    a.archs.resize(archs);
+    for (auto& arch : a.archs) arch = get_arch(in);
+    const std::uint64_t records = in.u64();
+    a.records.clear();
+    a.records.reserve(records);
+    for (std::uint64_t i = 0; i < records; ++i) a.records.push_back(get_record(in));
+  }
+  in.require_done();
+
+  // crash_at is recomputed, not restored: it is a pure function of the plan
+  // and the wall-time limit. Crucially WITHOUT the bootstrap side effects —
+  // the crash counters, capacity losses, and journal events all happened in
+  // the original process and arrived here through the snapshot.
+  if (fx_ != nullptr) {
+    for (AgentState& agent : agents_) {
+      agent.crash_at.assign(W_, std::numeric_limits<double>::infinity());
+      for (std::size_t worker = 0; worker < W_; ++worker) {
+        const double when = fx_->crash_time(agent.id, worker);
+        if (when >= config_.wall_time_seconds) continue;
+        agent.crash_at[worker] = when;
+      }
+    }
+  }
+
+  ++result_.resumes;
+  if (inst_ && inst_->journal != nullptr) {
+    inst_->journal->append(obs::JournalEventType::kRunResumed, header.virtual_time,
+                           obs::kNoAgent,
+                           {{"from_t", header.virtual_time},
+                            {"prior_events", static_cast<double>(header.journal_events)},
+                            {"ordinal", static_cast<double>(header.ordinal)},
+                            {"wall_time_s", config_.wall_time_seconds},
+                            {"strategy", static_cast<double>(config_.strategy)}});
+  }
+  journal_base_ = header.journal_events;
+  init_checkpointing(header.virtual_time);
+}
+
+}  // namespace
+
+SearchDriver::SearchDriver(const space::SearchSpace& space, const data::Dataset& dataset,
+                           SearchConfig config, tensor::ThreadPool* pool)
+    : space_(&space),
+      dataset_(&dataset),
+      config_(normalized(std::move(config))),
+      pool_(pool) {}
+
+SearchResult SearchDriver::run() {
+  SearchRun search(*space_, *dataset_, config_, pool_);
+  search.bootstrap();
+  return search.run();
+}
+
+SearchResult resume_search(const std::string& snapshot_path, const space::SearchSpace& space,
+                           const data::Dataset& dataset, SearchConfig config,
+                           tensor::ThreadPool* pool) {
+  config = normalized(std::move(config));
+  ckpt::Snapshot snap = ckpt::read_snapshot(snapshot_path);
+  const std::string expected = config_fingerprint(config, space.name());
+  if (snap.header.fingerprint != expected) {
+    throw ckpt::SnapshotError("snapshot " + snapshot_path +
+                              ": config fingerprint mismatch (snapshot was taken under \"" +
+                              snap.header.fingerprint + "\", resume config is \"" + expected +
+                              "\")");
+  }
+  if (snap.header.space_name != space.name()) {
+    throw ckpt::SnapshotError("snapshot " + snapshot_path + ": search space mismatch (\"" +
+                              snap.header.space_name + "\" vs \"" + space.name() + "\")");
+  }
+  SearchRun search(space, dataset, std::move(config), pool);
+  ckpt::ByteReader reader(snap.payload);
+  search.restore(snap.header, reader);
+  return search.run();
 }
 
 }  // namespace ncnas::nas

@@ -166,6 +166,48 @@ bool ParameterServer::deactivate(std::size_t agent, double now) {
   return true;
 }
 
+ParameterServer::State ParameterServer::export_state() const {
+  State out;
+  out.params = params_;
+  out.pending = pending_;
+  out.submitted.assign(submitted_.begin(), submitted_.end());
+  out.active.assign(active_.begin(), active_.end());
+  out.active_count = active_count_;
+  out.pending_count = pending_count_;
+  out.last_arrival = last_arrival_;
+  out.recent = recent_;
+  out.recent_next = recent_next_;
+  out.updates_applied = updates_applied_;
+  out.pulled_version = pulled_version_;
+  out.arrival_time = arrival_time_;
+  return out;
+}
+
+void ParameterServer::import_state(const State& state) {
+  if (state.params.size() != params_.size()) {
+    throw std::invalid_argument("ParameterServer::import_state: parameter dim mismatch");
+  }
+  if (state.submitted.size() != num_agents_ || state.active.size() != num_agents_ ||
+      state.pulled_version.size() != num_agents_ || state.arrival_time.size() != num_agents_) {
+    throw std::invalid_argument("ParameterServer::import_state: agent count mismatch");
+  }
+  if (mode_ == Mode::kSync && state.pending.size() != num_agents_) {
+    throw std::invalid_argument("ParameterServer::import_state: pending round mismatch");
+  }
+  params_ = state.params;
+  pending_ = state.pending;
+  submitted_.assign(state.submitted.begin(), state.submitted.end());
+  active_.assign(state.active.begin(), state.active.end());
+  active_count_ = state.active_count;
+  pending_count_ = state.pending_count;
+  last_arrival_ = state.last_arrival;
+  recent_ = state.recent;
+  recent_next_ = state.recent_next;
+  updates_applied_ = state.updates_applied;
+  pulled_version_ = state.pulled_version;
+  arrival_time_ = state.arrival_time;
+}
+
 void ParameterServer::release_round(double now) {
   // Round release: each submitted agent idled from its arrival until the
   // round closed — the A2C sawtooth in paper Fig. 5. On a full round this is

@@ -2,6 +2,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <iomanip>
 #include <sstream>
 
 namespace ncnas::nas {
@@ -9,10 +10,11 @@ namespace ncnas::nas {
 namespace {
 // v3: lazy layers own their init seed (weight values changed). The stats
 // header line carries an optional trailing telemetry-enabled flag (written
-// since the obs subsystem landed) followed by optional fault counters, and
-// each eval line carries optional trailing failed/attempts fields (written
-// since the fault-injection harness landed); the reader tolerates their
-// absence, so v3 logs from before either addition still load.
+// since the obs subsystem landed), optional fault counters (since the
+// fault-injection harness landed), and optional checkpoint/resume counters
+// (since the ckpt subsystem landed); each eval line carries optional
+// trailing failed/attempts fields. The reader tolerates the absence of any
+// of them, so v3 logs from before each addition still load.
 constexpr const char* kMagic = "ncnas-search-log-v3";
 }
 
@@ -20,12 +22,18 @@ void save_result(const std::string& path, const SearchResult& result,
                  const std::string& fingerprint) {
   std::ofstream out(path);
   if (!out) throw std::runtime_error("save_result: cannot open " + path);
+  // Shortest-round-trip precision: the text form preserves every double and
+  // float bit-exactly, so a log saved by a resumed process can be diffed
+  // against the uninterrupted run's log byte-for-byte (the kill-and-resume
+  // verification in CI does exactly that).
+  out << std::setprecision(17);
   out << kMagic << '\n' << fingerprint << '\n';
   out << result.end_time << ' ' << result.converged_early << ' ' << result.cache_hits << ' '
       << result.timeouts << ' ' << result.unique_archs << ' ' << result.ppo_updates << ' '
       << result.utilization_bucket << ' ' << result.telemetry_enabled << ' ' << result.retries
       << ' ' << result.exhausted << ' ' << result.lost_results << ' '
-      << result.crashed_workers << ' ' << result.dead_agents << '\n';
+      << result.crashed_workers << ' ' << result.dead_agents << ' '
+      << result.checkpoints_written << ' ' << result.resumes << '\n';
   out << result.utilization.size();
   for (double u : result.utilization) out << ' ' << u;
   out << '\n' << result.evals.size() << '\n';
@@ -61,9 +69,10 @@ std::optional<SearchResult> load_result(const std::string& path,
     if (!stats) return std::nullopt;
     if (!(stats >> res.telemetry_enabled)) res.telemetry_enabled = false;
     // Optional fault counters (absent in pre-fault logs; the fields
-    // zero-initialize, and once one read fails the rest stay at zero).
+    // zero-initialize, and once one read fails the rest stay at zero),
+    // then optional checkpoint/resume counters (absent in pre-ckpt logs).
     stats >> res.retries >> res.exhausted >> res.lost_results >> res.crashed_workers >>
-        res.dead_agents;
+        res.dead_agents >> res.checkpoints_written >> res.resumes;
   }
   in >> util_count;
   res.utilization.resize(util_count);

@@ -1,6 +1,8 @@
 #include "ncnas/nn/optimizer.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace ncnas::nn {
 
@@ -12,15 +14,27 @@ void Sgd::step(const std::vector<ParamPtr>& params) {
   }
 }
 
+const std::string& Adam::key_for(const Parameter* p) {
+  const auto it = key_cache_.find(p);
+  if (it != key_cache_.end()) return it->second;
+  const std::size_t count = ++name_counts_[p->name];
+  std::string key = count == 1 ? p->name : p->name + "#" + std::to_string(count);
+  return key_cache_.emplace(p, std::move(key)).first->second;
+}
+
 void Adam::step(const std::vector<ParamPtr>& params) {
   ++step_count_;
   const float b1t = 1.0f - std::pow(beta1_, static_cast<float>(step_count_));
   const float b2t = 1.0f - std::pow(beta2_, static_cast<float>(step_count_));
   for (const ParamPtr& p : params) {
-    Moments& mom = state_[p.get()];
+    Moments& mom = state_[key_for(p.get())];
     if (mom.m.empty()) {
       mom.m = tensor::Tensor(p->value.shape());
       mom.v = tensor::Tensor(p->value.shape());
+    } else if (mom.m.size() != p->size()) {
+      // Only reachable after import_state() with a foreign layout.
+      throw std::invalid_argument("Adam::step: imported moments for " + p->name +
+                                  " do not match the parameter shape");
     }
     float* val = p->value.data();
     const float* g = p->grad.data();
@@ -33,6 +47,39 @@ void Adam::step(const std::vector<ParamPtr>& params) {
       const float vhat = v[i] / b2t;
       val[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
     }
+  }
+}
+
+Adam::State Adam::export_state() const {
+  State out;
+  out.step_count = step_count_;
+  out.entries.reserve(state_.size());
+  for (const auto& [key, mom] : state_) {
+    MomentEntry e;
+    e.key = key;
+    e.shape = mom.m.shape();
+    e.m.assign(mom.m.flat().begin(), mom.m.flat().end());
+    e.v.assign(mom.v.flat().begin(), mom.v.flat().end());
+    out.entries.push_back(std::move(e));
+  }
+  std::sort(out.entries.begin(), out.entries.end(),
+            [](const MomentEntry& a, const MomentEntry& b) { return a.key < b.key; });
+  return out;
+}
+
+void Adam::import_state(const State& state) {
+  step_count_ = state.step_count;
+  state_.clear();
+  key_cache_.clear();
+  name_counts_.clear();
+  for (const MomentEntry& e : state.entries) {
+    if (e.m.size() != tensor::numel(e.shape) || e.v.size() != e.m.size()) {
+      throw std::invalid_argument("Adam::import_state: moment size mismatch for " + e.key);
+    }
+    Moments mom;
+    mom.m = tensor::Tensor(e.shape, e.m);
+    mom.v = tensor::Tensor(e.shape, e.v);
+    state_.emplace(e.key, std::move(mom));
   }
 }
 

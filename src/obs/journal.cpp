@@ -38,6 +38,8 @@ constexpr NameEntry kNames[] = {
     {JournalEventType::kPsDropped, "ps_dropped"},
     {JournalEventType::kPsDelayed, "ps_delayed"},
     {JournalEventType::kBarrierTimeout, "barrier_timeout"},
+    {JournalEventType::kCheckpointWritten, "checkpoint_written"},
+    {JournalEventType::kRunResumed, "run_resumed"},
 };
 
 void write_escaped(std::ostream& os, std::string_view s) {
@@ -329,6 +331,14 @@ RunSummary summarize_journal(const std::vector<JournalEvent>& events) {
       sum.agents_declared = static_cast<std::size_t>(e.field("agents"));
       sum.workers_per_agent = static_cast<std::size_t>(e.field("workers"));
       if (e.has_field("wall_time_s")) sum.wall_time_s = e.field("wall_time_s");
+    } else if (e.type == JournalEventType::kRunResumed) {
+      // A resumed process's journal opens with run_resumed instead of
+      // run_started; it repeats the deadline (and strategy) so the deadline
+      // rule still applies when the prior journal is unavailable.
+      if (!sum.has_run_started) {
+        if (e.has_field("wall_time_s")) sum.wall_time_s = e.field("wall_time_s");
+        if (sum.strategy < 0) sum.strategy = static_cast<int>(e.field("strategy", -1.0));
+      }
     }
   }
 
@@ -427,6 +437,13 @@ RunSummary summarize_journal(const std::vector<JournalEvent>& events) {
       case JournalEventType::kBarrierTimeout:
         ++sum.barrier_timeouts;
         break;
+      case JournalEventType::kCheckpointWritten:
+        ++sum.checkpoints;
+        break;
+      case JournalEventType::kRunResumed:
+        ++sum.resumes;
+        sum.resume_times.push_back(e.field("from_t", e.t));
+        break;
     }
   }
   std::stable_sort(sum.rewards.begin(), sum.rewards.end(),
@@ -435,6 +452,33 @@ RunSummary summarize_journal(const std::vector<JournalEvent>& events) {
     sum.end_time_s = sum.rewards.back().first;
   }
   return sum;
+}
+
+std::vector<JournalEvent> merge_resumed_journal(std::vector<JournalEvent> prior,
+                                                const std::vector<JournalEvent>& resumed) {
+  const auto it = std::find_if(resumed.begin(), resumed.end(), [](const JournalEvent& e) {
+    return e.type == JournalEventType::kRunResumed;
+  });
+  if (it == resumed.end()) {
+    throw std::runtime_error("merge_resumed_journal: resumed journal has no run_resumed event");
+  }
+  const auto watermark = static_cast<std::size_t>(it->field("prior_events", -1.0));
+  if (it->field("prior_events", -1.0) < 0.0) {
+    throw std::runtime_error("merge_resumed_journal: run_resumed carries no prior_events");
+  }
+  if (prior.size() < watermark) {
+    throw std::runtime_error(
+        "merge_resumed_journal: prior journal has " + std::to_string(prior.size()) +
+        " events but the snapshot expected at least " + std::to_string(watermark) +
+        " — these journals are not from the same run");
+  }
+  // Events past the watermark were emitted after the snapshot the resume
+  // restarted from: that work was re-done (and re-logged) by the resumed
+  // process, so keeping them would double-count it.
+  prior.resize(watermark);
+  prior.insert(prior.end(), resumed.begin(), resumed.end());
+  for (std::size_t i = 0; i < prior.size(); ++i) prior[i].seq = i;
+  return prior;
 }
 
 }  // namespace ncnas::obs

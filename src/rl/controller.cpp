@@ -348,6 +348,15 @@ void Controller::set_flat(std::span<const float> flat) {
   }
 }
 
+Controller::State Controller::save_state() const {
+  return {get_flat(), adam_.export_state()};
+}
+
+void Controller::load_state(const State& state) {
+  set_flat(state.flat);
+  adam_.import_state(state.adam);
+}
+
 std::vector<nn::ParamPtr> Controller::parameters() const {
   std::vector<nn::ParamPtr> out{embed_};
   const auto lstm_params = lstm_.parameters();

@@ -75,6 +75,20 @@ std::size_t Rng::categorical(const std::vector<double>& probs) {
   return probs.size() - 1;
 }
 
+RngState Rng::state() const {
+  RngState st;
+  for (int i = 0; i < 4; ++i) st.s[i] = state_[i];
+  st.has_cached_normal = has_cached_normal_;
+  st.cached_normal = cached_normal_;
+  return st;
+}
+
+void Rng::set_state(const RngState& st) {
+  for (int i = 0; i < 4; ++i) state_[i] = st.s[i];
+  has_cached_normal_ = st.has_cached_normal;
+  cached_normal_ = st.cached_normal;
+}
+
 Rng Rng::split(std::uint64_t stream) const {
   // Mix the current state with the stream id through SplitMix64 so that
   // neighbouring stream ids yield unrelated sequences.

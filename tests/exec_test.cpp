@@ -173,6 +173,66 @@ TEST(CachedEvaluator, FailedThenRetriedEvalDoesNotPoisonCache) {
   EXPECT_EQ(cache.unique_archs(), 0u);
 }
 
+TEST(CachedEvaluator, StateRoundTripPreservesEntriesAndCounters) {
+  const space::SearchSpace s = space::nt3_small_space();
+  const data::Dataset ds = tiny_nt3();
+  const TrainingEvaluator inner(s, ds, {.epochs = 1, .subset_fraction = 1.0}, CostModel{});
+  const CachedEvaluator cache(inner);
+  tensor::Rng rng(9);
+  std::vector<space::ArchEncoding> archs;
+  for (int i = 0; i < 4; ++i) archs.push_back(s.random_arch(rng));
+  for (const auto& a : archs) (void)cache.evaluate(a, 1);  // 4 misses
+  (void)cache.evaluate(archs[0], 1);                       // 1 hit
+
+  const CachedEvaluator::State st = cache.export_state();
+  EXPECT_EQ(st.hits, 1u);
+  EXPECT_EQ(st.misses, 4u);
+  // Canonical form: entries sorted by key, so equal caches serialize equally.
+  for (std::size_t i = 1; i < st.entries.size(); ++i) {
+    EXPECT_LT(st.entries[i - 1].first, st.entries[i].first);
+  }
+
+  CachedEvaluator restored(inner);
+  restored.import_state(st);
+  EXPECT_EQ(restored.hits(), cache.hits());
+  EXPECT_EQ(restored.misses(), cache.misses());
+  EXPECT_EQ(restored.unique_archs(), cache.unique_archs());
+  for (const auto& a : archs) {
+    const auto orig = cache.lookup(a);
+    const auto back = restored.lookup(a);
+    ASSERT_TRUE(orig.has_value());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->reward, orig->reward);
+    EXPECT_EQ(back->params, orig->params);
+    EXPECT_DOUBLE_EQ(back->sim_duration, orig->sim_duration);
+    EXPECT_EQ(back->timed_out, orig->timed_out);
+  }
+}
+
+TEST(Utilization, StateRoundTripReproducesSeriesBitForBit) {
+  UtilizationMonitor mon(4);
+  // Enough unordered fractional intervals that a re-summed busy_seconds
+  // would accumulate differently from the carried-over original.
+  double t = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const double len = 0.1 + 0.0137 * (i % 17);
+    mon.add_busy_interval(t, t + len);
+    t += 0.73;
+  }
+  mon.add_capacity_loss(55.5);
+
+  UtilizationMonitor restored(4);
+  restored.import_state(mon.export_state());
+  EXPECT_EQ(restored.busy_worker_seconds(), mon.busy_worker_seconds());  // exact
+  EXPECT_EQ(restored.interval_count(), mon.interval_count());
+  EXPECT_EQ(restored.capacity_losses(), mon.capacity_losses());
+  const auto a = mon.series(150.0, 10.0);
+  const auto b = restored.series(150.0, 10.0);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  EXPECT_EQ(mon.average(150.0), restored.average(150.0));
+}
+
 TEST(HeadFor, PicksTaskByMetric) {
   const data::Dataset nt3 = tiny_nt3();
   EXPECT_EQ(head_for(nt3).kind, space::TaskHead::Kind::kClassification);

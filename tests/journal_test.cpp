@@ -27,6 +27,7 @@ TEST(Journal, EventNamesRoundTrip) {
       JournalEventType::kResultLost,     JournalEventType::kWorkerCrashed,
       JournalEventType::kAgentDead,      JournalEventType::kPsDropped,
       JournalEventType::kPsDelayed,      JournalEventType::kBarrierTimeout,
+      JournalEventType::kCheckpointWritten, JournalEventType::kRunResumed,
   };
   for (JournalEventType t : all) {
     const char* name = journal_event_name(t);
@@ -195,6 +196,62 @@ TEST(Journal, SummaryAppliesTheDriverDeadlineFilter) {
   EXPECT_EQ(sum.per_agent.size(), 2u);
   EXPECT_EQ(sum.per_agent.at(0).evals, 1u);
   EXPECT_EQ(sum.per_agent.at(1).cached, 1u);
+}
+
+// ---- resume stitching ------------------------------------------------------
+
+TEST(Journal, MergeResumedTruncatesAtWatermarkAndReseqs) {
+  // The interrupted process journaled 5 events, snapshotted at watermark 4,
+  // then journaled one more (the eval at t=60) before dying: that event's
+  // work was re-done by the resumed process and must not be double-counted.
+  Journal prior;
+  prior.append(JournalEventType::kRunStarted, 0.0, kNoAgent,
+               {{"agents", 2.0}, {"workers", 4.0}, {"wall_time_s", 100.0}, {"strategy", 0.0}});
+  prior.append(JournalEventType::kEvalFinished, 20.0, 0, {{"reward", 0.2}});
+  prior.append(JournalEventType::kEvalFinished, 40.0, 1, {{"reward", 0.3}});
+  prior.append(JournalEventType::kCheckpointWritten, 50.0, kNoAgent,
+               {{"ordinal", 1.0}, {"bytes", 1024.0}});
+  prior.append(JournalEventType::kEvalFinished, 60.0, 0, {{"reward", 0.9}});
+
+  Journal resumed;
+  resumed.append(JournalEventType::kRunResumed, 50.0, kNoAgent,
+                 {{"from_t", 50.0}, {"prior_events", 4.0}, {"ordinal", 1.0}});
+  resumed.append(JournalEventType::kEvalFinished, 60.0, 0, {{"reward", 0.9}});
+  resumed.append(JournalEventType::kEvalFinished, 80.0, 1, {{"reward", 0.5}});
+  resumed.append(JournalEventType::kRunFinished, 100.0, kNoAgent,
+                 {{"end_time_s", 100.0}, {"converged", 0.0}});
+
+  const auto merged = merge_resumed_journal(prior.snapshot(), resumed.snapshot());
+  ASSERT_EQ(merged.size(), 8u);  // 4 kept + 4 resumed
+  for (std::size_t i = 0; i < merged.size(); ++i) EXPECT_EQ(merged[i].seq, i);
+  EXPECT_EQ(merged[3].type, JournalEventType::kCheckpointWritten);
+  EXPECT_EQ(merged[4].type, JournalEventType::kRunResumed);
+
+  const RunSummary sum = summarize_journal(merged);
+  EXPECT_EQ(sum.evals, 4u);  // the pre-death t=60 eval appears exactly once
+  EXPECT_EQ(sum.checkpoints, 1u);
+  EXPECT_EQ(sum.resumes, 1u);
+  ASSERT_EQ(sum.resume_times.size(), 1u);
+  EXPECT_DOUBLE_EQ(sum.resume_times[0], 50.0);
+  EXPECT_TRUE(sum.has_run_started);
+  EXPECT_TRUE(sum.has_run_finished);
+}
+
+TEST(Journal, MergeResumedRejectsForeignOrMarkerlessJournals) {
+  Journal prior;
+  prior.append(JournalEventType::kRunStarted, 0.0);
+
+  Journal no_marker;
+  no_marker.append(JournalEventType::kEvalFinished, 10.0, 0, {{"reward", 0.1}});
+  EXPECT_THROW((void)merge_resumed_journal(prior.snapshot(), no_marker.snapshot()),
+               std::runtime_error);
+
+  // Watermark beyond the prior journal: these artifacts cannot be one run.
+  Journal foreign;
+  foreign.append(JournalEventType::kRunResumed, 50.0, kNoAgent,
+                 {{"from_t", 50.0}, {"prior_events", 99.0}});
+  EXPECT_THROW((void)merge_resumed_journal(prior.snapshot(), foreign.snapshot()),
+               std::runtime_error);
 }
 
 // ---- watchdog --------------------------------------------------------------

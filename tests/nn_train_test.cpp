@@ -142,6 +142,92 @@ TEST(Trainer, RejectsMismatchedInputs) {
                std::invalid_argument);
 }
 
+// Deterministic synthetic gradients, varied per step so moments evolve.
+void fill_grads(const std::vector<ParamPtr>& params, int step) {
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    float* g = params[p]->grad.data();
+    for (std::size_t i = 0; i < params[p]->size(); ++i) {
+      g[i] = 0.01f * static_cast<float>((step + 1) * (p + 1)) +
+             0.001f * static_cast<float>(i);
+    }
+  }
+}
+
+TEST(Adam, ExportImportThenStepContinuesBitIdentically) {
+  // Two distinct parameters sharing a name (every Dense layer calls its
+  // kernel "dense.w") plus one genuinely shared (mirrored) parameter that
+  // appears twice in the list: the name-keyed moment map must keep the
+  // duplicates apart and the shared pointer unified.
+  const auto make_params = [] {
+    auto w1 = std::make_shared<Parameter>("dense.w", tensor::Tensor({2, 3}, 0.5f));
+    auto w2 = std::make_shared<Parameter>("dense.w", tensor::Tensor({3, 1}, -0.25f));
+    auto shared = std::make_shared<Parameter>("embed.w", tensor::Tensor({4}, 1.0f));
+    return std::vector<ParamPtr>{w1, w2, shared, shared};
+  };
+
+  std::vector<ParamPtr> live = make_params();
+  Adam adam(0.01f);
+  for (int step = 0; step < 5; ++step) {
+    fill_grads(live, step);
+    adam.step(live);
+  }
+
+  const Adam::State st = adam.export_state();
+  EXPECT_EQ(st.step_count, 5);
+  ASSERT_EQ(st.entries.size(), 3u);  // dense.w, dense.w#2, embed.w — not 4
+  EXPECT_EQ(st.entries[0].key, "dense.w");
+  EXPECT_EQ(st.entries[1].key, "dense.w#2");
+  EXPECT_EQ(st.entries[2].key, "embed.w");
+
+  // A second optimizer in a fresh process: parameters rebuilt at the same
+  // values the live ones hold right now, moments imported by key.
+  std::vector<ParamPtr> restored = make_params();
+  for (std::size_t p = 0; p < live.size(); ++p) {
+    restored[p]->value = live[p]->value;
+  }
+  Adam adam2(0.01f);
+  adam2.import_state(st);
+
+  for (int step = 5; step < 10; ++step) {
+    fill_grads(live, step);
+    adam.step(live);
+    fill_grads(restored, step);
+    adam2.step(restored);
+  }
+  for (std::size_t p = 0; p < live.size(); ++p) {
+    SCOPED_TRACE("param " + std::to_string(p));
+    const float* a = live[p]->value.data();
+    const float* b = restored[p]->value.data();
+    for (std::size_t i = 0; i < live[p]->size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(Adam, ImportedStateSerializesBackCanonically) {
+  std::vector<ParamPtr> params = {
+      std::make_shared<Parameter>("b", tensor::Tensor({2}, 1.0f)),
+      std::make_shared<Parameter>("a", tensor::Tensor({2}, 2.0f)),
+  };
+  Adam adam;
+  fill_grads(params, 0);
+  adam.step(params);
+  const Adam::State st = adam.export_state();
+  // Canonical form: sorted by key regardless of first-seen order.
+  ASSERT_EQ(st.entries.size(), 2u);
+  EXPECT_EQ(st.entries[0].key, "a");
+  EXPECT_EQ(st.entries[1].key, "b");
+
+  Adam other;
+  other.import_state(st);
+  const Adam::State again = other.export_state();
+  EXPECT_EQ(again.step_count, st.step_count);
+  ASSERT_EQ(again.entries.size(), st.entries.size());
+  for (std::size_t i = 0; i < st.entries.size(); ++i) {
+    EXPECT_EQ(again.entries[i].key, st.entries[i].key);
+    EXPECT_EQ(again.entries[i].m, st.entries[i].m);
+    EXPECT_EQ(again.entries[i].v, st.entries[i].v);
+  }
+}
+
 TEST(SliceGather, RowExtraction) {
   const Tensor t = Tensor::of2d({{1, 2}, {3, 4}, {5, 6}});
   const Tensor s = slice_rows(t, 1, 3);

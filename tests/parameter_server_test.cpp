@@ -112,5 +112,53 @@ TEST(ParameterServer, DeactivatedAgentMustNotSubmit) {
   EXPECT_THROW((void)ps.submit(0, std::vector<float>{1.0f}), std::logic_error);
 }
 
+TEST(ParameterServer, SyncStateRoundTripMidBarrier) {
+  // Save with one delta parked at the barrier: the restored server must
+  // complete the round exactly as the original would.
+  ParameterServer ps({0.0f, 0.0f}, ParameterServer::Mode::kSync, 3);
+  (void)ps.pull(0);
+  (void)ps.pull(1);
+  EXPECT_FALSE(ps.submit(0, std::vector<float>{3.0f, 6.0f}, 1.0));
+
+  ParameterServer restored({9.0f, 9.0f}, ParameterServer::Mode::kSync, 3);
+  restored.import_state(ps.export_state());
+  EXPECT_EQ(restored.params(), ps.params());
+
+  for (ParameterServer* p : {&ps, &restored}) {
+    EXPECT_FALSE(p->submit(1, std::vector<float>{6.0f, 3.0f}, 2.0));
+    EXPECT_TRUE(p->submit(2, std::vector<float>{0.0f, 0.0f}, 3.0));
+  }
+  EXPECT_EQ(restored.params(), ps.params());
+  EXPECT_EQ(restored.updates_applied(), ps.updates_applied());
+  EXPECT_FLOAT_EQ(restored.params()[0], 3.0f);  // mean of the three deltas
+}
+
+TEST(ParameterServer, AsyncStateRoundTripKeepsWindowAndStaleness) {
+  ParameterServer ps({0.0f}, ParameterServer::Mode::kAsync, 2, /*async_window=*/2);
+  (void)ps.pull(0);
+  (void)ps.submit(0, std::vector<float>{2.0f}, 1.0);
+  (void)ps.pull(1);
+
+  ParameterServer restored({5.0f}, ParameterServer::Mode::kAsync, 2, /*async_window=*/2);
+  restored.import_state(ps.export_state());
+  EXPECT_EQ(restored.params(), ps.params());
+  // The next submission is averaged with the recent-delta window carried in
+  // the state; both servers must land on the same parameters.
+  (void)ps.submit(1, std::vector<float>{4.0f}, 2.0);
+  (void)restored.submit(1, std::vector<float>{4.0f}, 2.0);
+  EXPECT_EQ(restored.params(), ps.params());
+  EXPECT_EQ(restored.updates_applied(), ps.updates_applied());
+}
+
+TEST(ParameterServer, ImportRejectsMismatchedShape) {
+  ParameterServer ps({0.0f, 0.0f}, ParameterServer::Mode::kSync, 3);
+  const ParameterServer::State st = ps.export_state();
+
+  ParameterServer wrong_dim({0.0f}, ParameterServer::Mode::kSync, 3);
+  EXPECT_THROW(wrong_dim.import_state(st), std::invalid_argument);
+  ParameterServer wrong_agents({0.0f, 0.0f}, ParameterServer::Mode::kSync, 2);
+  EXPECT_THROW(wrong_agents.import_state(st), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace ncnas::nas

@@ -8,6 +8,7 @@
 #include "ncnas/rl/controller.hpp"
 #include "ncnas/space/builder.hpp"
 #include "ncnas/space/spaces.hpp"
+#include "ncnas/tensor/kernel_config.hpp"
 #include "ncnas/tensor/ops.hpp"
 
 namespace {
@@ -27,6 +28,26 @@ void BM_Gemm(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n * n * n);
 }
 BENCHMARK(BM_Gemm)->Arg(32)->Arg(96)->Arg(256);
+
+// Blocked-kernel sweep: sizes x thread counts. Thread arg 0 means "hardware
+// concurrency" (resolved by KernelConfig::parallel). The serial reference at
+// the same size is BM_Gemm above; bench_kernels produces the full GF/s +
+// speedup table and BENCH_kernels.json.
+void BM_GemmBlocked(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t threads = static_cast<std::size_t>(state.range(1));
+  tensor::KernelConfigGuard guard(tensor::KernelConfig::parallel(threads));
+  tensor::Rng rng(1);
+  tensor::Tensor a({n, n}), b({n, n}), c({n, n});
+  for (float& v : a.flat()) v = static_cast<float>(rng.normal());
+  for (float& v : b.flat()) v = static_cast<float>(rng.normal());
+  for (auto _ : state) {
+    tensor::gemm(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n * n * n);
+}
+BENCHMARK(BM_GemmBlocked)->ArgsProduct({{64, 128, 256, 512}, {1, 2, 0}});
 
 void BM_Conv1dForward(benchmark::State& state) {
   tensor::Rng rng(2);

@@ -11,6 +11,12 @@
 // architectures return their stored reward instantly (no worker task), which
 // is the mechanism behind A3C's late-search utilization decay and the
 // all-agents-converged stopping rule.
+//
+// Kernel policy: the training hot path (Trainer/Lstm/layers) runs on the
+// process-wide tensor::KernelConfig. Installing a blocked/parallel config
+// before search() speeds up reward estimation without changing any reward
+// bit — the kernels are bit-identical across thread counts by design, which
+// is why KernelConfig stays out of config_fingerprint().
 #pragma once
 
 #include <functional>

@@ -100,6 +100,10 @@ struct SearchConfig {
   /// snapshot must be resumable under a config that differs only in where
   /// (or whether) it keeps checkpointing.
   const ckpt::CheckpointConfig* checkpoint = nullptr;
+  // Note: the tensor kernel policy is process-wide (tensor::KernelConfig),
+  // not a SearchConfig field — blocked/parallel kernels are bit-identical to
+  // the serial reference at every thread count, so it belongs with the
+  // result-neutral toggles above and stays out of config_fingerprint().
 };
 
 /// One completed reward estimation, stamped with its virtual completion time.

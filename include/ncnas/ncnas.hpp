@@ -47,6 +47,7 @@
 #include "ncnas/space/builder.hpp"
 #include "ncnas/space/search_space.hpp"
 #include "ncnas/space/spaces.hpp"
+#include "ncnas/tensor/kernel_config.hpp"
 #include "ncnas/tensor/ops.hpp"
 #include "ncnas/tensor/rng.hpp"
 #include "ncnas/tensor/tensor.hpp"

@@ -1,17 +1,37 @@
 // Dense linear-algebra kernels used by the nn layers.
 //
-// All kernels are single-threaded by design: in this system parallelism lives
-// one level up (many independent architecture evaluations on a thread pool),
-// which mirrors the paper's deployment — one reward estimation per KNL node,
-// many nodes. Keeping the kernels serial keeps evaluations deterministic and
-// avoids nested oversubscription.
+// Two tiers, selected by the process-wide KernelConfig (kernel_config.hpp):
+//
+//  * Reference kernels (`*_ref`, the default): the original single-threaded
+//    triple loops. These are the oracles — simple enough to be obviously
+//    correct, and the bit-exact ground truth kernel_diff_test compares
+//    against.
+//  * Blocked kernels (opt-in): cache-blocked, B-panel-packed micro-kernels,
+//    parallelized over row blocks of the output on a dedicated internal
+//    ThreadPool. Deterministic by construction — each output element is
+//    written by exactly one task and accumulated in the same k-ascending
+//    order at every thread count — so results stay bit-identical across
+//    1..N threads and against the reference kernels.
+//
+// NaN semantics: kernels never skip zero operands, so 0 * NaN = NaN
+// propagates into the output like IEEE 754 says it should. (An earlier
+// `if (aik == 0.0f) continue;` fast path made FLOP counts data-dependent
+// and silently masked NaN/Inf in the other operand; kernel_diff_test pins
+// the propagating behaviour.)
+//
+// Reductions (sum/mean/dot/squared_norm) intentionally stay serial in every
+// mode: they are single accumulation chains, and splitting them across
+// threads would change the addition tree and break bit-identity.
 #pragma once
+
+#include <functional>
 
 #include "ncnas/tensor/tensor.hpp"
 
 namespace ncnas::tensor {
 
-/// C = A(m,k) * B(k,n). Shapes validated; C is overwritten.
+/// C = A(m,k) * B(k,n). Shapes validated; C is overwritten. Dispatches to
+/// the blocked kernel when the installed KernelConfig asks for it.
 void gemm(const Tensor& a, const Tensor& b, Tensor& c);
 
 /// C = A(m,k) * B(n,k)^T.
@@ -19,6 +39,13 @@ void gemm_nt(const Tensor& a, const Tensor& b, Tensor& c);
 
 /// C = A(k,m)^T * B(k,n).
 void gemm_tn(const Tensor& a, const Tensor& b, Tensor& c);
+
+/// Serial reference kernels — ignore KernelConfig entirely. The differential
+/// oracles for the blocked kernels, and the baseline bench_kernels measures
+/// speedup against.
+void gemm_ref(const Tensor& a, const Tensor& b, Tensor& c);
+void gemm_nt_ref(const Tensor& a, const Tensor& b, Tensor& c);
+void gemm_tn_ref(const Tensor& a, const Tensor& b, Tensor& c);
 
 /// Returns A * B freshly allocated.
 [[nodiscard]] Tensor matmul(const Tensor& a, const Tensor& b);
@@ -49,5 +76,19 @@ void accumulate_col_sums(const Tensor& g, Tensor& out);
 
 /// Squared L2 norm.
 [[nodiscard]] float squared_norm(const Tensor& t);
+
+/// Runs fn(begin, end) over disjoint fixed-grain chunks of [0, n). Chunk
+/// boundaries depend only on n — never on the thread count — and each index
+/// belongs to exactly one chunk, so any fn whose per-index work is
+/// independent produces identical bytes serially and on the pool. Runs on
+/// the kernel pool when the installed KernelConfig is pooled and n clears
+/// its min_parallel_elems threshold; serially otherwise.
+void parallel_elems(std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn);
+
+/// Row-sliced variant for 2-D work: fn(row_begin, row_end) over chunks whose
+/// grain is derived from `cols` (so a chunk is a constant amount of work
+/// regardless of matrix shape). Same determinism contract as parallel_elems.
+void parallel_rows(std::size_t rows, std::size_t cols,
+                   const std::function<void(std::size_t, std::size_t)>& fn);
 
 }  // namespace ncnas::tensor

@@ -67,25 +67,29 @@ LstmState LstmCell::step(const Tensor& x, const LstmState& prev) {
 
   LstmState next{Tensor({batch, hidden_dim_}), Tensor({batch, hidden_dim_})};
   const std::size_t H = hidden_dim_;
-  for (std::size_t r = 0; r < batch; ++r) {
-    const float* zr = z.data() + r * 4 * H;
-    for (std::size_t j = 0; j < H; ++j) {
-      const float iv = sigmoidf(zr[j]);
-      const float fv = sigmoidf(zr[H + j]);
-      const float gv = std::tanh(zr[2 * H + j]);
-      const float ov = sigmoidf(zr[3 * H + j]);
-      const float cv = fv * prev.c(r, j) + iv * gv;
-      const float tc = std::tanh(cv);
-      cache.i(r, j) = iv;
-      cache.f(r, j) = fv;
-      cache.g(r, j) = gv;
-      cache.o(r, j) = ov;
-      cache.c_new(r, j) = cv;
-      cache.tanh_c(r, j) = tc;
-      next.c(r, j) = cv;
-      next.h(r, j) = ov * tc;
+  // Row-parallel: every (r, j) cell is written by exactly one chunk and its
+  // value depends only on that cell's inputs, so bytes match the serial loop.
+  tensor::parallel_rows(batch, 4 * H, [&](std::size_t rb, std::size_t re) {
+    for (std::size_t r = rb; r < re; ++r) {
+      const float* zr = z.data() + r * 4 * H;
+      for (std::size_t j = 0; j < H; ++j) {
+        const float iv = sigmoidf(zr[j]);
+        const float fv = sigmoidf(zr[H + j]);
+        const float gv = std::tanh(zr[2 * H + j]);
+        const float ov = sigmoidf(zr[3 * H + j]);
+        const float cv = fv * prev.c(r, j) + iv * gv;
+        const float tc = std::tanh(cv);
+        cache.i(r, j) = iv;
+        cache.f(r, j) = fv;
+        cache.g(r, j) = gv;
+        cache.o(r, j) = ov;
+        cache.c_new(r, j) = cv;
+        cache.tanh_c(r, j) = tc;
+        next.c(r, j) = cv;
+        next.h(r, j) = ov * tc;
+      }
     }
-  }
+  });
   cache_.push_back(std::move(cache));
   return next;
 }
@@ -96,18 +100,20 @@ LstmState LstmCell::step_nograd(const Tensor& x, const LstmState& prev) const {
   gates(x, prev, z);
   LstmState next{Tensor({batch, hidden_dim_}), Tensor({batch, hidden_dim_})};
   const std::size_t H = hidden_dim_;
-  for (std::size_t r = 0; r < batch; ++r) {
-    const float* zr = z.data() + r * 4 * H;
-    for (std::size_t j = 0; j < H; ++j) {
-      const float iv = sigmoidf(zr[j]);
-      const float fv = sigmoidf(zr[H + j]);
-      const float gv = std::tanh(zr[2 * H + j]);
-      const float ov = sigmoidf(zr[3 * H + j]);
-      const float cv = fv * prev.c(r, j) + iv * gv;
-      next.c(r, j) = cv;
-      next.h(r, j) = ov * std::tanh(cv);
+  tensor::parallel_rows(batch, 4 * H, [&](std::size_t rb, std::size_t re) {
+    for (std::size_t r = rb; r < re; ++r) {
+      const float* zr = z.data() + r * 4 * H;
+      for (std::size_t j = 0; j < H; ++j) {
+        const float iv = sigmoidf(zr[j]);
+        const float fv = sigmoidf(zr[H + j]);
+        const float gv = std::tanh(zr[2 * H + j]);
+        const float ov = sigmoidf(zr[3 * H + j]);
+        const float cv = fv * prev.c(r, j) + iv * gv;
+        next.c(r, j) = cv;
+        next.h(r, j) = ov * std::tanh(cv);
+      }
     }
-  }
+  });
   return next;
 }
 
@@ -121,27 +127,29 @@ Tensor LstmCell::backward_step(const Tensor& grad_h, const Tensor& grad_c,
   const std::size_t H = hidden_dim_;
   Tensor dz({batch, 4 * H});
   grad_c_prev = Tensor({batch, H});
-  for (std::size_t r = 0; r < batch; ++r) {
-    float* dzr = dz.data() + r * 4 * H;
-    for (std::size_t j = 0; j < H; ++j) {
-      const float dh = grad_h(r, j);
-      const float o = cache.o(r, j);
-      const float tc = cache.tanh_c(r, j);
-      const float dc = grad_c(r, j) + dh * o * (1.0f - tc * tc);
-      const float i = cache.i(r, j);
-      const float f = cache.f(r, j);
-      const float g = cache.g(r, j);
-      const float do_ = dh * tc;
-      const float di = dc * g;
-      const float df = dc * cache.c_prev(r, j);
-      const float dg = dc * i;
-      dzr[j] = di * i * (1.0f - i);
-      dzr[H + j] = df * f * (1.0f - f);
-      dzr[2 * H + j] = dg * (1.0f - g * g);
-      dzr[3 * H + j] = do_ * o * (1.0f - o);
-      grad_c_prev(r, j) = dc * f;
+  tensor::parallel_rows(batch, 4 * H, [&](std::size_t rb, std::size_t re) {
+    for (std::size_t r = rb; r < re; ++r) {
+      float* dzr = dz.data() + r * 4 * H;
+      for (std::size_t j = 0; j < H; ++j) {
+        const float dh = grad_h(r, j);
+        const float o = cache.o(r, j);
+        const float tc = cache.tanh_c(r, j);
+        const float dc = grad_c(r, j) + dh * o * (1.0f - tc * tc);
+        const float i = cache.i(r, j);
+        const float f = cache.f(r, j);
+        const float g = cache.g(r, j);
+        const float do_ = dh * tc;
+        const float di = dc * g;
+        const float df = dc * cache.c_prev(r, j);
+        const float dg = dc * i;
+        dzr[j] = di * i * (1.0f - i);
+        dzr[H + j] = df * f * (1.0f - f);
+        dzr[2 * H + j] = dg * (1.0f - g * g);
+        dzr[3 * H + j] = do_ * o * (1.0f - o);
+        grad_c_prev(r, j) = dc * f;
+      }
     }
-  }
+  });
 
   // Parameter grads.
   Tensor dwx({input_dim_, 4 * H});

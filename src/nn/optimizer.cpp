@@ -4,13 +4,17 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "ncnas/tensor/ops.hpp"
+
 namespace ncnas::nn {
 
 void Sgd::step(const std::vector<ParamPtr>& params) {
   for (const ParamPtr& p : params) {
     float* v = p->value.data();
     const float* g = p->grad.data();
-    for (std::size_t i = 0; i < p->size(); ++i) v[i] -= lr_ * g[i];
+    tensor::parallel_elems(p->size(), [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) v[i] -= lr_ * g[i];
+    });
   }
 }
 
@@ -40,13 +44,17 @@ void Adam::step(const std::vector<ParamPtr>& params) {
     const float* g = p->grad.data();
     float* m = mom.m.data();
     float* v = mom.v.data();
-    for (std::size_t i = 0; i < p->size(); ++i) {
-      m[i] = beta1_ * m[i] + (1.0f - beta1_) * g[i];
-      v[i] = beta2_ * v[i] + (1.0f - beta2_) * g[i] * g[i];
-      const float mhat = m[i] / b1t;
-      const float vhat = v[i] / b2t;
-      val[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
-    }
+    // Per-element update with no cross-element dependency: deterministic to
+    // chunk (parallel_elems boundaries are thread-count-independent).
+    tensor::parallel_elems(p->size(), [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) {
+        m[i] = beta1_ * m[i] + (1.0f - beta1_) * g[i];
+        v[i] = beta2_ * v[i] + (1.0f - beta2_) * g[i] * g[i];
+        const float mhat = m[i] / b1t;
+        const float vhat = v[i] / b2t;
+        val[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+      }
+    });
   }
 }
 

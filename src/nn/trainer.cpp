@@ -4,6 +4,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "ncnas/tensor/ops.hpp"
+
 namespace ncnas::nn {
 
 using tensor::Tensor;
@@ -24,9 +26,14 @@ Tensor gather_rows(const Tensor& t, std::span<const std::size_t> rows) {
   Tensor out({rows.size(), cols});
   for (std::size_t i = 0; i < rows.size(); ++i) {
     if (rows[i] >= t.dim(0)) throw std::invalid_argument("gather_rows: row out of range");
-    std::copy(t.data() + rows[i] * cols, t.data() + (rows[i] + 1) * cols,
-              out.data() + i * cols);
   }
+  // Validated above; the copies are pure disjoint writes, safe to chunk.
+  tensor::parallel_rows(rows.size(), cols, [&](std::size_t rb, std::size_t re) {
+    for (std::size_t i = rb; i < re; ++i) {
+      std::copy(t.data() + rows[i] * cols, t.data() + (rows[i] + 1) * cols,
+                out.data() + i * cols);
+    }
+  });
   return out;
 }
 

@@ -1,13 +1,57 @@
 // Finite-difference gradient checking helpers shared by the nn tests.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <functional>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
 
 #include "ncnas/nn/layer.hpp"
+#include "ncnas/tensor/kernel_config.hpp"
 #include "ncnas/tensor/ops.hpp"
 
 namespace ncnas::testing {
+
+/// Parameterized fixture that re-runs a suite under each kernel mode: param 0
+/// keeps the serial reference kernels, param >= 1 installs blocked kernels at
+/// that thread count. Dispatch thresholds are zeroed and blocks shrunk so
+/// even the tiny problems gradchecks use genuinely exercise the blocked
+/// paths (including edge panels) instead of falling back to the reference.
+class KernelModeTest : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  void SetUp() override {
+    tensor::KernelConfig cfg;
+    cfg.threads = GetParam();
+    cfg.block_rows = 8;
+    cfg.block_cols = 32;
+    cfg.min_blocked_flops = 0;
+    cfg.min_parallel_elems = 0;
+    guard_.emplace(cfg);
+  }
+  void TearDown() override { guard_.reset(); }
+
+ private:
+  std::optional<tensor::KernelConfigGuard> guard_;
+};
+
+/// The thread counts every kernel-mode suite runs under: reference, blocked
+/// serial, and blocked on the hardware's worth of pool threads.
+inline std::vector<std::size_t> kernel_mode_params() {
+  return {0, 1, std::max<std::size_t>(2, std::thread::hardware_concurrency())};
+}
+
+/// Stable, unique test-name suffix per mode (the hardware entry can never
+/// collide with "ref"/"blocked_serial" because it is clamped to >= 2).
+inline std::string kernel_mode_name(const ::testing::TestParamInfo<std::size_t>& info) {
+  if (info.param == 0) return "ref";
+  if (info.param == 1) return "blocked_serial";
+  return "blocked_t" + std::to_string(info.param);
+}
 
 /// Scalar probe loss: L = sum_i w_i * y_i with fixed pseudo-random weights,
 /// which exercises every output element with distinct sensitivities.

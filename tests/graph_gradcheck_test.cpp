@@ -17,6 +17,10 @@ using tensor::Tensor;
 using testing::numeric_derivative;
 using testing::rel_err;
 
+// Parameterized over kernel modes: the end-to-end backward pass is verified
+// under the reference, blocked-serial, and blocked-parallel kernels alike.
+using GraphGradCheck = ncnas::testing::KernelModeTest;
+
 /// Branchy model: two inputs, a shared dense encoder on both, a conv path on
 /// input 1, concat + add combiners, tanh head.
 struct Model {
@@ -55,7 +59,7 @@ struct Model {
   }
 };
 
-TEST(GraphGradCheck, EndToEndParametersMatchFiniteDifferences) {
+TEST_P(GraphGradCheck, EndToEndParametersMatchFiniteDifferences) {
   Model m(3);
   (void)m.loss();  // materialize lazy layers
   m.g.zero_grad();
@@ -76,7 +80,7 @@ TEST(GraphGradCheck, EndToEndParametersMatchFiniteDifferences) {
   EXPECT_GT(checked, 20u);  // the sweep actually covered the model
 }
 
-TEST(GraphGradCheck, SharedEncoderGetsBothBranchGradients) {
+TEST_P(GraphGradCheck, SharedEncoderGetsBothBranchGradients) {
   Model m(5);
   (void)m.loss();
   m.g.zero_grad();
@@ -95,6 +99,10 @@ TEST(GraphGradCheck, SharedEncoderGetsBothBranchGradients) {
   m.xb = xb_saved;
   EXPECT_GT(tensor::max_abs_diff(grad_full, shared->grad), 1e-6f);
 }
+
+INSTANTIATE_TEST_SUITE_P(KernelModes, GraphGradCheck,
+                         ::testing::ValuesIn(ncnas::testing::kernel_mode_params()),
+                         ncnas::testing::kernel_mode_name);
 
 }  // namespace
 }  // namespace ncnas::nn

@@ -14,13 +14,17 @@ using testing::probe_grad;
 using testing::probe_loss;
 using testing::rel_err;
 
+// Parameterized over kernel modes so the controller's LSTM math is checked
+// under the production (blocked/parallel) kernels, not just the oracles.
+using Lstm = ncnas::testing::KernelModeTest;
+
 Tensor random_tensor(tensor::Shape shape, Rng& rng) {
   Tensor t(std::move(shape));
   for (float& v : t.flat()) v = 0.5f * static_cast<float>(rng.normal());
   return t;
 }
 
-TEST(Lstm, ShapesAndInitialState) {
+TEST_P(Lstm, ShapesAndInitialState) {
   Rng rng(1);
   LstmCell cell(3, 5, rng);
   EXPECT_EQ(cell.input_dim(), 3u);
@@ -30,7 +34,7 @@ TEST(Lstm, ShapesAndInitialState) {
   for (float v : s0.h.flat()) EXPECT_EQ(v, 0.0f);
 }
 
-TEST(Lstm, StepAndNogradAgree) {
+TEST_P(Lstm, StepAndNogradAgree) {
   Rng rng(2);
   LstmCell cell(3, 4, rng);
   const Tensor x = random_tensor({2, 3}, rng);
@@ -44,7 +48,7 @@ TEST(Lstm, StepAndNogradAgree) {
   EXPECT_EQ(cell.cached_steps(), 0u);
 }
 
-TEST(Lstm, HiddenStateBounded) {
+TEST_P(Lstm, HiddenStateBounded) {
   // h = o * tanh(c) is bounded by (-1, 1).
   Rng rng(3);
   LstmCell cell(2, 6, rng);
@@ -59,7 +63,7 @@ TEST(Lstm, HiddenStateBounded) {
   }
 }
 
-TEST(Lstm, BpttGradcheckThreeSteps) {
+TEST_P(Lstm, BpttGradcheckThreeSteps) {
   Rng rng(4);
   LstmCell cell(2, 3, rng);
   std::vector<Tensor> xs;
@@ -103,20 +107,24 @@ TEST(Lstm, BpttGradcheckThreeSteps) {
   }
 }
 
-TEST(Lstm, BackwardWithoutCacheThrows) {
+TEST_P(Lstm, BackwardWithoutCacheThrows) {
   Rng rng(5);
   LstmCell cell(2, 3, rng);
   Tensor dh({1, 3}), dc({1, 3}), dh_prev, dc_prev;
   EXPECT_THROW((void)cell.backward_step(dh, dc, dh_prev, dc_prev), std::logic_error);
 }
 
-TEST(Lstm, ForgetGateBiasInitializedToOne) {
+TEST_P(Lstm, ForgetGateBiasInitializedToOne) {
   Rng rng(6);
   LstmCell cell(2, 4, rng);
   const ParamPtr b = cell.parameters()[2];
   for (std::size_t j = 4; j < 8; ++j) EXPECT_FLOAT_EQ(b->value[j], 1.0f);
   EXPECT_FLOAT_EQ(b->value[0], 0.0f);
 }
+
+INSTANTIATE_TEST_SUITE_P(KernelModes, Lstm,
+                         ::testing::ValuesIn(ncnas::testing::kernel_mode_params()),
+                         ncnas::testing::kernel_mode_name);
 
 }  // namespace
 }  // namespace ncnas::nn

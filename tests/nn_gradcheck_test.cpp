@@ -15,6 +15,11 @@ using testing::probe_grad;
 using testing::probe_loss;
 using testing::rel_err;
 
+// Every check runs once per kernel mode (reference / blocked serial /
+// blocked parallel), so gradients are verified under the kernels production
+// actually uses — not just the serial oracles.
+using GradCheck = ncnas::testing::KernelModeTest;
+
 Tensor random_tensor(tensor::Shape shape, Rng& rng, float scale = 1.0f) {
   Tensor t(std::move(shape));
   for (float& v : t.flat()) v = scale * static_cast<float>(rng.normal());
@@ -50,25 +55,25 @@ void check_layer(Layer& layer, Tensor x, float tol = 2e-2f) {
   }
 }
 
-TEST(GradCheck, DenseLinear) {
+TEST_P(GradCheck, DenseLinear) {
   Rng rng(1);
   Dense layer(5, Act::kLinear, rng);
   check_layer(layer, random_tensor({3, 4}, rng));
 }
 
-TEST(GradCheck, DenseTanh) {
+TEST_P(GradCheck, DenseTanh) {
   Rng rng(2);
   Dense layer(6, Act::kTanh, rng);
   check_layer(layer, random_tensor({2, 3}, rng));
 }
 
-TEST(GradCheck, DenseSigmoid) {
+TEST_P(GradCheck, DenseSigmoid) {
   Rng rng(3);
   Dense layer(4, Act::kSigmoid, rng);
   check_layer(layer, random_tensor({2, 5}, rng));
 }
 
-TEST(GradCheck, DenseRelu) {
+TEST_P(GradCheck, DenseRelu) {
   Rng rng(4);
   Dense layer(8, Act::kRelu, rng);
   // Offset inputs away from the relu kink so finite differences are clean.
@@ -77,7 +82,7 @@ TEST(GradCheck, DenseRelu) {
   check_layer(layer, std::move(x));
 }
 
-TEST(GradCheck, DenseSoftmax) {
+TEST_P(GradCheck, DenseSoftmax) {
   Rng rng(5);
   Dense layer(5, Act::kSoftmax, rng);
   // Softmax couples every output; float32 central differences carry a bit
@@ -85,25 +90,25 @@ TEST(GradCheck, DenseSoftmax) {
   check_layer(layer, random_tensor({2, 3}, rng), /*tol=*/4e-2f);
 }
 
-TEST(GradCheck, StandaloneActivationTanh) {
+TEST_P(GradCheck, StandaloneActivationTanh) {
   Rng rng(6);
   Activation layer(Act::kTanh);
   check_layer(layer, random_tensor({4, 6}, rng));
 }
 
-TEST(GradCheck, Conv1D) {
+TEST_P(GradCheck, Conv1D) {
   Rng rng(7);
   Conv1D layer(3, 4, rng);
   check_layer(layer, random_tensor({2, 9, 2}, rng));
 }
 
-TEST(GradCheck, MaxPool1D) {
+TEST_P(GradCheck, MaxPool1D) {
   Rng rng(8);
   MaxPool1D layer(3);
   check_layer(layer, random_tensor({2, 10, 2}, rng));
 }
 
-TEST(GradCheck, FlattenAndReshape) {
+TEST_P(GradCheck, FlattenAndReshape) {
   Rng rng(9);
   Flatten flat;
   check_layer(flat, random_tensor({2, 4, 3}, rng));
@@ -111,7 +116,7 @@ TEST(GradCheck, FlattenAndReshape) {
   check_layer(lift, random_tensor({3, 5}, rng));
 }
 
-TEST(GradCheck, MultiInputConcat) {
+TEST_P(GradCheck, MultiInputConcat) {
   Rng rng(10);
   Concat layer;
   Tensor a = random_tensor({2, 3}, rng);
@@ -133,7 +138,7 @@ TEST(GradCheck, MultiInputConcat) {
   }
 }
 
-TEST(GradCheck, MultiInputAddWithPadding) {
+TEST_P(GradCheck, MultiInputAddWithPadding) {
   Rng rng(11);
   Add layer;
   Tensor a = random_tensor({2, 5}, rng);
@@ -156,7 +161,7 @@ TEST(GradCheck, MultiInputAddWithPadding) {
   }
 }
 
-TEST(GradCheck, SharedDenseAccumulatesBothBranches) {
+TEST_P(GradCheck, SharedDenseAccumulatesBothBranches) {
   // A mirrored Dense must receive gradient contributions from both uses.
   Rng rng(12);
   Dense donor(4, Act::kLinear, rng);
@@ -183,6 +188,10 @@ TEST(GradCheck, SharedDenseAccumulatesBothBranches) {
     EXPECT_LT(rel_err(w->grad[i], num), 2e-2f) << "shared w slot " << i;
   }
 }
+
+INSTANTIATE_TEST_SUITE_P(KernelModes, GradCheck,
+                         ::testing::ValuesIn(ncnas::testing::kernel_mode_params()),
+                         ncnas::testing::kernel_mode_name);
 
 }  // namespace
 }  // namespace ncnas::nn

@@ -1,6 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <thread>
+
+#include "ncnas/nas/driver.hpp"
+#include "ncnas/nas/result_io.hpp"
+#include "ncnas/space/spaces.hpp"
+#include "ncnas/tensor/kernel_config.hpp"
 #include "ncnas/tensor/ops.hpp"
+#include "ncnas/tensor/rng.hpp"
 #include "ncnas/tensor/tensor.hpp"
 #include "ncnas/tensor/thread_pool.hpp"
 
@@ -139,6 +146,102 @@ TEST(Ops, Reductions) {
   EXPECT_FLOAT_EQ(mean(t), 2.5f);
   EXPECT_FLOAT_EQ(dot(t, t), 30.0f);
   EXPECT_FLOAT_EQ(squared_norm(t), 30.0f);
+}
+
+// --- kernel determinism invariants -----------------------------------------
+
+KernelConfig pooled_config() {
+  KernelConfig cfg =
+      KernelConfig::parallel(std::max<std::size_t>(2, std::thread::hardware_concurrency()));
+  cfg.min_blocked_flops = 0;
+  cfg.min_parallel_elems = 0;
+  cfg.block_rows = 16;
+  cfg.block_cols = 64;
+  return cfg;
+}
+
+TEST(KernelDeterminism, RandomShapesByteIdenticalSerialVsParallel) {
+  // Property test: same seed + same shapes => byte-identical buffers whether
+  // the kernels run serially (reference) or blocked on the pool.
+  Rng rng(20260806);
+  for (int iter = 0; iter < 40; ++iter) {
+    const std::size_t m = 1 + rng.uniform_int(48);
+    const std::size_t k = 1 + rng.uniform_int(48);
+    const std::size_t n = 1 + rng.uniform_int(48);
+    Tensor a({m, k}), bn({k, n}), bt({n, k}), at({k, m});
+    for (float& v : a.flat()) v = static_cast<float>(rng.normal());
+    for (float& v : bn.flat()) v = static_cast<float>(rng.normal());
+    for (float& v : bt.flat()) v = static_cast<float>(rng.normal());
+    for (float& v : at.flat()) v = static_cast<float>(rng.normal());
+
+    Tensor c_serial({m, n}), cnt_serial({m, n}), ctn_serial({m, n});
+    gemm(a, bn, c_serial);  // default config: serial reference
+    gemm_nt(a, bt, cnt_serial);
+    gemm_tn(at, bn, ctn_serial);
+
+    KernelConfigGuard guard(pooled_config());
+    Tensor c_par({m, n}), cnt_par({m, n}), ctn_par({m, n});
+    gemm(a, bn, c_par);
+    gemm_nt(a, bt, cnt_par);
+    gemm_tn(at, bn, ctn_par);
+    ASSERT_TRUE(c_serial == c_par) << "gemm " << m << "x" << k << "x" << n;
+    ASSERT_TRUE(cnt_serial == cnt_par) << "gemm_nt " << m << "x" << k << "x" << n;
+    ASSERT_TRUE(ctn_serial == ctn_par) << "gemm_tn " << m << "x" << k << "x" << n;
+  }
+}
+
+TEST(KernelDeterminism, SearchResultBitIdenticalUnderParallelKernels) {
+  // The end-to-end guarantee: a full driver strategy pass (controller LSTM,
+  // PPO updates, reward-estimation training) produces a bit-identical
+  // SearchResult whether the tensor kernels run serially or parallel.
+  data::Nt3Dims dims;
+  dims.train = 64;
+  dims.valid = 32;
+  dims.length = 64;
+  dims.motif = 6;
+  const data::Dataset ds = data::make_nt3(5, dims);
+  const space::SearchSpace s = space::nt3_small_space();
+  nas::SearchConfig cfg;
+  cfg.strategy = nas::SearchStrategy::kA3C;
+  cfg.cluster = {.num_agents = 3, .workers_per_agent = 4};
+  cfg.wall_time_seconds = 600.0;
+  cfg.fidelity = {.epochs = 1, .subset_fraction = 1.0};
+  cfg.cost = {.startup_seconds = 20.0, .seconds_per_megaunit = 1.0, .timeout_seconds = 600.0};
+  cfg.seed = 11;
+
+  const nas::SearchResult serial = nas::SearchDriver(s, ds, cfg).run();
+  nas::SearchResult parallel;
+  {
+    KernelConfigGuard guard(pooled_config());
+    parallel = nas::SearchDriver(s, ds, cfg).run();
+  }
+
+  ASSERT_EQ(serial.evals.size(), parallel.evals.size());
+  for (std::size_t i = 0; i < serial.evals.size(); ++i) {
+    EXPECT_EQ(serial.evals[i].reward, parallel.evals[i].reward) << "eval " << i;
+    EXPECT_EQ(serial.evals[i].arch, parallel.evals[i].arch) << "eval " << i;
+    EXPECT_DOUBLE_EQ(serial.evals[i].time, parallel.evals[i].time) << "eval " << i;
+  }
+  EXPECT_EQ(serial.cache_hits, parallel.cache_hits);
+  EXPECT_EQ(serial.unique_archs, parallel.unique_archs);
+  EXPECT_EQ(serial.ppo_updates, parallel.ppo_updates);
+  EXPECT_EQ(serial.converged_early, parallel.converged_early);
+  EXPECT_DOUBLE_EQ(serial.end_time, parallel.end_time);
+}
+
+TEST(KernelDeterminism, KernelConfigIsFingerprintNeutral) {
+  // Kernel policy must not invalidate saved search logs: fingerprints are
+  // computed from the SearchConfig alone, whatever kernels are installed.
+  nas::SearchConfig cfg;
+  cfg.seed = 42;
+  const std::string before = nas::config_fingerprint(cfg, "nt3_small");
+  std::string during;
+  {
+    KernelConfigGuard guard(pooled_config());
+    during = nas::config_fingerprint(cfg, "nt3_small");
+  }
+  EXPECT_EQ(before, during);
+  EXPECT_EQ(before, nas::config_fingerprint(cfg, "nt3_small"));
 }
 
 TEST(ThreadPool, RunsAllIndices) {

@@ -49,10 +49,20 @@ struct Op {
 struct Record {
   std::string op;
   std::size_t size = 0;
-  std::size_t threads = 0;  // 0 = serial reference row
+  std::size_t threads = 0;   // 0 = serial reference row (informational)
+  std::string config;        // stable label: "ref", "t1", "t2", "tmax"
   double gflops = 0.0;
   double speedup = 1.0;  // vs the reference row of the same (op, size)
 };
+
+/// Rank for the deterministic record order. Records are keyed (op, size,
+/// config) with the "tmax" row standing in for whatever hardware_concurrency
+/// is, so two machines' BENCH files diff record-for-record (see perf_diff).
+int config_rank(const std::string& config) {
+  if (config == "ref") return 0;
+  if (config == "tmax") return 1000;
+  return std::stoi(config.substr(1));
+}
 
 double now_seconds() {
   return std::chrono::duration<double>(
@@ -134,7 +144,7 @@ int main(int argc, char** argv) {
       const double ref_dt =
           time_best_seconds(iters, [&] { op.ref(a, b, want); });
       const double ref_gflops = flops / ref_dt / 1e9;
-      records.push_back({op.name, n, 0, ref_gflops, 1.0});
+      records.push_back({op.name, n, 0, "ref", ref_gflops, 1.0});
       std::cout << std::left << std::setw(9) << op.name << std::setw(6) << n
                 << std::setw(9) << "ref" << std::setw(10) << std::fixed
                 << std::setprecision(2) << ref_gflops << "1.00\n";
@@ -154,7 +164,8 @@ int main(int argc, char** argv) {
         const double dt = time_best_seconds(iters, [&] { op.kernel(a, b, got); });
         const double gflops = flops / dt / 1e9;
         const double speedup = ref_dt / dt;
-        records.push_back({op.name, n, t, gflops, speedup});
+        const std::string config = t == hw ? "tmax" : "t" + std::to_string(t);
+        records.push_back({op.name, n, t, config, gflops, speedup});
         std::cout << std::left << std::setw(9) << op.name << std::setw(6) << n
                   << std::setw(9) << t << std::setw(10) << std::fixed
                   << std::setprecision(2) << gflops << std::setprecision(2)
@@ -166,14 +177,23 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Deterministic, hardware_threads-independent record order: two machines
+  // with different core counts produce files whose records line up.
+  std::stable_sort(records.begin(), records.end(), [](const Record& a, const Record& b) {
+    if (a.op != b.op) return a.op < b.op;
+    if (a.size != b.size) return a.size < b.size;
+    return config_rank(a.config) < config_rank(b.config);
+  });
+
   std::ostringstream json;
-  json << "{\n  \"hardware_threads\": " << hw << ",\n  \"records\": [\n";
+  json << "{\n  \"schema_version\": 1,\n  \"hardware_threads\": " << hw
+       << ",\n  \"records\": [\n";
   for (std::size_t i = 0; i < records.size(); ++i) {
     const Record& r = records[i];
     json << "    {\"op\": \"" << r.op << "\", \"size\": " << r.size
-         << ", \"threads\": " << r.threads << ", \"gflops\": " << std::fixed
-         << std::setprecision(3) << r.gflops << ", \"speedup_vs_ref\": "
-         << std::setprecision(3) << r.speedup << "}";
+         << ", \"config\": \"" << r.config << "\", \"threads\": " << r.threads
+         << ", \"gflops\": " << std::fixed << std::setprecision(3) << r.gflops
+         << ", \"speedup_vs_ref\": " << std::setprecision(3) << r.speedup << "}";
     json << (i + 1 < records.size() ? ",\n" : "\n");
   }
   json << "  ]\n}\n";

@@ -1,8 +1,10 @@
 // Telemetry overhead proof: the same small search scenario bench_micro uses,
 // run (a) with SearchConfig::telemetry null — which must cost nothing beyond
 // the seed driver — (b) with a live Telemetry sink, which must stay within a
-// few percent, and (c) with the journal and watchdog enabled on top. Compare
-// the BM_SearchRun counters directly:
+// few percent, (c) with the journal and watchdog enabled on top, and (d) with
+// the hierarchical profiler recording every kernel, graph-op, and driver
+// scope — the acceptance bound for (d) is <5% over (a). Compare the
+// BM_SearchRun counters directly:
 //
 //   ./build/bench/bench_telemetry_overhead --benchmark_repetitions=3
 #include <benchmark/benchmark.h>
@@ -96,6 +98,30 @@ void BM_SearchRun_WithJournalAndWatchdog(benchmark::State& state) {
 }
 BENCHMARK(BM_SearchRun_WithJournalAndWatchdog)->Unit(benchmark::kMillisecond);
 
+void BM_SearchRun_WithProfiler(benchmark::State& state) {
+  // Every NCNAS_PROF_SCOPE in the stack live: per-kernel, per-graph-op,
+  // trainer phases, driver phases. Must stay within 5% of NullTelemetry.
+  const space::SearchSpace sp = space::nt3_small_space();
+  const data::Dataset& ds = small_dataset();
+  std::size_t evals = 0;
+  std::size_t scopes = 0;
+  for (auto _ : state) {
+    obs::Telemetry telemetry;
+    telemetry.enable_profiler();
+    nas::SearchConfig cfg = small_search_config();
+    cfg.telemetry = &telemetry;
+    nas::SearchResult res = nas::SearchDriver(sp, ds, cfg).run();
+    evals += res.evals.size();
+    scopes += res.telemetry->profile.flat().size();
+    benchmark::DoNotOptimize(res.end_time);
+  }
+  state.counters["evals"] =
+      benchmark::Counter(static_cast<double>(evals), benchmark::Counter::kAvgIterations);
+  state.counters["profile_scopes"] =
+      benchmark::Counter(static_cast<double>(scopes), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_SearchRun_WithProfiler)->Unit(benchmark::kMillisecond);
+
 // The instrument primitives themselves, for the per-event cost picture.
 void BM_CounterInc(benchmark::State& state) {
   obs::MetricsRegistry reg;
@@ -129,6 +155,26 @@ void BM_JournalAppend(benchmark::State& state) {
   benchmark::DoNotOptimize(journal.size());
 }
 BENCHMARK(BM_JournalAppend);
+
+void BM_ProfileScope(benchmark::State& state) {
+  obs::Profiler profiler;
+  const obs::ProfilerInstallGuard guard(&profiler);
+  for (auto _ : state) {
+    obs::ProfileScope scope("bench");
+    benchmark::DoNotOptimize(&scope);
+  }
+  benchmark::DoNotOptimize(profiler.snapshot().flat().size());
+}
+BENCHMARK(BM_ProfileScope);
+
+void BM_ProfileScopeDisabled(benchmark::State& state) {
+  // No profiler installed: the scope must compile down to two atomic loads.
+  for (auto _ : state) {
+    obs::ProfileScope scope("bench");
+    benchmark::DoNotOptimize(&scope);
+  }
+}
+BENCHMARK(BM_ProfileScopeDisabled);
 
 void BM_TraceSpanRecord(benchmark::State& state) {
   obs::TraceRecorder rec(1 << 16);

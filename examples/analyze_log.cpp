@@ -15,6 +15,14 @@
 // process after it) and they are stitched with obs::merge_resumed_journal at
 // each run_resumed watermark before the replay, so the cross-check covers
 // the whole lineage as if the run had never been interrupted.
+//
+// With --profile (requires --journal) the tool also loads a profile JSON
+// (written by Telemetry::export_profile_json) and cross-checks the profiler's
+// eval/train + eval/validate wall time against the journal's per-eval
+// train_wall_ms sum — the two instruments bracket the same code region, so a
+// large gap means the artifacts are from different runs (exit 1, unless the
+// run had retry-exhausted evals, which train without ever being journaled as
+// dispatched).
 #include <cmath>
 #include <fstream>
 #include <iostream>
@@ -24,12 +32,14 @@
 #include "ncnas/analytics/series.hpp"
 #include "ncnas/nas/result_io.hpp"
 #include "ncnas/obs/journal.hpp"
+#include "ncnas/obs/profiler.hpp"
 #include "ncnas/space/spaces.hpp"
 
 int main(int argc, char** argv) {
   using namespace ncnas;
   std::vector<std::string> positional;
   std::vector<std::string> journal_paths;
+  std::string profile_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--journal") {
@@ -38,14 +48,26 @@ int main(int argc, char** argv) {
         return 2;
       }
       journal_paths.push_back(argv[++i]);
+    } else if (arg == "--profile") {
+      if (i + 1 >= argc) {
+        std::cerr << "--profile needs a file argument\n";
+        return 2;
+      }
+      profile_path = argv[++i];
     } else {
       positional.push_back(arg);
     }
   }
   if (positional.size() < 2) {
-    std::cerr << "usage: analyze_log <log-file> <space-name> [--journal <file>]...\n  spaces:";
+    std::cerr << "usage: analyze_log <log-file> <space-name> [--journal <file>]..."
+                 " [--profile <file>]\n  spaces:";
     for (const auto& n : space::space_names()) std::cerr << ' ' << n;
     std::cerr << '\n';
+    return 2;
+  }
+  if (!profile_path.empty() && journal_paths.empty()) {
+    std::cerr << "--profile requires --journal (the cross-check needs the journal's"
+                 " train_wall_ms stream)\n";
     return 2;
   }
   const std::string path = positional[0];
@@ -169,6 +191,56 @@ int main(int argc, char** argv) {
     } else {
       std::cerr << "journal/log divergence: the artifacts are not from the same run\n";
       return 1;
+    }
+
+    if (!profile_path.empty()) {
+      std::ifstream pin(profile_path);
+      if (!pin) {
+        std::cerr << "cannot open profile " << profile_path << "\n";
+        return 1;
+      }
+      obs::ImportedProfile prof;
+      try {
+        prof = obs::import_profile_json(pin);
+      } catch (const std::exception& e) {
+        std::cerr << e.what() << "\n";
+        return 1;
+      }
+      double profile_ms = 0.0;
+      bool saw_eval_scopes = false;
+      for (const obs::FlatProfileEntry& e : prof.flat) {
+        if (e.name == "eval/train" || e.name == "eval/validate") {
+          profile_ms += e.total_ms;
+          saw_eval_scopes = true;
+        }
+      }
+      double journal_ms = 0.0;
+      for (const obs::JournalEvent& e : events) {
+        if (e.type == obs::JournalEventType::kEvalDispatched) {
+          journal_ms += e.field("train_wall_ms");
+        }
+      }
+      const double rel = journal_ms > 0.0
+                             ? std::abs(profile_ms - journal_ms) / journal_ms
+                             : (profile_ms > 0.0 ? 1.0 : 0.0);
+      std::cout << "\nprofile cross-check (" << profile_path << "):\n"
+                << "  profiler eval train+validate " << analytics::fmt(profile_ms, 1)
+                << " ms vs journal train wall " << analytics::fmt(journal_ms, 1) << " ms ("
+                << analytics::fmt(100.0 * rel, 1) << "% apart)\n";
+      if (!saw_eval_scopes) {
+        std::cout << "  no eval/train or eval/validate scopes in the profile — was the"
+                     " run profiled?\n";
+      }
+      // Retry-exhausted evals train but are never journaled as dispatched, so
+      // a faulty run's instruments legitimately diverge: report, don't fail.
+      if (rel > 0.25 && sum.exhausted == 0) {
+        std::cerr << "profile/journal divergence: eval wall time disagrees beyond 25%\n";
+        return 1;
+      }
+      if (rel > 0.25) {
+        std::cout << "  (informational: " << sum.exhausted
+                  << " retry-exhausted evals trained without a dispatch event)\n";
+      }
     }
   }
   return 0;

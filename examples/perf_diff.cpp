@@ -1,0 +1,212 @@
+// perf_diff — baseline-compare tool for the two perf artifacts the repo
+// produces:
+//
+//   bench JSON    BENCH_kernels.json written by bench/bench_kernels
+//                 (records keyed op/size/config, metric = GFLOP/s, higher
+//                 is better)
+//   profile JSON  written by Telemetry::export_profile_json or
+//                 examples/telemetry_dump (records keyed by scope name,
+//                 metric = self ms, lower is better)
+//
+//   ./examples/perf_diff <baseline.json> <current.json> \
+//       [--threshold 0.15] [--fail-on-regress]
+//
+// The file kind is auto-detected (both inputs must be the same kind) and
+// every record present on both sides is compared; relative deltas beyond the
+// threshold are flagged. The default mode is informational — it always exits
+// 0 so CI can surface regressions without failing the build; --fail-on-regress
+// turns flagged regressions into exit code 1. Profile self-times are only
+// comparable between runs of the same workload on the same machine; bench
+// GFLOP/s records are keyed machine-independently (see bench_kernels).
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ncnas/obs/profiler.hpp"
+
+namespace {
+
+enum class Kind { kUnknown, kBench, kProfile };
+
+struct Record {
+  double value = 0.0;
+  bool higher_is_better = true;
+};
+
+bool find_number(const std::string& line, const std::string& key, double& out) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  std::size_t pos = at + needle.size();
+  while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) ++pos;
+  try {
+    out = std::stod(line.substr(pos));
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
+}
+
+bool find_string(const std::string& line, const std::string& key, std::string& out) {
+  const std::string needle = "\"" + key + "\":";
+  std::size_t pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  pos += needle.size();
+  while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) ++pos;
+  if (pos >= line.size() || line[pos] != '"') return false;
+  ++pos;
+  out.clear();
+  while (pos < line.size() && line[pos] != '"') {
+    if (line[pos] == '\\' && pos + 1 < line.size()) ++pos;
+    out.push_back(line[pos]);
+    ++pos;
+  }
+  return pos < line.size();
+}
+
+Kind detect_kind(const std::string& content) {
+  if (content.find("\"op\":") != std::string::npos) return Kind::kBench;
+  if (content.find("\"self_ms\":") != std::string::npos) return Kind::kProfile;
+  return Kind::kUnknown;
+}
+
+std::map<std::string, Record> load_bench(const std::string& content) {
+  std::map<std::string, Record> out;
+  std::istringstream is(content);
+  std::string line;
+  while (std::getline(is, line)) {
+    std::string op;
+    if (!find_string(line, "op", op)) continue;
+    double size = 0.0, gflops = 0.0;
+    if (!find_number(line, "size", size) || !find_number(line, "gflops", gflops)) continue;
+    std::string config;
+    if (!find_string(line, "config", config)) {
+      // Pre-schema records carried only a raw thread count.
+      double threads = 0.0;
+      find_number(line, "threads", threads);
+      config = "t" + std::to_string(static_cast<long long>(threads));
+    }
+    const std::string key =
+        op + "/" + std::to_string(static_cast<long long>(size)) + "/" + config;
+    out[key] = {gflops, /*higher_is_better=*/true};
+  }
+  return out;
+}
+
+std::map<std::string, Record> load_profile(const std::string& content) {
+  std::istringstream is(content);
+  const ncnas::obs::ImportedProfile prof = ncnas::obs::import_profile_json(is);
+  std::map<std::string, Record> out;
+  for (const ncnas::obs::FlatProfileEntry& e : prof.flat) {
+    out[e.name] = {e.self_ms, /*higher_is_better=*/false};
+  }
+  return out;
+}
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(3) << v;
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  double threshold = 0.15;
+  bool fail_on_regress = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threshold") {
+      if (i + 1 >= argc) {
+        std::cerr << "--threshold needs a value\n";
+        return 2;
+      }
+      threshold = std::stod(argv[++i]);
+    } else if (arg == "--fail-on-regress") {
+      fail_on_regress = true;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.size() != 2) {
+    std::cerr << "usage: perf_diff <baseline.json> <current.json> [--threshold 0.15]"
+                 " [--fail-on-regress]\n";
+    return 2;
+  }
+
+  std::string contents[2];
+  for (int i = 0; i < 2; ++i) {
+    std::ifstream in(paths[i]);
+    if (!in) {
+      std::cerr << "cannot open " << paths[i] << "\n";
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    contents[i] = buf.str();
+  }
+  const Kind kind = detect_kind(contents[0]);
+  if (kind == Kind::kUnknown || detect_kind(contents[1]) != kind) {
+    std::cerr << "inputs must both be bench JSON or both be profile JSON\n";
+    return 2;
+  }
+
+  std::map<std::string, Record> base, cur;
+  try {
+    base = kind == Kind::kBench ? load_bench(contents[0]) : load_profile(contents[0]);
+    cur = kind == Kind::kBench ? load_bench(contents[1]) : load_profile(contents[1]);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+
+  const char* metric = kind == Kind::kBench ? "GFLOP/s" : "self_ms";
+  std::cout << "perf_diff (" << (kind == Kind::kBench ? "bench" : "profile") << ", metric "
+            << metric << ", threshold " << fmt(100.0 * threshold) << "%)\n";
+  std::cout << "  baseline: " << paths[0] << " (" << base.size() << " records)\n";
+  std::cout << "  current:  " << paths[1] << " (" << cur.size() << " records)\n\n";
+
+  std::size_t regressions = 0, improvements = 0, compared = 0, added = 0, removed = 0;
+  std::cout << std::left << std::setw(34) << "record" << std::right << std::setw(12)
+            << "baseline" << std::setw(12) << "current" << std::setw(10) << "delta"
+            << "  verdict\n";
+  for (const auto& [key, b] : base) {
+    const auto it = cur.find(key);
+    if (it == cur.end()) {
+      ++removed;
+      continue;
+    }
+    ++compared;
+    const Record& c = it->second;
+    const double delta = b.value != 0.0 ? (c.value - b.value) / std::abs(b.value) : 0.0;
+    const bool worse = b.higher_is_better ? delta < -threshold : delta > threshold;
+    const bool better = b.higher_is_better ? delta > threshold : delta < -threshold;
+    regressions += worse;
+    improvements += better;
+    const char* verdict = worse ? "REGRESSED" : (better ? "improved" : "ok");
+    std::cout << std::left << std::setw(34) << key << std::right << std::setw(12)
+              << fmt(b.value) << std::setw(12) << fmt(c.value) << std::setw(9)
+              << fmt(100.0 * delta) << "%  " << verdict << "\n";
+  }
+  for (const auto& [key, c] : cur) added += base.find(key) == base.end();
+
+  std::cout << "\n"
+            << compared << " compared: " << regressions << " regressed beyond threshold, "
+            << improvements << " improved, " << compared - regressions - improvements
+            << " within threshold";
+  if (added + removed > 0) {
+    std::cout << " (" << added << " only in current, " << removed << " only in baseline)";
+  }
+  std::cout << "\n";
+  if (regressions > 0 && !fail_on_regress) {
+    std::cout << "informational mode: regressions reported but exit code stays 0\n";
+  }
+  return (fail_on_regress && regressions > 0) ? 1 : 0;
+}

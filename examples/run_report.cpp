@@ -5,13 +5,21 @@
 // HealthWatchdog's straggler/stall verdicts — the offline counterpart of
 // eyeballing a Balsam job database after a Theta allocation.
 //
-//   ./examples/run_report <journal.jsonl>... [--md]
+//   ./examples/run_report <journal.jsonl>... [--md] [--profile <file>]
 //
 // A checkpointed run that was interrupted and resumed leaves one journal per
 // process; pass them in process order and they are stitched with
 // obs::merge_resumed_journal at each run_resumed watermark, so the report
 // covers the whole lineage and marks the resume boundaries.
+//
+// With --profile (a profile JSON written by Telemetry::export_profile_json or
+// examples/telemetry_dump) the report gains a Profile section: the flat
+// profile's hottest scopes, a roofline view of the kernel scopes (GFLOP/s and
+// arithmetic intensity from the per-kernel FLOP/byte counters), allocation
+// accounting, and a reconciliation of the profiler's eval wall time against
+// the journal's per-eval train_wall_ms sum.
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <iostream>
 #include <limits>
@@ -21,6 +29,7 @@
 #include "ncnas/analytics/series.hpp"
 #include "ncnas/nas/driver.hpp"
 #include "ncnas/obs/journal.hpp"
+#include "ncnas/obs/profiler.hpp"
 #include "ncnas/obs/watchdog.hpp"
 
 namespace {
@@ -46,16 +55,23 @@ int main(int argc, char** argv) {
   using namespace ncnas;
   bool markdown = false;
   std::vector<std::string> paths;
+  std::string profile_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--md") {
       markdown = true;
+    } else if (arg == "--profile") {
+      if (i + 1 >= argc) {
+        std::cerr << "--profile needs a file argument\n";
+        return 2;
+      }
+      profile_path = argv[++i];
     } else {
       paths.push_back(arg);
     }
   }
   if (paths.empty()) {
-    std::cerr << "usage: run_report <journal.jsonl>... [--md]\n";
+    std::cerr << "usage: run_report <journal.jsonl>... [--md] [--profile <file>]\n";
     return 2;
   }
   const std::string path = paths.front();
@@ -197,6 +213,77 @@ int main(int argc, char** argv) {
       os << "  stall: agent " << v.agent << " silent " << analytics::fmt(v.silent_s, 1)
          << " s at " << analytics::fmt(v.t / 60.0, 1) << " min (window "
          << analytics::fmt(v.window_s, 1) << " s)\n";
+    }
+  }
+
+  if (!profile_path.empty()) {
+    std::ifstream pin(profile_path);
+    if (!pin) {
+      std::cerr << "cannot open profile " << profile_path << "\n";
+      return 1;
+    }
+    obs::ImportedProfile prof;
+    try {
+      prof = obs::import_profile_json(pin);
+    } catch (const std::exception& e) {
+      std::cerr << e.what() << "\n";
+      return 1;
+    }
+
+    os << "\n" << h2 << "Profile\n";
+    os << prof.flat.size() << " scopes over " << prof.threads_merged
+       << " thread(s); hottest by self time:\n";
+    analytics::Table hot({"scope", "calls", "total ms", "self ms"});
+    std::size_t shown = 0;
+    for (const obs::FlatProfileEntry& e : prof.flat) {
+      if (shown++ >= 10) break;
+      hot.add_row({e.name, std::to_string(e.calls), analytics::fmt(e.total_ms, 1),
+                   analytics::fmt(e.self_ms, 1)});
+    }
+    hot.print(os);
+
+    // Kernel scopes carry FLOP/byte counters, so they place themselves on a
+    // roofline: achieved GFLOP/s against arithmetic intensity.
+    analytics::Table roofline({"kernel", "GFLOP", "GFLOP/s", "flop/B"});
+    std::size_t kernel_rows = 0;
+    for (const obs::FlatProfileEntry& e : prof.flat) {
+      if (e.flops == 0) continue;
+      ++kernel_rows;
+      roofline.add_row({e.name, analytics::fmt(static_cast<double>(e.flops) / 1e9, 2),
+                        analytics::fmt(e.gflops(), 2),
+                        analytics::fmt(e.arithmetic_intensity(), 2)});
+    }
+    if (kernel_rows > 0) {
+      os << "\nroofline (kernel scopes with FLOP counters):\n";
+      roofline.print(os);
+    }
+
+    std::uint64_t alloc_count = 0, alloc_bytes = 0;
+    for (const obs::FlatProfileEntry& e : prof.flat) {
+      alloc_count += e.alloc_count;
+      alloc_bytes += e.alloc_bytes;
+    }
+    os << "\nallocations: " << alloc_count << " tensor buffer(s), "
+       << analytics::fmt(static_cast<double>(alloc_bytes) / (1024.0 * 1024.0), 1)
+       << " MiB total\n";
+
+    // The eval/train + eval/validate scopes bracket the same region the
+    // journal's train_wall_ms stopwatch measures.
+    double profile_ms = 0.0;
+    for (const obs::FlatProfileEntry& e : prof.flat) {
+      if (e.name == "eval/train" || e.name == "eval/validate") profile_ms += e.total_ms;
+    }
+    double journal_ms = 0.0;
+    for (const obs::JournalEvent& e : events) {
+      if (e.type == obs::JournalEventType::kEvalDispatched) {
+        journal_ms += e.field("train_wall_ms");
+      }
+    }
+    if (journal_ms > 0.0) {
+      const double rel = std::abs(profile_ms - journal_ms) / journal_ms;
+      os << "eval wall time: profiler " << analytics::fmt(profile_ms, 1) << " ms vs journal "
+         << analytics::fmt(journal_ms, 1) << " ms (" << analytics::fmt(100.0 * rel, 1)
+         << "% apart)\n";
     }
   }
   return 0;

@@ -7,10 +7,14 @@
 //   telemetry_trace.jsonl    one event per line for log pipelines
 //   telemetry_journal.jsonl  the structured run journal (replay it with
 //                            examples/run_report)
+//   telemetry_profile.json   flat profile + roofline inputs (diff two runs
+//                            with examples/perf_diff)
 //
 // plus the analytics report's telemetry section on stdout, with a
-// reconciliation of the instrumented counters against SearchResult and of
-// the journal's event counts against the counters.
+// reconciliation of the instrumented counters against SearchResult, of
+// the journal's event counts against the counters, and of the profiler's
+// eval wall time against the journal's per-eval train_wall_ms.
+#include <cmath>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -33,6 +37,7 @@ int main() {
   obs::Telemetry telemetry;
   telemetry.enable_journal();
   telemetry.enable_watchdog();
+  telemetry.enable_profiler();
   nas::SearchConfig cfg;
   cfg.strategy = nas::SearchStrategy::kA2C;  // barrier waits show in the trace
   cfg.cluster = {.num_agents = 4, .workers_per_agent = 4};
@@ -96,6 +101,32 @@ int main() {
             << " stalls, expected eval " << health.expected_eval_seconds << "s over "
             << health.evals_seen << " completed evals\n";
 
+  std::cout << "\n== profile ==\n";
+  snap.profile.export_text(std::cout);
+
+  // The eval/train + eval/validate scopes cover the same code region the
+  // train_wall_ms stopwatch measures, so the profile and the journal must
+  // agree on total eval wall time up to scope overhead.
+  std::cout << "\n== reconciliation (profile vs journal eval wall time) ==\n";
+  double profile_ms = 0.0;
+  for (const obs::FlatProfileEntry& e : snap.profile.flat()) {
+    if (e.name == "eval/train" || e.name == "eval/validate") profile_ms += e.total_ms;
+  }
+  double journal_ms = 0.0;
+  for (const obs::JournalEvent& e : snap.journal) {
+    if (e.type == obs::JournalEventType::kEvalDispatched) {
+      journal_ms += e.field("train_wall_ms");
+    }
+  }
+  const double rel = journal_ms > 0.0
+                         ? std::abs(profile_ms - journal_ms) / journal_ms
+                         : (profile_ms > 0.0 ? 1.0 : 0.0);
+  const bool wall_ok = rel <= 0.10;
+  std::cout << (wall_ok ? "  ok   " : "  FAIL ") << "profile train+validate " << profile_ms
+            << " ms vs journal train wall " << journal_ms << " ms ("
+            << static_cast<int>(100.0 * rel) << "% apart)\n";
+  ok &= wall_ok;
+
   {
     std::ofstream prom("telemetry_metrics.prom");
     telemetry.dump_prometheus(prom);
@@ -105,10 +136,13 @@ int main() {
     telemetry.export_trace_jsonl(jsonl);
     std::ofstream journal("telemetry_journal.jsonl");
     telemetry.export_journal_jsonl(journal);
+    std::ofstream profile("telemetry_profile.json");
+    telemetry.export_profile_json(profile);
   }
   std::cout << "\nwrote telemetry_metrics.prom, telemetry_trace.json ("
             << telemetry.trace().recorded() << " events, " << telemetry.trace().dropped()
             << " dropped), telemetry_trace.jsonl, telemetry_journal.jsonl ("
-            << snap.journal.size() << " events)\n";
+            << snap.journal.size() << " events), telemetry_profile.json ("
+            << snap.profile.flat().size() << " scopes)\n";
   return ok ? 0 : 1;
 }

@@ -13,6 +13,7 @@
 
 #include "ncnas/obs/journal.hpp"
 #include "ncnas/obs/metrics.hpp"
+#include "ncnas/obs/profiler.hpp"
 #include "ncnas/obs/stopwatch.hpp"
 #include "ncnas/obs/trace.hpp"
 #include "ncnas/obs/watchdog.hpp"
@@ -25,6 +26,7 @@ struct TelemetrySnapshot {
   MetricsSnapshot metrics;
   std::vector<TraceEvent> trace;
   std::vector<JournalEvent> journal;  ///< empty when the journal is disabled
+  ProfileSnapshot profile;            ///< empty when the profiler is disabled
 };
 
 class Telemetry {
@@ -63,9 +65,21 @@ class Telemetry {
   [[nodiscard]] HealthWatchdog* watchdog() noexcept { return watchdog_.get(); }
   [[nodiscard]] const HealthWatchdog* watchdog() const noexcept { return watchdog_.get(); }
 
+  /// Opt into the hierarchical scoped profiler. Idempotent. The profiler
+  /// only records while a driver (or the caller, via ProfilerInstallGuard)
+  /// has installed it as the process-wide sink.
+  Profiler& enable_profiler() {
+    if (!profiler_) profiler_ = std::make_unique<Profiler>();
+    return *profiler_;
+  }
+  /// Null until enable_profiler(); the driver treats null as "off".
+  [[nodiscard]] Profiler* profiler() noexcept { return profiler_.get(); }
+  [[nodiscard]] const Profiler* profiler() const noexcept { return profiler_.get(); }
+
   [[nodiscard]] TelemetrySnapshot snapshot() const {
     return {metrics_.snapshot(), trace_.snapshot(),
-            journal_ ? journal_->snapshot() : std::vector<JournalEvent>{}};
+            journal_ ? journal_->snapshot() : std::vector<JournalEvent>{},
+            profiler_ ? profiler_->snapshot() : ProfileSnapshot{}};
   }
 
   void dump_prometheus(std::ostream& os) const { metrics_.dump_prometheus(os); }
@@ -79,12 +93,21 @@ class Telemetry {
   void export_journal_jsonl(std::ostream& os) const {
     if (journal_) journal_->export_jsonl(os);
   }
+  /// Writes the flat-profile JSON document; a disabled profiler writes nothing.
+  void export_profile_json(std::ostream& os) const {
+    if (profiler_) profiler_->snapshot().export_json(os);
+  }
+  /// Writes the human-readable call tree + flat table; disabled -> nothing.
+  void export_profile_text(std::ostream& os) const {
+    if (profiler_) profiler_->snapshot().export_text(os);
+  }
 
  private:
   MetricsRegistry metrics_;
   TraceRecorder trace_;
   std::unique_ptr<Journal> journal_;
   std::unique_ptr<HealthWatchdog> watchdog_;
+  std::unique_ptr<Profiler> profiler_;
 };
 
 }  // namespace ncnas::obs

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "ncnas/nn/trainer.hpp"
+#include "ncnas/obs/profiler.hpp"
 
 namespace ncnas::exec {
 
@@ -46,12 +47,14 @@ nn::Graph TrainingEvaluator::build(const space::ArchEncoding& arch, std::uint64_
 
 EvalResult TrainingEvaluator::evaluate(const space::ArchEncoding& arch,
                                        std::uint64_t seed) const {
+  NCNAS_PROF_SCOPE("eval");
   const std::string key = space::arch_key(arch);
   nn::Graph model = build(arch, seed);
 
   // Materialize lazily-initialized weights with a single-row forward so the
   // trainable-parameter count (which drives the cost model) is exact.
   {
+    NCNAS_PROF_SCOPE("eval/build");
     std::vector<tensor::Tensor> probe;
     probe.reserve(dataset_->input_count());
     for (const tensor::Tensor& x : dataset_->x_train) probe.push_back(nn::slice_rows(x, 0, 1));
@@ -85,21 +88,29 @@ EvalResult TrainingEvaluator::evaluate(const space::ArchEncoding& arch,
   opts.learning_rate = fidelity_.learning_rate;
   opts.loss = dataset_->loss;
   opts.subset_fraction = fidelity_.subset_fraction;
-  (void)nn::fit(model, dataset_->x_train, dataset_->y_train, opts, train_rng);
+  {
+    // Same region as the train_wall_ms stopwatch's training half, so
+    // analyze_log can reconcile profile totals against journal wall time.
+    NCNAS_PROF_SCOPE("eval/train");
+    (void)nn::fit(model, dataset_->x_train, dataset_->y_train, opts, train_rng);
+  }
 
   const auto valid_rows = static_cast<std::size_t>(std::max(
       1.0, fidelity_.valid_fraction * static_cast<double>(dataset_->valid_rows())));
   float metric;
-  if (valid_rows >= dataset_->valid_rows()) {
-    metric = nn::evaluate(model, dataset_->x_valid, dataset_->y_valid, dataset_->metric);
-  } else {
-    std::vector<tensor::Tensor> xv;
-    xv.reserve(dataset_->input_count());
-    for (const tensor::Tensor& x : dataset_->x_valid) {
-      xv.push_back(nn::slice_rows(x, 0, valid_rows));
+  {
+    NCNAS_PROF_SCOPE("eval/validate");
+    if (valid_rows >= dataset_->valid_rows()) {
+      metric = nn::evaluate(model, dataset_->x_valid, dataset_->y_valid, dataset_->metric);
+    } else {
+      std::vector<tensor::Tensor> xv;
+      xv.reserve(dataset_->input_count());
+      for (const tensor::Tensor& x : dataset_->x_valid) {
+        xv.push_back(nn::slice_rows(x, 0, valid_rows));
+      }
+      metric = nn::evaluate(model, xv, nn::slice_rows(dataset_->y_valid, 0, valid_rows),
+                            dataset_->metric);
     }
-    metric = nn::evaluate(model, xv, nn::slice_rows(dataset_->y_valid, 0, valid_rows),
-                          dataset_->metric);
   }
   if (reward_fn_) {
     const RewardInputs inputs{metric, result.params, result.sim_duration};

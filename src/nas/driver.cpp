@@ -11,6 +11,7 @@
 
 #include "ncnas/ckpt/snapshot.hpp"
 #include "ncnas/exec/utilization.hpp"
+#include "ncnas/obs/profiler.hpp"
 #include "ncnas/nas/result_io.hpp"
 
 namespace ncnas::nas {
@@ -384,14 +385,19 @@ void SearchRun::bootstrap() {
 
 SearchResult SearchRun::run() {
   // ---- event loop over batch completions ----
-  while (!queue_.empty()) {
-    const Completion done = queue_.top();
-    queue_.pop();
-    if (process_completion(done)) break;
-    // The gap between two completions is the one point where no batch is
-    // half-harvested and no lambda is mid-flight: the members above are the
-    // complete search state, which is what makes this the snapshot point.
-    maybe_checkpoint(done.time);
+  // The scope closes with this block, before the telemetry snapshot below —
+  // a still-open scope would show up with zero calls in the profile.
+  {
+    NCNAS_PROF_SCOPE("driver/run");
+    while (!queue_.empty()) {
+      const Completion done = queue_.top();
+      queue_.pop();
+      if (process_completion(done)) break;
+      // The gap between two completions is the one point where no batch is
+      // half-harvested and no lambda is mid-flight: the members above are the
+      // complete search state, which is what makes this the snapshot point.
+      maybe_checkpoint(done.time);
+    }
   }
 
   if (result_.end_time == 0.0) {
@@ -580,6 +586,7 @@ bool SearchRun::dispatch_faulty(AgentState& agent, std::vector<double>& worker_f
 
 // ---- one agent cycle: sample M, evaluate, occupy workers, schedule ----
 void SearchRun::start_cycle(AgentState& agent, double t) {
+  NCNAS_PROF_SCOPE("driver/cycle");
   if (agent.dead) {  // lost every worker; nothing left to run a batch on
     agent.stopped = true;
     return;
@@ -757,6 +764,7 @@ void SearchRun::a2c_release_stuck(double now) {
 }
 
 bool SearchRun::process_completion(const Completion& done) {
+  NCNAS_PROF_SCOPE("driver/harvest");
   AgentState& agent = agents_[done.agent];
   const double t = done.time;
   last_completion_ = std::max(last_completion_, t);
@@ -980,6 +988,7 @@ void SearchRun::init_checkpointing(double from_t) {
 
 void SearchRun::maybe_checkpoint(double t) {
   if (!writer_ || t < next_due_) return;
+  NCNAS_PROF_SCOPE("driver/checkpoint");
   // Count and journal the snapshot *before* serializing, so the snapshot
   // carries its own ordinal and its own journal event: the watermark then
   // covers everything up to and including this checkpoint, and a resumed
@@ -1349,6 +1358,14 @@ SearchDriver::SearchDriver(const space::SearchSpace& space, const data::Dataset&
       pool_(pool) {}
 
 SearchResult SearchDriver::run() {
+  // Install the telemetry's profiler (if enabled) as the process-wide sink
+  // for the whole search — bootstrap() already dispatches the first round of
+  // evaluations, so the guard must cover it, not just the event loop. The
+  // layers below SearchConfig (tensor kernels, nn, exec) record through the
+  // installed sink; a null profiler makes the guard a no-op and leaves every
+  // scope macro at one atomic load.
+  obs::ProfilerInstallGuard prof_guard(
+      config_.telemetry != nullptr ? config_.telemetry->profiler() : nullptr);
   SearchRun search(*space_, *dataset_, config_, pool_);
   search.bootstrap();
   return search.run();
@@ -1373,6 +1390,8 @@ SearchResult resume_search(const std::string& snapshot_path, const space::Search
   SearchRun search(space, dataset, std::move(config), pool);
   ckpt::ByteReader reader(snap.payload);
   search.restore(snap.header, reader);
+  obs::ProfilerInstallGuard prof_guard(
+      config.telemetry != nullptr ? config.telemetry->profiler() : nullptr);
   return search.run();
 }
 

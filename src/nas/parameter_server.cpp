@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "ncnas/obs/profiler.hpp"
+
 namespace ncnas::nas {
 
 ParameterServer::ParameterServer(std::vector<float> initial, Mode mode, std::size_t num_agents,
@@ -47,6 +49,7 @@ void ParameterServer::set_telemetry(obs::Telemetry* telemetry) {
 }
 
 const std::vector<float>& ParameterServer::pull(std::size_t agent) {
+  NCNAS_PROF_SCOPE("ps/pull");
   if (agent >= num_agents_) throw std::invalid_argument("ParameterServer: bad agent id");
   pulled_version_[agent] = updates_applied_;
   return params_;
@@ -62,6 +65,7 @@ void ParameterServer::apply(std::span<const float> delta, float scale) {
 }
 
 bool ParameterServer::submit(std::size_t agent, std::span<const float> delta, double now) {
+  NCNAS_PROF_SCOPE("ps/submit");
   if (agent >= num_agents_) throw std::invalid_argument("ParameterServer: bad agent id");
   if (delta.size() != params_.size()) {
     throw std::invalid_argument("ParameterServer: delta dimension mismatch");

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "ncnas/nn/layers.hpp"
+#include "ncnas/obs/profiler.hpp"
 #include "ncnas/tensor/ops.hpp"
 
 namespace ncnas::nn {
@@ -61,8 +62,14 @@ Tensor Graph::forward(std::span<const Tensor> inputs, ForwardCtx& ctx) {
     throw std::invalid_argument("Graph::forward: expected " + std::to_string(input_ids_.size()) +
                                 " inputs, got " + std::to_string(inputs.size()));
   }
+  NCNAS_PROF_SCOPE("graph/forward");
+  // Per-op names are only materialized (kind() returns by value) when a
+  // profiler is installed; an empty name makes the scope a no-op.
+  const bool profiled = obs::profiling_enabled();
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     Node& node = nodes_[i];
+    const std::string op_name = profiled ? "op/" + node.layer->kind() : std::string();
+    obs::ProfileScope op_scope(op_name);
     std::vector<const Tensor*> in;
     if (auto* input_layer = dynamic_cast<Input*>(node.layer.get())) {
       // Feed the externally supplied tensor for this input's position.
@@ -84,6 +91,7 @@ Tensor Graph::forward(std::span<const Tensor> inputs, ForwardCtx& ctx) {
 }
 
 void Graph::backward(const Tensor& grad_output) {
+  NCNAS_PROF_SCOPE("graph/backward");
   // Reset per-node gradient accumulators; count live consumers reachable from
   // the output so dead branches are skipped.
   for (Node& node : nodes_) {
@@ -104,10 +112,13 @@ void Graph::backward(const Tensor& grad_output) {
     }
   }
 
+  const bool profiled = obs::profiling_enabled();
   nodes_[output_id_].grad = grad_output;
   for (std::size_t i = nodes_.size(); i-- > 0;) {
     Node& node = nodes_[i];
     if (!live[i] || node.grad.empty()) continue;
+    const std::string op_name = profiled ? "op/" + node.layer->kind() : std::string();
+    obs::ProfileScope op_scope(op_name);
     std::vector<Tensor> input_grads = node.layer->backward(node.grad);
     if (dynamic_cast<Input*>(node.layer.get()) != nullptr) continue;
     if (input_grads.size() != node.inputs.size()) {

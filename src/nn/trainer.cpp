@@ -4,6 +4,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "ncnas/obs/profiler.hpp"
 #include "ncnas/tensor/ops.hpp"
 
 namespace ncnas::nn {
@@ -68,6 +69,7 @@ TrainResult fit(Graph& model, std::span<const Tensor> inputs, const Tensor& targ
   ForwardCtx ctx{.training = true, .rng = &rng};
 
   for (std::size_t epoch = 0; epoch < opts.epochs; ++epoch) {
+    NCNAS_PROF_SCOPE("train/epoch");
     // Epoch shuffle (Fisher–Yates with our deterministic rng).
     for (std::size_t i = index.size(); i > 1; --i) {
       const std::size_t j = static_cast<std::size_t>(rng.uniform_int(i));
@@ -86,15 +88,33 @@ TrainResult fit(Graph& model, std::span<const Tensor> inputs, const Tensor& targ
       const std::size_t stop = std::min(start + opts.batch_size, index.size());
       const std::span<const std::size_t> batch_rows(index.data() + start, stop - start);
       std::vector<Tensor> bx;
-      bx.reserve(inputs.size());
-      for (const Tensor& x : inputs) bx.push_back(gather_rows(x, batch_rows));
-      const Tensor by = gather_rows(target, batch_rows);
+      Tensor by;
+      {
+        NCNAS_PROF_SCOPE("train/gather");
+        bx.reserve(inputs.size());
+        for (const Tensor& x : inputs) bx.push_back(gather_rows(x, batch_rows));
+        by = gather_rows(target, batch_rows);
+      }
 
       model.zero_grad();
-      const Tensor pred = model.forward(bx, ctx);
-      const LossValue lv = compute_loss(opts.loss, pred, by);
-      model.backward(lv.grad);
-      optimizer.step(model.parameters());
+      Tensor pred;
+      {
+        NCNAS_PROF_SCOPE("train/forward");
+        pred = model.forward(bx, ctx);
+      }
+      LossValue lv;
+      {
+        NCNAS_PROF_SCOPE("train/loss");
+        lv = compute_loss(opts.loss, pred, by);
+      }
+      {
+        NCNAS_PROF_SCOPE("train/backward");
+        model.backward(lv.grad);
+      }
+      {
+        NCNAS_PROF_SCOPE("train/optimizer");
+        optimizer.step(model.parameters());
+      }
 
       epoch_loss += lv.loss;
       ++epoch_batches;

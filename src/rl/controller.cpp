@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "ncnas/nn/init.hpp"
+#include "ncnas/obs/profiler.hpp"
 #include "ncnas/tensor/ops.hpp"
 
 namespace ncnas::rl {
@@ -81,6 +82,7 @@ float Controller::head_value(const Tensor& h, std::size_t row) const {
 }
 
 Rollout Controller::sample(tensor::Rng& rng) const {
+  NCNAS_PROF_SCOPE("rl/sample");
   Rollout roll;
   const std::size_t T = arities_.size();
   roll.actions.reserve(T);
@@ -159,6 +161,7 @@ void Controller::set_telemetry(obs::Telemetry* telemetry) {
 PpoStats Controller::ppo_update(std::span<const Rollout> rollouts,
                                 std::span<const float> rewards, const PpoConfig& cfg,
                                 double now, std::uint32_t agent_id) {
+  NCNAS_PROF_SCOPE("rl/ppo_update");
   const obs::ScopedTimer timer(ppo_wall_ms_);
   const std::size_t B = rollouts.size();
   const std::size_t T = arities_.size();

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "ncnas/obs/profiler.hpp"
 #include "ncnas/tensor/kernel_config.hpp"
 #include "ncnas/tensor/thread_pool.hpp"
 
@@ -347,10 +348,23 @@ bool use_blocked(const GemmDims& d, const KernelConfig& cfg) {
   return cfg.blocked() && d.m * d.k * d.n >= cfg.min_blocked_flops;
 }
 
+// 2*m*k*n multiply-adds; bytes = read A, read B, write C (float32).
+double gemm_flops(const GemmDims& d) {
+  return 2.0 * static_cast<double>(d.m) * static_cast<double>(d.k) * static_cast<double>(d.n);
+}
+
+double gemm_bytes(const GemmDims& d) {
+  return 4.0 * (static_cast<double>(d.m) * static_cast<double>(d.k) +
+                static_cast<double>(d.k) * static_cast<double>(d.n) +
+                static_cast<double>(d.m) * static_cast<double>(d.n));
+}
+
 }  // namespace
 
 void gemm(const Tensor& a, const Tensor& b, Tensor& c) {
   const GemmDims d = check_gemm(a, b, c);
+  obs::ProfileScope prof("gemm");
+  prof.add_work(gemm_flops(d), gemm_bytes(d));
   const KernelConfig cfg = kernel_config();
   if (use_blocked(d, cfg)) {
     gemm_blocked(a.data(), b.data(), c.data(), d, cfg);
@@ -361,6 +375,8 @@ void gemm(const Tensor& a, const Tensor& b, Tensor& c) {
 
 void gemm_nt(const Tensor& a, const Tensor& b, Tensor& c) {
   const GemmDims d = check_gemm_nt(a, b, c);
+  obs::ProfileScope prof("gemm_nt");
+  prof.add_work(gemm_flops(d), gemm_bytes(d));
   const KernelConfig cfg = kernel_config();
   if (use_blocked(d, cfg)) {
     gemm_nt_blocked(a.data(), b.data(), c.data(), d, cfg);
@@ -371,6 +387,8 @@ void gemm_nt(const Tensor& a, const Tensor& b, Tensor& c) {
 
 void gemm_tn(const Tensor& a, const Tensor& b, Tensor& c) {
   const GemmDims d = check_gemm_tn(a, b, c);
+  obs::ProfileScope prof("gemm_tn");
+  prof.add_work(gemm_flops(d), gemm_bytes(d));
   const KernelConfig cfg = kernel_config();
   if (use_blocked(d, cfg)) {
     gemm_tn_blocked(a.data(), b.data(), c.data(), d, cfg);
@@ -436,6 +454,8 @@ void axpy(float alpha, const Tensor& x, Tensor& y) {
     throw std::invalid_argument("axpy: shape mismatch " + to_string(x.shape()) + " vs " +
                                 to_string(y.shape()));
   }
+  obs::ProfileScope prof("axpy");
+  prof.add_work(2.0 * static_cast<double>(y.size()), 12.0 * static_cast<double>(y.size()));
   float* py = y.data();
   const float* px = x.data();
   parallel_elems(y.size(), [&](std::size_t b, std::size_t e) {
@@ -444,6 +464,8 @@ void axpy(float alpha, const Tensor& x, Tensor& y) {
 }
 
 void scale_inplace(Tensor& y, float alpha) {
+  obs::ProfileScope prof("scale_inplace");
+  prof.add_work(static_cast<double>(y.size()), 8.0 * static_cast<double>(y.size()));
   float* py = y.data();
   parallel_elems(y.size(), [&](std::size_t b, std::size_t e) {
     for (std::size_t i = b; i < e; ++i) py[i] *= alpha;
@@ -457,6 +479,10 @@ void add_row_bias(Tensor& y, const Tensor& bias) {
                                 " incompatible with " + to_string(y.shape()));
   }
   const std::size_t m = y.dim(0), n = y.dim(1);
+  obs::ProfileScope prof("add_row_bias");
+  prof.add_work(static_cast<double>(m) * static_cast<double>(n),
+                4.0 * (2.0 * static_cast<double>(m) * static_cast<double>(n) +
+                       static_cast<double>(n)));
   float* py = y.data();
   const float* pb = bias.data();
   parallel_rows(m, n, [&](std::size_t rb, std::size_t re) {
@@ -474,6 +500,10 @@ void accumulate_col_sums(const Tensor& g, Tensor& out) {
                                 " incompatible with " + to_string(g.shape()));
   }
   const std::size_t m = g.dim(0), n = g.dim(1);
+  obs::ProfileScope prof("accumulate_col_sums");
+  prof.add_work(static_cast<double>(m) * static_cast<double>(n),
+                4.0 * (static_cast<double>(m) * static_cast<double>(n) +
+                       2.0 * static_cast<double>(n)));
   const float* pg = g.data();
   float* po = out.data();
   // Parallel over column ranges: each out[j] has a single writer, and its

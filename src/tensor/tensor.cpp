@@ -4,6 +4,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "ncnas/obs/profiler.hpp"
+
 namespace ncnas::tensor {
 
 std::size_t numel(const Shape& shape) {
@@ -24,9 +26,16 @@ std::string to_string(const Shape& shape) {
   return os.str();
 }
 
-Tensor::Tensor(Shape shape) : shape_(std::move(shape)), data_(numel(shape_), 0.0f) {}
+// The two value-initializing constructors are the hot-path buffer
+// allocations (every op output goes through them); adopting constructors
+// reuse a caller-built buffer and are deliberately not counted.
+Tensor::Tensor(Shape shape) : shape_(std::move(shape)), data_(numel(shape_), 0.0f) {
+  if (!data_.empty()) obs::profile_alloc(data_.size() * sizeof(float));
+}
 
-Tensor::Tensor(Shape shape, float value) : shape_(std::move(shape)), data_(numel(shape_), value) {}
+Tensor::Tensor(Shape shape, float value) : shape_(std::move(shape)), data_(numel(shape_), value) {
+  if (!data_.empty()) obs::profile_alloc(data_.size() * sizeof(float));
+}
 
 Tensor::Tensor(Shape shape, std::vector<float> data)
     : shape_(std::move(shape)), data_(std::move(data)) {

@@ -283,5 +283,38 @@ TEST(Driver, TelemetryDisabledLeavesResultsBitIdentical) {
   EXPECT_DOUBLE_EQ(plain.end_time, observed.end_time);
 }
 
+TEST(Driver, ProfilerOnOffLeavesResultsBitIdentical) {
+  const space::SearchSpace s = space::nt3_small_space();
+  const data::Dataset ds = tiny_nt3();
+  for (const SearchStrategy strategy : {SearchStrategy::kRandom, SearchStrategy::kA3C,
+                                        SearchStrategy::kA2C, SearchStrategy::kEvolution}) {
+    SearchConfig cfg = small_config(strategy);
+    cfg.wall_time_seconds = 600.0;
+    const SearchResult plain = SearchDriver(s, ds, cfg).run();
+
+    obs::Telemetry tel;
+    tel.enable_profiler();
+    cfg.telemetry = &tel;
+    const SearchResult profiled = SearchDriver(s, ds, cfg).run();
+
+    ASSERT_EQ(plain.evals.size(), profiled.evals.size());
+    for (std::size_t i = 0; i < plain.evals.size(); ++i) {
+      EXPECT_EQ(plain.evals[i].reward, profiled.evals[i].reward);
+      EXPECT_EQ(plain.evals[i].arch, profiled.evals[i].arch);
+      EXPECT_DOUBLE_EQ(plain.evals[i].time, profiled.evals[i].time);
+    }
+    EXPECT_EQ(plain.cache_hits, profiled.cache_hits);
+    EXPECT_EQ(plain.ppo_updates, profiled.ppo_updates);
+    EXPECT_DOUBLE_EQ(plain.end_time, profiled.end_time);
+    // And the profiler actually saw the run: real training happened inside
+    // installed scopes, so the snapshot cannot be empty.
+    const obs::ProfileSnapshot prof = tel.profiler()->snapshot();
+    EXPECT_FALSE(prof.empty());
+    bool saw_eval = false;
+    for (const obs::FlatProfileEntry& e : prof.flat()) saw_eval |= e.name == "eval";
+    EXPECT_TRUE(saw_eval);
+  }
+}
+
 }  // namespace
 }  // namespace ncnas::nas

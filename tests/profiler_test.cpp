@@ -1,0 +1,319 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "ncnas/obs/profiler.hpp"
+#include "ncnas/obs/telemetry.hpp"
+#include "ncnas/tensor/ops.hpp"
+#include "ncnas/tensor/tensor.hpp"
+
+namespace ncnas::obs {
+namespace {
+
+void spin_for(std::chrono::microseconds us) {
+  const auto until = std::chrono::steady_clock::now() + us;
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+
+const FlatProfileEntry* find_entry(const std::vector<FlatProfileEntry>& flat,
+                                   const std::string& name) {
+  for (const FlatProfileEntry& e : flat) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+TEST(Profiler, NestingRecordsTreeWithSelfTotalSplit) {
+  Profiler prof;
+  {
+    ProfilerInstallGuard guard(&prof);
+    for (int i = 0; i < 3; ++i) {
+      NCNAS_PROF_SCOPE("outer");
+      spin_for(std::chrono::microseconds(200));
+      {
+        NCNAS_PROF_SCOPE("inner");
+        spin_for(std::chrono::microseconds(200));
+      }
+      {
+        NCNAS_PROF_SCOPE("inner");
+        spin_for(std::chrono::microseconds(200));
+      }
+    }
+  }
+  const ProfileSnapshot snap = prof.snapshot();
+  ASSERT_EQ(snap.roots.size(), 1u);
+  const ProfileNode& outer = snap.roots[0];
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(outer.calls, 3u);
+  ASSERT_EQ(outer.children.size(), 1u);  // same name at the same level merges
+  const ProfileNode& inner = outer.children[0];
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_EQ(inner.calls, 6u);
+  // Total covers the children; self is total minus the children's total.
+  EXPECT_GE(outer.total_ms, inner.total_ms);
+  EXPECT_NEAR(outer.self_ms, outer.total_ms - inner.total_ms, 1e-9);
+  EXPECT_GT(outer.self_ms, 0.0);
+  EXPECT_GT(inner.total_ms, 0.0);
+}
+
+TEST(Profiler, ScopesFromMultipleThreadsMergeByName) {
+  Profiler prof;
+  {
+    ProfilerInstallGuard guard(&prof);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 3; ++t) {
+      threads.emplace_back([] {
+        for (int i = 0; i < 5; ++i) {
+          NCNAS_PROF_SCOPE("work");
+          NCNAS_PROF_SCOPE("work/sub");
+          spin_for(std::chrono::microseconds(50));
+        }
+      });
+    }
+    for (std::thread& th : threads) th.join();
+  }
+  const ProfileSnapshot snap = prof.snapshot();
+  EXPECT_EQ(snap.threads_merged, 3u);
+  ASSERT_EQ(snap.roots.size(), 1u);
+  EXPECT_EQ(snap.roots[0].name, "work");
+  EXPECT_EQ(snap.roots[0].calls, 15u);
+  ASSERT_EQ(snap.roots[0].children.size(), 1u);
+  EXPECT_EQ(snap.roots[0].children[0].calls, 15u);
+}
+
+TEST(Profiler, DisabledPathRecordsNothing) {
+  ASSERT_EQ(current_profiler(), nullptr);
+  {
+    NCNAS_PROF_SCOPE("never");
+    profile_work(100.0, 100.0);
+    profile_alloc(42);
+  }
+  Profiler prof;  // never installed: scopes above went nowhere
+  const ProfileSnapshot snap = prof.snapshot();
+  EXPECT_TRUE(snap.empty());
+  EXPECT_EQ(snap.threads_merged, 0u);
+  EXPECT_TRUE(snap.flat().empty());
+}
+
+TEST(Profiler, EmptyNameScopeIsNoOp) {
+  Profiler prof;
+  {
+    ProfilerInstallGuard guard(&prof);
+    ProfileScope scope{std::string_view{}};
+  }
+  EXPECT_TRUE(prof.snapshot().empty());
+}
+
+TEST(Profiler, KernelWorkAndAllocationsAttributeToScopes) {
+  Profiler prof;
+  {
+    ProfilerInstallGuard guard(&prof);
+    NCNAS_PROF_SCOPE("phase");
+    tensor::Tensor a({4, 8}, 1.0f);
+    tensor::Tensor b({8, 5}, 2.0f);
+    const tensor::Tensor c = tensor::matmul(a, b);
+    ASSERT_EQ(c.dim(1), 5u);
+  }
+  const std::vector<FlatProfileEntry> flat = prof.snapshot().flat();
+  const FlatProfileEntry* gemm = find_entry(flat, "gemm");
+  ASSERT_NE(gemm, nullptr);
+  EXPECT_EQ(gemm->calls, 1u);
+  EXPECT_DOUBLE_EQ(gemm->flops, 2.0 * 4 * 8 * 5);
+  EXPECT_DOUBLE_EQ(gemm->bytes_moved, 4.0 * (4 * 8 + 8 * 5 + 4 * 5));
+  EXPECT_GT(gemm->arithmetic_intensity(), 0.0);
+  // a, b, and matmul's result buffer all allocate inside "phase".
+  const FlatProfileEntry* phase = find_entry(flat, "phase");
+  ASSERT_NE(phase, nullptr);
+  EXPECT_EQ(phase->alloc_count, 3u);
+  EXPECT_EQ(phase->alloc_bytes, sizeof(float) * (4 * 8 + 8 * 5 + 4 * 5));
+}
+
+TEST(Profiler, UnscopedWorkSurfacesAsPseudoNode) {
+  Profiler prof;
+  {
+    ProfilerInstallGuard guard(&prof);
+    profile_alloc(128);
+    profile_work(10.0, 20.0);
+  }
+  const std::vector<FlatProfileEntry> flat = prof.snapshot().flat();
+  const FlatProfileEntry* unscoped = find_entry(flat, "(unscoped)");
+  ASSERT_NE(unscoped, nullptr);
+  EXPECT_EQ(unscoped->alloc_count, 1u);
+  EXPECT_EQ(unscoped->alloc_bytes, 128u);
+  EXPECT_DOUBLE_EQ(unscoped->flops, 10.0);
+}
+
+TEST(Profiler, InstallGuardRestoresPreviousSink) {
+  Profiler outer_prof;
+  Profiler inner_prof;
+  {
+    ProfilerInstallGuard outer(&outer_prof);
+    EXPECT_EQ(current_profiler(), &outer_prof);
+    {
+      ProfilerInstallGuard inner(&inner_prof);
+      EXPECT_EQ(current_profiler(), &inner_prof);
+      ProfilerInstallGuard noop(nullptr);  // null guard must not disturb the sink
+      EXPECT_EQ(current_profiler(), &inner_prof);
+    }
+    EXPECT_EQ(current_profiler(), &outer_prof);
+  }
+  EXPECT_EQ(current_profiler(), nullptr);
+}
+
+TEST(Profiler, ResetDropsRecordedData) {
+  Profiler prof;
+  {
+    ProfilerInstallGuard guard(&prof);
+    NCNAS_PROF_SCOPE("x");
+  }
+  EXPECT_FALSE(prof.snapshot().empty());
+  prof.reset();
+  EXPECT_TRUE(prof.snapshot().empty());
+  {  // still usable after reset
+    ProfilerInstallGuard guard(&prof);
+    NCNAS_PROF_SCOPE("y");
+  }
+  ASSERT_EQ(prof.snapshot().roots.size(), 1u);
+  EXPECT_EQ(prof.snapshot().roots[0].name, "y");
+}
+
+TEST(Profiler, FlatAggregatesOneNameAcrossPaths) {
+  Profiler prof;
+  {
+    ProfilerInstallGuard guard(&prof);
+    {
+      NCNAS_PROF_SCOPE("a");
+      NCNAS_PROF_SCOPE("leaf");
+    }
+    {
+      NCNAS_PROF_SCOPE("b");
+      NCNAS_PROF_SCOPE("leaf");
+    }
+  }
+  const std::vector<FlatProfileEntry> flat = prof.snapshot().flat();
+  const FlatProfileEntry* leaf = find_entry(flat, "leaf");
+  ASSERT_NE(leaf, nullptr);
+  EXPECT_EQ(leaf->calls, 2u);
+}
+
+TEST(Profiler, ExportJsonRoundTripsThroughImport) {
+  Profiler prof;
+  {
+    ProfilerInstallGuard guard(&prof);
+    NCNAS_PROF_SCOPE("phase \"quoted\"");
+    tensor::Tensor a({4, 8}, 1.0f);
+    tensor::Tensor b({8, 5}, 2.0f);
+    (void)tensor::matmul(a, b);
+  }
+  const ProfileSnapshot snap = prof.snapshot();
+  std::ostringstream os;
+  snap.export_json(os);
+  std::istringstream is(os.str());
+  const ImportedProfile imported = import_profile_json(is);
+  EXPECT_EQ(imported.schema_version, kProfileSchemaVersion);
+  EXPECT_EQ(imported.threads_merged, snap.threads_merged);
+  const std::vector<FlatProfileEntry> flat = snap.flat();
+  ASSERT_EQ(imported.flat.size(), flat.size());
+  for (std::size_t i = 0; i < flat.size(); ++i) {
+    EXPECT_EQ(imported.flat[i].name, flat[i].name);
+    EXPECT_EQ(imported.flat[i].calls, flat[i].calls);
+    EXPECT_NEAR(imported.flat[i].self_ms, flat[i].self_ms, 1e-6);
+    EXPECT_NEAR(imported.flat[i].flops, flat[i].flops, 1e-3);
+    EXPECT_EQ(imported.flat[i].alloc_count, flat[i].alloc_count);
+    EXPECT_EQ(imported.flat[i].alloc_bytes, flat[i].alloc_bytes);
+  }
+}
+
+TEST(Profiler, ImportRejectsMissingOrWrongSchema) {
+  std::istringstream empty("{}\n");
+  EXPECT_THROW((void)import_profile_json(empty), std::runtime_error);
+  std::istringstream wrong("{\n\"schema_version\": 999\n}\n");
+  EXPECT_THROW((void)import_profile_json(wrong), std::runtime_error);
+}
+
+TEST(Profiler, ExportTextRendersTreeAndFlatTable) {
+  Profiler prof;
+  {
+    ProfilerInstallGuard guard(&prof);
+    NCNAS_PROF_SCOPE("outer");
+    NCNAS_PROF_SCOPE("inner");
+  }
+  std::ostringstream os;
+  prof.snapshot().export_text(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("call tree"), std::string::npos);
+  EXPECT_NE(text.find("outer"), std::string::npos);
+  EXPECT_NE(text.find("  inner"), std::string::npos);
+  EXPECT_NE(text.find("flat (by self time)"), std::string::npos);
+}
+
+TEST(Telemetry, EnableProfilerIsIdempotentAndFeedsSnapshot) {
+  Telemetry tel;
+  EXPECT_EQ(tel.profiler(), nullptr);
+  EXPECT_TRUE(tel.snapshot().profile.empty());
+  Profiler& p1 = tel.enable_profiler();
+  Profiler& p2 = tel.enable_profiler();
+  EXPECT_EQ(&p1, &p2);
+  {
+    ProfilerInstallGuard guard(tel.profiler());
+    NCNAS_PROF_SCOPE("tel/scope");
+  }
+  const TelemetrySnapshot snap = tel.snapshot();
+  ASSERT_FALSE(snap.profile.empty());
+  EXPECT_EQ(snap.profile.roots[0].name, "tel/scope");
+  std::ostringstream os;
+  tel.export_profile_json(os);
+  EXPECT_NE(os.str().find("\"schema_version\""), std::string::npos);
+  EXPECT_NE(os.str().find("tel/scope"), std::string::npos);
+}
+
+TEST(ChromeTrace, ExportShapeAndEventCountSurvive) {
+  TraceRecorder rec(64);
+  rec.span("eval \"x\"", "driver", 1.0, 0.5, 7, {{"reward", 0.25}});
+  rec.span("train", "nn", 2.0, 0.25, 3);
+  rec.instant("fault", "driver", 3.0, 1);
+  std::ostringstream os;
+  TraceRecorder::export_chrome(rec.snapshot(), os, rec.dropped());
+  const std::string json = os.str();
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);  // document shape
+  // Balanced braces/brackets — the document must stay parseable JSON.
+  long depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (char c : json) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (c == '\\') {
+      escaped = true;
+    } else if (c == '"') {
+      in_string = !in_string;
+    } else if (!in_string && (c == '{' || c == '[')) {
+      ++depth;
+    } else if (!in_string && (c == '}' || c == ']')) {
+      --depth;
+      EXPECT_GE(depth, 0);
+    }
+  }
+  EXPECT_FALSE(in_string);
+  EXPECT_EQ(depth, 0);
+  // One record per event, phases intact, quotes escaped, no drops reported.
+  std::size_t spans = 0;
+  for (std::size_t at = json.find("\"ph\":\"X\""); at != std::string::npos;
+       at = json.find("\"ph\":\"X\"", at + 1)) {
+    ++spans;
+  }
+  EXPECT_EQ(spans, 2u);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("eval \\\"x\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"droppedEvents\":0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ncnas::obs

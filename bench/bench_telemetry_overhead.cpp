@@ -98,6 +98,37 @@ void BM_SearchRun_WithJournalAndWatchdog(benchmark::State& state) {
 }
 BENCHMARK(BM_SearchRun_WithJournalAndWatchdog)->Unit(benchmark::kMillisecond);
 
+void BM_SearchRun_WithExporter(benchmark::State& state) {
+  // The live telemetry plane on top of journal + watchdog: a publication
+  // every 60 virtual seconds snapshotting metrics, shipping the journal
+  // delta, and rendering the OpenMetrics/JSON payloads (no HTTP socket —
+  // serving is wall-clock-bound, not search-bound). Acceptance: within 5%
+  // of NullTelemetry, same as the profiler configuration.
+  const space::SearchSpace sp = space::nt3_small_space();
+  const data::Dataset& ds = small_dataset();
+  std::size_t evals = 0;
+  std::size_t publications = 0;
+  for (auto _ : state) {
+    obs::Telemetry telemetry;
+    telemetry.enable_journal();
+    telemetry.enable_watchdog();
+    obs::ExporterConfig ecfg;
+    ecfg.cadence_seconds = 60.0;
+    telemetry.enable_exporter(std::move(ecfg));
+    nas::SearchConfig cfg = small_search_config();
+    cfg.telemetry = &telemetry;
+    nas::SearchResult res = nas::SearchDriver(sp, ds, cfg).run();
+    evals += res.evals.size();
+    publications += telemetry.exporter()->publications();
+    benchmark::DoNotOptimize(res.end_time);
+  }
+  state.counters["evals"] =
+      benchmark::Counter(static_cast<double>(evals), benchmark::Counter::kAvgIterations);
+  state.counters["publications"] = benchmark::Counter(
+      static_cast<double>(publications), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_SearchRun_WithExporter)->Unit(benchmark::kMillisecond);
+
 void BM_SearchRun_WithProfiler(benchmark::State& state) {
   // Every NCNAS_PROF_SCOPE in the stack live: per-kernel, per-graph-op,
   // trainer phases, driver phases. Must stay within 5% of NullTelemetry.

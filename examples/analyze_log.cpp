@@ -23,9 +23,16 @@
 // large gap means the artifacts are from different runs (exit 1, unless the
 // run had retry-exhausted evals, which train without ever being journaled as
 // dispatched).
+//
+// With --format=json the same analysis is emitted as one JSON object on
+// stdout (log counters, top-k, utilization, the journal replay via
+// export_run_summary_json, and the cross-check verdicts) so nas_top and
+// external tooling consume it without scraping terminal text. Exit codes are
+// identical to the text path.
 #include <cmath>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "ncnas/analytics/arch_stats.hpp"
 #include "ncnas/analytics/report.hpp"
@@ -40,6 +47,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> positional;
   std::vector<std::string> journal_paths;
   std::string profile_path;
+  bool json = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--journal") {
@@ -54,13 +62,29 @@ int main(int argc, char** argv) {
         return 2;
       }
       profile_path = argv[++i];
+    } else if (arg == "--format") {
+      if (i + 1 >= argc) {
+        std::cerr << "--format needs 'json' or 'text'\n";
+        return 2;
+      }
+      const std::string fmt = argv[++i];
+      if (fmt == "json") {
+        json = true;
+      } else if (fmt != "text") {
+        std::cerr << "--format must be 'json' or 'text'\n";
+        return 2;
+      }
+    } else if (arg == "--format=json") {
+      json = true;
+    } else if (arg == "--format=text") {
+      json = false;
     } else {
       positional.push_back(arg);
     }
   }
   if (positional.size() < 2) {
     std::cerr << "usage: analyze_log <log-file> <space-name> [--journal <file>]..."
-                 " [--profile <file>]\n  spaces:";
+                 " [--profile <file>] [--format=json]\n  spaces:";
     for (const auto& n : space::space_names()) std::cerr << ' ' << n;
     std::cerr << '\n';
     return 2;
@@ -88,6 +112,170 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // ---- journal replay + cross-check (computed up front, rendered later) ----
+  obs::RunSummary sum;
+  std::vector<obs::JournalEvent> events;
+  std::vector<std::string> mismatches;
+  const bool have_journal = !journal_paths.empty();
+  if (have_journal) {
+    try {
+      for (std::size_t j = 0; j < journal_paths.size(); ++j) {
+        std::ifstream jin(journal_paths[j]);
+        if (!jin) {
+          std::cerr << "cannot open journal " << journal_paths[j] << "\n";
+          return 1;
+        }
+        std::vector<obs::JournalEvent> part = obs::Journal::import_jsonl(jin);
+        // The first journal stands alone; each later one opens with a
+        // run_resumed event whose watermark stitches it onto the lineage.
+        events = j == 0 ? std::move(part)
+                        : obs::merge_resumed_journal(std::move(events), part);
+      }
+      sum = obs::summarize_journal(events);
+    } catch (const std::exception& e) {
+      std::cerr << e.what() << "\n";
+      return 1;
+    }
+    float log_best = -std::numeric_limits<float>::infinity();
+    for (const auto& e : res->evals) log_best = std::max(log_best, e.reward);
+
+    if (sum.evals != res->evals.size()) {
+      mismatches.push_back("journal has " + std::to_string(sum.evals) + " evals, log has " +
+                           std::to_string(res->evals.size()));
+    }
+    if (!res->evals.empty() && sum.best_reward != log_best) {
+      mismatches.push_back("journal best reward " + analytics::fmt(sum.best_reward) +
+                           ", log best reward " + analytics::fmt(log_best));
+    }
+    // Fault accounting is recorded on both sides with the same no-deadline
+    // convention, so a faulty run's journal must reconcile counter-for-counter.
+    const auto check_fault = [&](const char* what, std::size_t journal_n, std::size_t log_n) {
+      if (journal_n == log_n) return;
+      mismatches.push_back("journal has " + std::to_string(journal_n) + " " + what +
+                           ", log has " + std::to_string(log_n));
+    };
+    check_fault("retries", sum.retries, res->retries);
+    check_fault("retry-exhausted evals", sum.exhausted, res->exhausted);
+    check_fault("lost results", sum.lost_results, res->lost_results);
+    check_fault("crashed workers", sum.crashed_workers, res->crashed_workers);
+    check_fault("dead agents", sum.dead_agents, res->dead_agents);
+    // Checkpoint accounting follows the same no-deadline convention, so a
+    // merged lineage must reconcile with the final result counter-for-counter.
+    check_fault("checkpoints", sum.checkpoints, res->checkpoints_written);
+    check_fault("resumes", sum.resumes, res->resumes);
+  }
+
+  // ---- profile cross-check (requires the journal's train_wall_ms stream) ----
+  double profile_ms = 0.0;
+  double journal_ms = 0.0;
+  double profile_rel = 0.0;
+  bool saw_eval_scopes = false;
+  bool profile_diverged = false;
+  if (!profile_path.empty()) {
+    std::ifstream pin(profile_path);
+    if (!pin) {
+      std::cerr << "cannot open profile " << profile_path << "\n";
+      return 1;
+    }
+    obs::ImportedProfile prof;
+    try {
+      prof = obs::import_profile_json(pin);
+    } catch (const std::exception& e) {
+      std::cerr << e.what() << "\n";
+      return 1;
+    }
+    for (const obs::FlatProfileEntry& e : prof.flat) {
+      if (e.name == "eval/train" || e.name == "eval/validate") {
+        profile_ms += e.total_ms;
+        saw_eval_scopes = true;
+      }
+    }
+    for (const obs::JournalEvent& e : events) {
+      if (e.type == obs::JournalEventType::kEvalDispatched) {
+        journal_ms += e.field("train_wall_ms");
+      }
+    }
+    profile_rel = journal_ms > 0.0 ? std::abs(profile_ms - journal_ms) / journal_ms
+                                   : (profile_ms > 0.0 ? 1.0 : 0.0);
+    // Retry-exhausted evals train but are never journaled as dispatched, so
+    // a faulty run's instruments legitimately diverge: report, don't fail.
+    profile_diverged = profile_rel > 0.25 && sum.exhausted == 0;
+  }
+
+  // ---- machine-readable rendering ----
+  if (json) {
+    std::ostream& os = std::cout;
+    os << '{';
+    obs::write_json_string(os, "log");
+    os << ':';
+    obs::write_json_string(os, path);
+    os << ',';
+    obs::write_json_string(os, "config");
+    os << ':';
+    obs::write_json_string(os, fingerprint);
+    os << ",\"evals\":" << res->evals.size() << ",\"cache_hits\":" << res->cache_hits
+       << ",\"timeouts\":" << res->timeouts << ",\"unique_archs\":" << res->unique_archs
+       << ",\"ppo_updates\":" << res->ppo_updates << ",\"end_time_s\":";
+    obs::write_json_number(os, res->end_time);
+    os << ",\"converged\":" << (res->converged_early ? "true" : "false")
+       << ",\"retries\":" << res->retries << ",\"exhausted\":" << res->exhausted
+       << ",\"lost_results\":" << res->lost_results
+       << ",\"crashed_workers\":" << res->crashed_workers
+       << ",\"dead_agents\":" << res->dead_agents
+       << ",\"checkpoints_written\":" << res->checkpoints_written
+       << ",\"resumes\":" << res->resumes << ",\"top\":[";
+    bool first = true;
+    for (const auto& rec : res->top_k(5)) {
+      if (!first) os << ',';
+      first = false;
+      os << "{\"reward\":";
+      obs::write_json_number(os, rec.reward);
+      os << ",\"params\":" << rec.params << ",\"agent\":" << rec.agent << ",\"arch\":";
+      obs::write_json_string(os, space::arch_key(rec.arch));
+      os << '}';
+    }
+    os << "],\"utilization\":[";
+    for (std::size_t i = 0; i < res->utilization.size(); ++i) {
+      if (i) os << ',';
+      obs::write_json_number(os, res->utilization[i]);
+    }
+    os << ']';
+    if (have_journal) {
+      std::ostringstream summary;
+      obs::export_run_summary_json(sum, summary);
+      std::string summary_str = summary.str();
+      while (!summary_str.empty() && summary_str.back() == '\n') summary_str.pop_back();
+      os << ",\"journal_summary\":" << summary_str;
+      os << ",\"cross_check_ok\":" << (mismatches.empty() ? "true" : "false")
+         << ",\"mismatches\":[";
+      for (std::size_t i = 0; i < mismatches.size(); ++i) {
+        if (i) os << ',';
+        obs::write_json_string(os, mismatches[i]);
+      }
+      os << ']';
+    }
+    if (!profile_path.empty()) {
+      os << ",\"profile_eval_ms\":";
+      obs::write_json_number(os, profile_ms);
+      os << ",\"journal_eval_ms\":";
+      obs::write_json_number(os, journal_ms);
+      os << ",\"profile_rel_gap\":";
+      obs::write_json_number(os, profile_rel);
+      os << ",\"profile_cross_check_ok\":" << (profile_diverged ? "false" : "true");
+    }
+    os << "}\n";
+    if (!mismatches.empty()) {
+      std::cerr << "journal/log divergence: the artifacts are not from the same run\n";
+      return 1;
+    }
+    if (profile_diverged) {
+      std::cerr << "profile/journal divergence: eval wall time disagrees beyond 25%\n";
+      return 1;
+    }
+    return 0;
+  }
+
+  // ---- terminal rendering ----
   std::cout << "log: " << path << "\nconfig: " << fingerprint << "\n\n";
   std::cout << res->evals.size() << " evaluations (" << res->cache_hits << " cached, "
             << res->timeouts << " timed out), " << res->unique_archs
@@ -124,30 +312,7 @@ int main(int argc, char** argv) {
   const auto stats = analytics::compute_arch_stats(sp, *res, res->end_time / 2.0);
   analytics::print_arch_stats(std::cout, stats);
 
-  if (!journal_paths.empty()) {
-    obs::RunSummary sum;
-    std::vector<obs::JournalEvent> events;
-    try {
-      for (std::size_t j = 0; j < journal_paths.size(); ++j) {
-        std::ifstream jin(journal_paths[j]);
-        if (!jin) {
-          std::cerr << "cannot open journal " << journal_paths[j] << "\n";
-          return 1;
-        }
-        std::vector<obs::JournalEvent> part = obs::Journal::import_jsonl(jin);
-        // The first journal stands alone; each later one opens with a
-        // run_resumed event whose watermark stitches it onto the lineage.
-        events = j == 0 ? std::move(part)
-                        : obs::merge_resumed_journal(std::move(events), part);
-      }
-      sum = obs::summarize_journal(events);
-    } catch (const std::exception& e) {
-      std::cerr << e.what() << "\n";
-      return 1;
-    }
-    float log_best = -std::numeric_limits<float>::infinity();
-    for (const auto& e : res->evals) log_best = std::max(log_best, e.reward);
-
+  if (have_journal) {
     std::cout << "\njournal cross-check (" << journal_paths.size() << " journal(s), "
               << events.size() << " events):\n";
     if (sum.resumes > 0) {
@@ -157,35 +322,8 @@ int main(int argc, char** argv) {
       }
       std::cout << "\n";
     }
-    bool ok = true;
-    if (sum.evals != res->evals.size()) {
-      std::cout << "  MISMATCH: journal has " << sum.evals << " evals, log has "
-                << res->evals.size() << "\n";
-      ok = false;
-    }
-    if (!res->evals.empty() && sum.best_reward != log_best) {
-      std::cout << "  MISMATCH: journal best reward " << analytics::fmt(sum.best_reward)
-                << ", log best reward " << analytics::fmt(log_best) << "\n";
-      ok = false;
-    }
-    // Fault accounting is recorded on both sides with the same no-deadline
-    // convention, so a faulty run's journal must reconcile counter-for-counter.
-    const auto check_fault = [&](const char* what, std::size_t journal_n, std::size_t log_n) {
-      if (journal_n == log_n) return;
-      std::cout << "  MISMATCH: journal has " << journal_n << " " << what << ", log has "
-                << log_n << "\n";
-      ok = false;
-    };
-    check_fault("retries", sum.retries, res->retries);
-    check_fault("retry-exhausted evals", sum.exhausted, res->exhausted);
-    check_fault("lost results", sum.lost_results, res->lost_results);
-    check_fault("crashed workers", sum.crashed_workers, res->crashed_workers);
-    check_fault("dead agents", sum.dead_agents, res->dead_agents);
-    // Checkpoint accounting follows the same no-deadline convention, so a
-    // merged lineage must reconcile with the final result counter-for-counter.
-    check_fault("checkpoints", sum.checkpoints, res->checkpoints_written);
-    check_fault("resumes", sum.resumes, res->resumes);
-    if (ok) {
+    for (const std::string& m : mismatches) std::cout << "  MISMATCH: " << m << "\n";
+    if (mismatches.empty()) {
       std::cout << "  OK: " << sum.evals << " evals, best reward "
                 << analytics::fmt(sum.best_reward) << " — journal and log agree\n";
     } else {
@@ -194,50 +332,19 @@ int main(int argc, char** argv) {
     }
 
     if (!profile_path.empty()) {
-      std::ifstream pin(profile_path);
-      if (!pin) {
-        std::cerr << "cannot open profile " << profile_path << "\n";
-        return 1;
-      }
-      obs::ImportedProfile prof;
-      try {
-        prof = obs::import_profile_json(pin);
-      } catch (const std::exception& e) {
-        std::cerr << e.what() << "\n";
-        return 1;
-      }
-      double profile_ms = 0.0;
-      bool saw_eval_scopes = false;
-      for (const obs::FlatProfileEntry& e : prof.flat) {
-        if (e.name == "eval/train" || e.name == "eval/validate") {
-          profile_ms += e.total_ms;
-          saw_eval_scopes = true;
-        }
-      }
-      double journal_ms = 0.0;
-      for (const obs::JournalEvent& e : events) {
-        if (e.type == obs::JournalEventType::kEvalDispatched) {
-          journal_ms += e.field("train_wall_ms");
-        }
-      }
-      const double rel = journal_ms > 0.0
-                             ? std::abs(profile_ms - journal_ms) / journal_ms
-                             : (profile_ms > 0.0 ? 1.0 : 0.0);
       std::cout << "\nprofile cross-check (" << profile_path << "):\n"
                 << "  profiler eval train+validate " << analytics::fmt(profile_ms, 1)
                 << " ms vs journal train wall " << analytics::fmt(journal_ms, 1) << " ms ("
-                << analytics::fmt(100.0 * rel, 1) << "% apart)\n";
+                << analytics::fmt(100.0 * profile_rel, 1) << "% apart)\n";
       if (!saw_eval_scopes) {
         std::cout << "  no eval/train or eval/validate scopes in the profile — was the"
                      " run profiled?\n";
       }
-      // Retry-exhausted evals train but are never journaled as dispatched, so
-      // a faulty run's instruments legitimately diverge: report, don't fail.
-      if (rel > 0.25 && sum.exhausted == 0) {
+      if (profile_diverged) {
         std::cerr << "profile/journal divergence: eval wall time disagrees beyond 25%\n";
         return 1;
       }
-      if (rel > 0.25) {
+      if (profile_rel > 0.25) {
         std::cout << "  (informational: " << sum.exhausted
                   << " retry-exhausted evals trained without a dispatch event)\n";
       }

@@ -54,12 +54,29 @@ double sample_quantile(const std::vector<double>& values, double q) {
 int main(int argc, char** argv) {
   using namespace ncnas;
   bool markdown = false;
+  bool json = false;
   std::vector<std::string> paths;
   std::string profile_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--md") {
       markdown = true;
+    } else if (arg == "--format") {
+      if (i + 1 >= argc) {
+        std::cerr << "--format needs 'json' or 'text'\n";
+        return 2;
+      }
+      const std::string fmt = argv[++i];
+      if (fmt == "json") {
+        json = true;
+      } else if (fmt != "text") {
+        std::cerr << "--format must be 'json' or 'text'\n";
+        return 2;
+      }
+    } else if (arg == "--format=json") {
+      json = true;
+    } else if (arg == "--format=text") {
+      json = false;
     } else if (arg == "--profile") {
       if (i + 1 >= argc) {
         std::cerr << "--profile needs a file argument\n";
@@ -71,7 +88,8 @@ int main(int argc, char** argv) {
     }
   }
   if (paths.empty()) {
-    std::cerr << "usage: run_report <journal.jsonl>... [--md] [--profile <file>]\n";
+    std::cerr << "usage: run_report <journal.jsonl>... [--md] [--format=json] "
+                 "[--profile <file>]\n";
     return 2;
   }
   const std::string path = paths.front();
@@ -95,6 +113,13 @@ int main(int argc, char** argv) {
     return 1;
   }
   const obs::RunSummary sum = obs::summarize_journal(events);
+
+  // Machine-readable path: the same replay, one JSON object, nothing else on
+  // stdout — what nas_top and external tooling consume.
+  if (json) {
+    obs::export_run_summary_json(sum, std::cout);
+    return 0;
+  }
 
   // Re-run the watchdog over the replayed events (report-only: no journal or
   // metrics sink), so a journal from an un-watched run still gets verdicts.

@@ -2,6 +2,7 @@
 // format the obs subsystem supports:
 //
 //   telemetry_metrics.prom   Prometheus text exposition (scrape-style)
+//   telemetry_metrics.om     OpenMetrics exposition (exporter-rendered)
 //   telemetry_trace.json     Chrome trace — load in about://tracing or
 //                            https://ui.perfetto.dev (one row per agent)
 //   telemetry_trace.jsonl    one event per line for log pipelines
@@ -14,10 +15,22 @@
 // reconciliation of the instrumented counters against SearchResult, of
 // the journal's event counts against the counters, and of the profiler's
 // eval wall time against the journal's per-eval train_wall_ms.
+//
+//   ./examples/telemetry_dump [--serve <port>] [--linger <s>]
+//                             [--cadence <virtual-s>] [--live-journal <file>]
+//
+// --serve enables the live exporter on that HTTP port (0 = ephemeral; the
+// bound port is printed) and --linger keeps the process alive that many wall
+// seconds after the search so /metrics, /healthz, and /progress can be
+// curled — the hook CI's live-obs-smoke job uses. An unwritable artifact or
+// a failed bind degrades gracefully: one clear message, one bump of
+// ncnas_exporter_errors_total, and the run carries on.
+#include <chrono>
 #include <cmath>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <thread>
 
 #include "ncnas/analytics/report.hpp"
 #include "ncnas/nas/driver.hpp"
@@ -27,7 +40,35 @@
 
 using namespace ncnas;
 
-int main() {
+int main(int argc, char** argv) {
+  int serve_port = -1;
+  double linger_seconds = 0.0;
+  double cadence = 60.0;
+  std::string live_journal;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto need = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << what << " needs an argument\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--serve") {
+      serve_port = std::stoi(need("--serve"));
+    } else if (arg == "--linger") {
+      linger_seconds = std::stod(need("--linger"));
+    } else if (arg == "--cadence") {
+      cadence = std::stod(need("--cadence"));
+    } else if (arg == "--live-journal") {
+      live_journal = need("--live-journal");
+    } else {
+      std::cerr << "usage: telemetry_dump [--serve <port>] [--linger <s>]"
+                   " [--cadence <virtual-s>] [--live-journal <file>]\n";
+      return 2;
+    }
+  }
+
   data::ComboDims dims;
   dims.train = 512;
   dims.valid = 128;
@@ -38,6 +79,19 @@ int main() {
   telemetry.enable_journal();
   telemetry.enable_watchdog();
   telemetry.enable_profiler();
+  const bool exporter_on = serve_port >= 0 || !live_journal.empty();
+  if (exporter_on) {
+    obs::ExporterConfig ecfg;
+    ecfg.cadence_seconds = cadence;
+    ecfg.http_port = serve_port;
+    ecfg.live_journal_path = live_journal;
+    telemetry.enable_exporter(std::move(ecfg));
+    if (serve_port >= 0 && telemetry.exporter()->http_port() > 0) {
+      std::cout << "exporter serving on 127.0.0.1:" << telemetry.exporter()->http_port()
+                << " (/metrics /healthz /progress)\n"
+                << std::flush;
+    }
+  }
   nas::SearchConfig cfg;
   cfg.strategy = nas::SearchStrategy::kA2C;  // barrier waits show in the trace
   cfg.cluster = {.num_agents = 4, .workers_per_agent = 4};
@@ -101,6 +155,21 @@ int main() {
             << " stalls, expected eval " << health.expected_eval_seconds << "s over "
             << health.evals_seen << " completed evals\n";
 
+  if (exporter_on) {
+    const obs::Exporter& exporter = *telemetry.exporter();
+    std::cout << "\n== exporter ==\n"
+              << exporter.publications() << " publication(s), " << exporter.errors()
+              << " error(s), http port " << exporter.http_port() << "\n";
+    // Exporter publications must not change what the search returned, and
+    // its final /metrics payload must be a conformant OpenMetrics exposition.
+    std::string err;
+    const bool om_ok = obs::validate_openmetrics(exporter.metrics_text(), &err);
+    std::cout << (om_ok ? "  ok   " : "  FAIL ") << "OpenMetrics conformance"
+              << (om_ok ? "" : ": " + err) << "\n";
+    ok &= om_ok;
+    ok &= check("publications", exporter.publications() > 0 ? 1 : 0, 1);
+  }
+
   std::cout << "\n== profile ==\n";
   snap.profile.export_text(std::cout);
 
@@ -127,22 +196,43 @@ int main() {
             << static_cast<int>(100.0 * rel) << "% apart)\n";
   ok &= wall_ok;
 
-  {
-    std::ofstream prom("telemetry_metrics.prom");
-    telemetry.dump_prometheus(prom);
-    std::ofstream chrome("telemetry_trace.json");
-    telemetry.export_chrome_trace(chrome);
-    std::ofstream jsonl("telemetry_trace.jsonl");
-    telemetry.export_trace_jsonl(jsonl);
-    std::ofstream journal("telemetry_journal.jsonl");
-    telemetry.export_journal_jsonl(journal);
-    std::ofstream profile("telemetry_profile.json");
-    telemetry.export_profile_json(profile);
-  }
-  std::cout << "\nwrote telemetry_metrics.prom, telemetry_trace.json ("
+  // A full disk or read-only cwd must not look like a crash: each artifact
+  // degrades independently with a message and an error-counter bump.
+  std::size_t artifacts = 0;
+  const auto write_artifact = [&](const char* path, auto&& emit) {
+    std::ofstream out(path);
+    if (out) {
+      emit(out);
+      out.flush();
+    }
+    if (!out) {
+      std::cerr << "telemetry_dump: cannot write " << path
+                << "; skipping this artifact and carrying on\n";
+      telemetry.metrics().counter("ncnas_exporter_errors_total").inc();
+      return;
+    }
+    ++artifacts;
+  };
+  write_artifact("telemetry_metrics.prom", [&](std::ostream& o) { telemetry.dump_prometheus(o); });
+  write_artifact("telemetry_metrics.om",
+                 [&](std::ostream& o) { obs::render_openmetrics(snap.metrics, o); });
+  write_artifact("telemetry_trace.json", [&](std::ostream& o) { telemetry.export_chrome_trace(o); });
+  write_artifact("telemetry_trace.jsonl", [&](std::ostream& o) { telemetry.export_trace_jsonl(o); });
+  write_artifact("telemetry_journal.jsonl",
+                 [&](std::ostream& o) { telemetry.export_journal_jsonl(o); });
+  write_artifact("telemetry_profile.json", [&](std::ostream& o) { telemetry.export_profile_json(o); });
+  std::cout << "\nwrote " << artifacts << "/6 artifacts: telemetry_metrics.prom,"
+            << " telemetry_metrics.om, telemetry_trace.json ("
             << telemetry.trace().recorded() << " events, " << telemetry.trace().dropped()
             << " dropped), telemetry_trace.jsonl, telemetry_journal.jsonl ("
             << snap.journal.size() << " events), telemetry_profile.json ("
             << snap.profile.flat().size() << " scopes)\n";
+
+  if (exporter_on && linger_seconds > 0.0) {
+    std::cout << "lingering " << linger_seconds << "s for live scrapes on port "
+              << telemetry.exporter()->http_port() << "...\n"
+              << std::flush;
+    std::this_thread::sleep_for(std::chrono::duration<double>(linger_seconds));
+  }
   return ok ? 0 : 1;
 }

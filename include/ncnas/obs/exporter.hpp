@@ -1,0 +1,303 @@
+// Exporter — the live telemetry plane: turns the post-hoc Telemetry bundle
+// (metrics / journal / watchdog / profiler) into a stream you can watch while
+// the search runs, the in-process analogue of the paper's live Theta
+// utilization monitoring (Figs. 5/6b/9).
+//
+// Three cooperating pieces, all strictly read-only over telemetry snapshots:
+//
+//   SnapshotBus — a lock-light publish/subscribe fan-out the driver ticks on
+//   the *virtual* clock. `due(t)` is one relaxed atomic load, so the null
+//   cadence path costs nothing on the event loop; a due tick snapshots the
+//   telemetry, computes the journal delta since the previous publication,
+//   and hands one PublishedSnapshot to every registered sink.
+//
+//   HttpExporter — a minimal embedded HTTP server (blocking sockets, no
+//   third-party deps) serving the latest published payloads: `/metrics` in
+//   OpenMetrics text format, `/healthz` fed by the watchdog, and `/progress`
+//   as JSON. Requests never touch live telemetry — they read strings rendered
+//   at publish time, so a slow scraper cannot perturb the search.
+//
+//   Live JSONL journal sink — see Journal::open_live_export: stream-flushed
+//   append so `tail -f` mid-run never sees torn lines.
+//
+// Opt-in via Telemetry::enable_exporter(ExporterConfig) following the PR 1/3
+// convention: a Telemetry without an exporter is bit-identical to before, and
+// enabling it must not perturb results either — it only reads snapshots
+// (Exporter.OnOffLeavesResultsBitIdentical proves this for all 4 strategies).
+// Every failure mode (bind in use, write error, dead scraper) degrades
+// gracefully into the `ncnas_exporter_errors_total` counter; the search
+// never aborts because observation failed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "ncnas/obs/journal.hpp"
+#include "ncnas/obs/metrics.hpp"
+#include "ncnas/obs/profiler.hpp"
+
+namespace ncnas::obs {
+
+class Telemetry;  // telemetry.hpp includes this header; break the cycle
+
+struct ExporterConfig {
+  /// Virtual seconds between publications; 0 publishes on every driver tick.
+  double cadence_seconds = 60.0;
+  /// TCP port for the embedded HTTP server: -1 disables it, 0 binds an
+  /// ephemeral port (read it back via Exporter::http_port()).
+  int http_port = -1;
+  std::string bind_address = "127.0.0.1";
+  /// Non-empty: open this path as a stream-flushed live JSONL journal sink
+  /// (enables the journal). `tail -f` on it works mid-run.
+  std::string live_journal_path;
+  bool live_journal_append = false;  ///< append to an existing file vs truncate
+  std::size_t top_k = 5;       ///< architectures listed in /progress
+  std::size_t hot_scopes = 5;  ///< profiler scopes listed in /progress
+};
+
+/// One of the top-k architectures by estimated reward, as /progress lists it.
+struct TopArchProgress {
+  std::string arch;  ///< space::arch_key encoding
+  float reward = 0.0f;
+  std::size_t params = 0;
+  std::uint32_t agent = 0;
+};
+
+/// Per-agent live status, as /progress lists it.
+struct AgentProgress {
+  std::uint32_t id = 0;
+  std::string status;  ///< "running" | "stopped" | "converged" | "dead"
+  std::size_t evals = 0;
+  std::size_t cache_hits = 0;
+  std::size_t timeouts = 0;
+  std::size_t cached_streak = 0;
+  float best_reward = 0.0f;
+  bool has_best = false;  ///< false until the agent finished an evaluation
+};
+
+/// A profiler scope in the /progress hot-scope list (self-time ranked).
+struct HotScopeProgress {
+  std::string name;
+  std::uint64_t calls = 0;
+  double total_ms = 0.0;
+  double self_ms = 0.0;
+};
+
+/// The live run state served at /progress. The driver fills the search-side
+/// fields when it ticks the exporter; the exporter adds the watchdog verdict,
+/// profiler hot scopes, and its own bookkeeping at publish time.
+struct ProgressSnapshot {
+  std::uint64_t seq = 0;        ///< publication ordinal (exporter-assigned)
+  double virtual_time = 0.0;    ///< driver tick time, simulated seconds
+  double wall_time_seconds = 0.0;
+  std::string strategy;
+  bool finished = false;
+  bool converged = false;
+
+  std::size_t evals_done = 0;
+  std::size_t real_evals = 0;
+  std::size_t cache_hits = 0;
+  std::size_t timeouts = 0;
+  std::size_t ppo_updates = 0;
+  std::size_t batches_in_flight = 0;
+  float best_reward = 0.0f;
+  bool has_best = false;
+  std::vector<TopArchProgress> top;
+  std::vector<AgentProgress> agents;
+
+  // Fault and recovery accounting (all zero on a fault-free run).
+  std::size_t retries = 0;
+  std::size_t exhausted = 0;
+  std::size_t lost_results = 0;
+  std::size_t crashed_workers = 0;
+  std::size_t dead_agents = 0;
+
+  // Filled by the exporter at publish time.
+  bool healthy = true;
+  std::size_t stragglers = 0;
+  std::size_t stalls = 0;
+  std::vector<HotScopeProgress> hot_scopes;
+  std::uint64_t journal_events = 0;
+  std::uint64_t exporter_errors = 0;
+};
+
+/// What a SnapshotBus sink receives per publication: the full metrics
+/// snapshot (counters are cumulative — consumers diff), the journal events
+/// appended since the previous publication, and the progress view.
+struct PublishedSnapshot {
+  std::uint64_t seq = 0;
+  double virtual_time = 0.0;
+  MetricsSnapshot metrics;
+  std::size_t journal_offset = 0;  ///< index of journal_delta.front() in the journal
+  std::vector<JournalEvent> journal_delta;
+  ProgressSnapshot progress;
+};
+
+/// Lock-light periodic fan-out on the driver's virtual clock. `due()` is one
+/// relaxed atomic load (the event-loop fast path); `publish()` stamps the
+/// sequence number, advances the cadence, and dispatches under a mutex.
+class SnapshotBus {
+ public:
+  using Sink = std::function<void(const PublishedSnapshot&)>;
+
+  explicit SnapshotBus(double cadence_seconds) : cadence_(cadence_seconds) {}
+  SnapshotBus(const SnapshotBus&) = delete;
+  SnapshotBus& operator=(const SnapshotBus&) = delete;
+
+  void add_sink(Sink sink);
+
+  /// True when a publication is due at virtual time `vt`. A cadence of 0
+  /// is always due (publish on every tick).
+  [[nodiscard]] bool due(double vt) const noexcept {
+    return vt >= next_due_.load(std::memory_order_relaxed);
+  }
+
+  /// Stamps `snap.seq` (and the nested progress.seq), advances the cadence
+  /// so the next publication lands on the following cadence boundary, and
+  /// dispatches to every sink in registration order. Returns the seq.
+  std::uint64_t publish(PublishedSnapshot snap);
+
+  [[nodiscard]] std::uint64_t publications() const noexcept {
+    return seq_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  double cadence_;
+  std::atomic<double> next_due_{0.0};
+  std::atomic<std::uint64_t> seq_{0};
+  mutable std::mutex mu_;  // guards sinks_ and serializes dispatch
+  std::vector<Sink> sinks_;
+};
+
+/// Minimal embedded HTTP/1.1 server: blocking sockets, one short-lived
+/// connection at a time, Connection: close. The handler maps a request path
+/// to (status, content-type, body). A bind failure does not throw — port()
+/// reports -1 and every failure increments the error counter.
+class HttpExporter {
+ public:
+  /// status, content-type, body for a GET of `path`.
+  using Handler = std::function<std::tuple<int, std::string, std::string>(const std::string&)>;
+
+  HttpExporter(const std::string& bind_address, int port, Handler handler,
+               Counter* error_counter);
+  ~HttpExporter();
+  HttpExporter(const HttpExporter&) = delete;
+  HttpExporter& operator=(const HttpExporter&) = delete;
+
+  /// Actual bound port; -1 when the bind failed (the server is then inert).
+  [[nodiscard]] int port() const noexcept { return port_; }
+  void stop();
+
+ private:
+  void serve();
+
+  Handler handler_;
+  Counter* errors_;
+  int listen_fd_ = -1;
+  int port_ = -1;
+  std::atomic<bool> stop_{false};
+  std::unique_ptr<std::thread> thread_;
+};
+
+/// Blocking HTTP GET against a local exporter (used by nas_top and tests).
+/// Returns the body, or nullopt on connect/transport failure; `status_out`
+/// (optional) receives the HTTP status code.
+[[nodiscard]] std::optional<std::string> http_get(const std::string& host, int port,
+                                                  const std::string& path,
+                                                  int* status_out = nullptr);
+
+// ---- OpenMetrics text format ------------------------------------------------
+
+/// Renders a metrics snapshot in OpenMetrics text format (counter families
+/// lose their `_total` suffix on the TYPE line, histogram buckets are
+/// cumulative with a closing `+Inf`, the exposition ends with `# EOF`).
+/// `info_labels` (optional) adds one `ncnas_exporter_info{...} 1` gauge with
+/// properly escaped label values.
+void render_openmetrics(const MetricsSnapshot& m, std::ostream& os,
+                        const std::vector<std::pair<std::string, std::string>>& info_labels = {});
+[[nodiscard]] std::string openmetrics_text(
+    const MetricsSnapshot& m,
+    const std::vector<std::pair<std::string, std::string>>& info_labels = {});
+
+/// Textual OpenMetrics conformance check: structure, one trailing `# EOF`,
+/// counter samples ending `_total`, cumulative non-decreasing histogram
+/// buckets with ascending `le` edges closed by `+Inf`, `_count` equal to the
+/// `+Inf` bucket, and label-value escaping. Returns true when the payload
+/// conforms; otherwise `error` (optional) receives the first violation.
+[[nodiscard]] bool validate_openmetrics(std::string_view text, std::string* error = nullptr);
+
+// ---- /progress JSON ---------------------------------------------------------
+
+[[nodiscard]] std::string progress_to_json(const ProgressSnapshot& p);
+/// Parses progress_to_json output (nas_top's poll path). Throws
+/// std::runtime_error on malformed input.
+[[nodiscard]] ProgressSnapshot parse_progress_json(std::string_view json);
+
+// ---- the exporter facade ----------------------------------------------------
+
+class Exporter {
+ public:
+  /// Wires the bus, the optional HTTP server, and the optional live journal
+  /// sink against `telemetry` (must outlive the exporter). Registers
+  /// `ncnas_exporter_errors_total` immediately so a clean run still exports
+  /// the zero. Construction never throws on environmental failure (port in
+  /// use, unwritable live path): the affected sink is disabled, the error
+  /// counter incremented, and a one-line warning goes to stderr.
+  Exporter(ExporterConfig cfg, Telemetry& telemetry);
+  ~Exporter();
+  Exporter(const Exporter&) = delete;
+  Exporter& operator=(const Exporter&) = delete;
+
+  [[nodiscard]] const ExporterConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] bool due(double vt) const noexcept { return bus_.due(vt); }
+
+  /// Publish-if-due; the driver calls this between completions.
+  void tick(double vt, ProgressSnapshot progress);
+  /// Unconditional publish (the driver's final flush at end of run).
+  void publish(double vt, ProgressSnapshot progress);
+
+  void add_sink(SnapshotBus::Sink sink) { bus_.add_sink(std::move(sink)); }
+
+  [[nodiscard]] std::uint64_t publications() const noexcept { return bus_.publications(); }
+  /// Actual HTTP port; -1 when disabled or the bind failed.
+  [[nodiscard]] int http_port() const noexcept { return http_ ? http_->port() : -1; }
+  [[nodiscard]] std::uint64_t errors() const noexcept { return errors_->value(); }
+
+  // Latest rendered payloads — what the HTTP endpoints serve. Empty (and
+  // healthz 200 "no publication yet") before the first publication.
+  [[nodiscard]] std::string metrics_text() const;
+  [[nodiscard]] std::string progress_json() const;
+  [[nodiscard]] std::string healthz_body() const;
+  [[nodiscard]] int healthz_status() const;
+
+ private:
+  void render_payloads(const PublishedSnapshot& snap);  // the bus's first sink
+
+  ExporterConfig cfg_;
+  Telemetry* telemetry_;
+  Counter* errors_;
+  SnapshotBus bus_;
+  std::size_t journal_seen_ = 0;  // events already shipped in a delta
+  double last_vt_ = 0.0;          // publication clock floor (see publish())
+  std::unique_ptr<HttpExporter> http_;
+
+  mutable std::mutex payload_mu_;
+  std::string metrics_text_;
+  std::string progress_json_;
+  std::string healthz_body_ = "ok: no publication yet\n";
+  int healthz_status_ = 200;
+};
+
+}  // namespace ncnas::obs

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <fstream>
 #include <functional>
 #include <limits>
 #include <map>
@@ -30,6 +31,16 @@
 #include <vector>
 
 namespace ncnas::obs {
+
+class Counter;  // metrics.hpp; only used as an optional error sink
+
+/// JSON string literal with the journal's escaping rules (quotes, backslash,
+/// \n \t \r, \uXXXX for other control bytes). Shared by every JSON-emitting
+/// tool in the obs layer so escaping stays consistent across artifacts.
+void write_json_string(std::ostream& os, std::string_view s);
+/// JSON number: integers print exactly, other finite doubles with enough
+/// digits to round-trip; non-finite values clamp to 0 (JSON has no Inf/NaN).
+void write_json_number(std::ostream& os, double v);
 
 /// Bump when the JSONL layout or event semantics change incompatibly.
 inline constexpr int kJournalSchemaVersion = 1;
@@ -111,7 +122,27 @@ class Journal {
   [[nodiscard]] std::size_t size() const;
   /// Copies the retained events in emission (seq) order.
   [[nodiscard]] std::vector<JournalEvent> snapshot() const;
+  /// Copies events with index >= `start` only (the exporter's delta path;
+  /// avoids re-copying the whole journal on every publication).
+  [[nodiscard]] std::vector<JournalEvent> snapshot_since(std::size_t start) const;
   void clear();
+
+  // ---- live streaming (opt-in; the default buffered path is untouched) ----
+
+  /// Opens `path` as a live JSONL sink: writes the schema header and every
+  /// already-buffered event immediately, then one line per subsequent
+  /// append(), each written as a single unbuffered line and flushed before
+  /// the appender returns — `tail -f` never sees torn lines. `append` opens
+  /// the file in append mode instead of truncating. `error_counter`
+  /// (optional) is incremented on write failures; after the first failure
+  /// the sink closes itself and the search carries on unobserved. Returns
+  /// false (and counts one error) when the file cannot be opened.
+  bool open_live_export(const std::string& path, bool append = false,
+                        Counter* error_counter = nullptr);
+  void close_live_export();
+  [[nodiscard]] bool live_export_open() const;
+  /// Write failures the live sink swallowed (0 on a healthy stream).
+  [[nodiscard]] std::uint64_t live_export_errors() const;
 
   /// One JSON object per line: a schema header line, then one line per event.
   void export_jsonl(std::ostream& os) const;
@@ -122,11 +153,16 @@ class Journal {
   [[nodiscard]] static std::vector<JournalEvent> import_jsonl(std::istream& is);
 
  private:
-  mutable std::mutex mu_;                      // guards events_ / next_seq_
+  void live_write_locked(const JournalEvent& e);  // requires mu_
+
+  mutable std::mutex mu_;                      // guards events_ / next_seq_ / live sink
   mutable std::recursive_mutex notify_mu_;     // serializes subscriber dispatch
   std::vector<JournalEvent> events_;
   std::vector<Subscriber> subscribers_;
   std::uint64_t next_seq_ = 0;
+  std::ofstream live_;                         // open only in live-export mode
+  Counter* live_errors_sink_ = nullptr;
+  std::uint64_t live_errors_ = 0;
 };
 
 // ---- replay -----------------------------------------------------------------
@@ -215,5 +251,11 @@ struct RunSummary {
 /// `prior` is shorter than the watermark (the journals don't belong together).
 [[nodiscard]] std::vector<JournalEvent> merge_resumed_journal(
     std::vector<JournalEvent> prior, const std::vector<JournalEvent>& resumed);
+
+/// Machine-readable form of a RunSummary: one JSON object mirroring every
+/// field (per-agent activity keyed by agent id, PS latency samples included),
+/// so run_report/analyze_log --format=json and external tooling (nas_top)
+/// consume the same replay the terminal report renders.
+void export_run_summary_json(const RunSummary& sum, std::ostream& os);
 
 }  // namespace ncnas::obs

@@ -11,6 +11,7 @@
 #include <memory>
 #include <ostream>
 
+#include "ncnas/obs/exporter.hpp"
 #include "ncnas/obs/journal.hpp"
 #include "ncnas/obs/metrics.hpp"
 #include "ncnas/obs/profiler.hpp"
@@ -76,6 +77,19 @@ class Telemetry {
   [[nodiscard]] Profiler* profiler() noexcept { return profiler_.get(); }
   [[nodiscard]] const Profiler* profiler() const noexcept { return profiler_.get(); }
 
+  /// Opt into the live telemetry plane (SnapshotBus + optional /metrics
+  /// HTTP endpoint + optional stream-flushed live journal). Idempotent;
+  /// `cfg` applies on first call only. The driver ticks the exporter on the
+  /// virtual clock; publication is read-only over snapshots, so enabling it
+  /// leaves SearchResult bit-identical (Exporter tests prove it).
+  Exporter& enable_exporter(ExporterConfig cfg = {}) {
+    if (!exporter_) exporter_ = std::make_unique<Exporter>(std::move(cfg), *this);
+    return *exporter_;
+  }
+  /// Null until enable_exporter(); the driver treats null as "off".
+  [[nodiscard]] Exporter* exporter() noexcept { return exporter_.get(); }
+  [[nodiscard]] const Exporter* exporter() const noexcept { return exporter_.get(); }
+
   [[nodiscard]] TelemetrySnapshot snapshot() const {
     return {metrics_.snapshot(), trace_.snapshot(),
             journal_ ? journal_->snapshot() : std::vector<JournalEvent>{},
@@ -108,6 +122,8 @@ class Telemetry {
   std::unique_ptr<Journal> journal_;
   std::unique_ptr<HealthWatchdog> watchdog_;
   std::unique_ptr<Profiler> profiler_;
+  // Last member: the exporter references the others, so it must die first.
+  std::unique_ptr<Exporter> exporter_;
 };
 
 }  // namespace ncnas::obs

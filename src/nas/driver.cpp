@@ -116,7 +116,8 @@ struct Instruments {
   obs::Histogram* cycle_latency;
   obs::Histogram* eval_sim;
   obs::TraceRecorder* trace;
-  obs::Journal* journal;  ///< null unless Telemetry::enable_journal() was called
+  obs::Journal* journal;    ///< null unless Telemetry::enable_journal() was called
+  obs::Exporter* exporter;  ///< null unless Telemetry::enable_exporter() was called
 
   explicit Instruments(obs::Telemetry& t) {
     obs::MetricsRegistry& m = t.metrics();
@@ -140,6 +141,7 @@ struct Instruments {
     eval_sim = &m.histogram("ncnas_eval_sim_duration_seconds", obs::exp_buckets(4.0, 2.0, 14));
     trace = &t.trace();
     journal = t.journal();
+    exporter = t.exporter();
   }
 };
 
@@ -246,6 +248,7 @@ class SearchRun {
   void a2c_release_stuck(double now);
   void init_checkpointing(double from_t);
   void maybe_checkpoint(double t);
+  void publish_progress(double t, bool finished);
   void serialize_state(ckpt::ByteWriter& w) const;
 
   const space::SearchSpace* space_;
@@ -397,6 +400,12 @@ SearchResult SearchRun::run() {
       // half-harvested and no lambda is mid-flight: the members above are the
       // complete search state, which is what makes this the snapshot point.
       maybe_checkpoint(done.time);
+      // Same safe point feeds the live exporter. The due() guard is one
+      // relaxed atomic load, and publication only *reads* search state, so
+      // the exporter-off and exporter-on event sequences are identical.
+      if (inst_ && inst_->exporter != nullptr && inst_->exporter->due(done.time)) {
+        publish_progress(done.time, /*finished=*/false);
+      }
     }
   }
 
@@ -433,12 +442,91 @@ SearchResult SearchRun::run() {
          {"wall_time_s", config_.wall_time_seconds}});
   }
 
+  // Final unconditional publication, after run_finished hits the journal so
+  // the last delta carries it: scrape-at-end totals reconcile with
+  // summarize_journal, and /healthz flips to "run finished".
+  if (inst_ && inst_->exporter != nullptr) {
+    publish_progress(result_.end_time, /*finished=*/true);
+  }
+
   if (config_.telemetry != nullptr) {
     result_.telemetry_enabled = true;
     result_.telemetry =
         std::make_shared<const obs::TelemetrySnapshot>(config_.telemetry->snapshot());
   }
   return std::move(result_);
+}
+
+// Builds the /progress view from the members the event loop already owns and
+// hands it to the exporter. Strictly read-only over search state — no RNG
+// draws, no cache touches, no reordering — which is what keeps exporter-on
+// runs bit-identical to exporter-off runs.
+void SearchRun::publish_progress(double t, bool finished) {
+  obs::Exporter& exporter = *inst_->exporter;
+  obs::ProgressSnapshot p;
+  p.virtual_time = t;
+  p.wall_time_seconds = config_.wall_time_seconds;
+  p.strategy = strategy_name(config_.strategy);
+  p.finished = finished;
+  p.converged = result_.converged_early;
+  p.evals_done = result_.evals.size();
+  p.real_evals = real_evals_;
+  p.cache_hits = result_.cache_hits;
+  p.timeouts = result_.timeouts;
+  p.ppo_updates = result_.ppo_updates;
+  p.batches_in_flight = queue_.size();
+  p.retries = result_.retries;
+  p.exhausted = result_.exhausted;
+  p.lost_results = result_.lost_results;
+  p.crashed_workers = result_.crashed_workers;
+  p.dead_agents = result_.dead_agents;
+
+  struct Acc {
+    std::size_t evals = 0;
+    std::size_t hits = 0;
+    std::size_t timeouts = 0;
+    float best = -std::numeric_limits<float>::infinity();
+    bool has_best = false;
+  };
+  std::vector<Acc> acc(N_);
+  for (const EvalRecord& e : result_.evals) {
+    if (e.agent >= N_) continue;
+    Acc& a = acc[e.agent];
+    ++a.evals;
+    if (e.cache_hit) ++a.hits;
+    if (e.timed_out) ++a.timeouts;
+    if (e.reward > a.best) a.best = e.reward;
+    a.has_best = true;
+    if (e.reward > p.best_reward || !p.has_best) {
+      p.best_reward = e.reward;
+      p.has_best = true;
+    }
+  }
+  p.agents.reserve(N_);
+  for (std::size_t i = 0; i < N_; ++i) {
+    obs::AgentProgress ap;
+    ap.id = static_cast<std::uint32_t>(i);
+    ap.status = agents_[i].dead        ? "dead"
+                : agents_[i].stopped   ? "converged"
+                : finished             ? "stopped"
+                                       : "running";
+    ap.evals = acc[i].evals;
+    ap.cache_hits = acc[i].hits;
+    ap.timeouts = acc[i].timeouts;
+    ap.cached_streak = agents_[i].cached_streak;
+    ap.best_reward = acc[i].has_best ? acc[i].best : 0.0f;
+    ap.has_best = acc[i].has_best;
+    p.agents.push_back(std::move(ap));
+  }
+  for (const EvalRecord& e : result_.top_k(exporter.config().top_k)) {
+    p.top.push_back({space::arch_key(e.arch), e.reward, e.params,
+                     static_cast<std::uint32_t>(e.agent)});
+  }
+  if (finished) {
+    exporter.publish(t, std::move(p));
+  } else {
+    exporter.tick(t, std::move(p));
+  }
 }
 
 // ---- fault-aware dispatch: one real task with retries and backoff -----

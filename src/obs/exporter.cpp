@@ -1,0 +1,823 @@
+#include "ncnas/obs/exporter.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "ncnas/obs/telemetry.hpp"
+
+namespace ncnas::obs {
+
+namespace {
+
+// Same round-trip-exact number formatting the journal uses, as a string.
+std::string fmt_number(double v) {
+  std::ostringstream os;
+  write_json_number(os, v);
+  return os.str();
+}
+
+// OpenMetrics label-value escaping: backslash, double-quote, line feed.
+void write_label_value(std::ostream& os, std::string_view v) {
+  os << '"';
+  for (char c : v) {
+    switch (c) {
+      case '\\': os << "\\\\"; break;
+      case '"': os << "\\\""; break;
+      case '\n': os << "\\n"; break;
+      default: os << c;
+    }
+  }
+  os << '"';
+}
+
+// Counter families drop the `_total` suffix on the TYPE line; the sample
+// keeps it. Every ncnas counter already follows the `_total` convention.
+std::string counter_family(const std::string& name) {
+  constexpr std::string_view kSuffix = "_total";
+  if (name.size() > kSuffix.size() &&
+      name.compare(name.size() - kSuffix.size(), kSuffix.size(), kSuffix) == 0) {
+    return name.substr(0, name.size() - kSuffix.size());
+  }
+  return name;
+}
+
+}  // namespace
+
+// ---- OpenMetrics rendering --------------------------------------------------
+
+void render_openmetrics(const MetricsSnapshot& m, std::ostream& os,
+                        const std::vector<std::pair<std::string, std::string>>& info_labels) {
+  if (!info_labels.empty()) {
+    os << "# TYPE ncnas_exporter_info gauge\n";
+    os << "ncnas_exporter_info{";
+    for (std::size_t i = 0; i < info_labels.size(); ++i) {
+      if (i) os << ',';
+      os << info_labels[i].first << '=';
+      write_label_value(os, info_labels[i].second);
+    }
+    os << "} 1\n";
+  }
+  for (const CounterSample& c : m.counters) {
+    const std::string family = counter_family(c.name);
+    os << "# TYPE " << family << " counter\n";
+    os << family << "_total " << c.value << '\n';
+  }
+  for (const GaugeSample& g : m.gauges) {
+    os << "# TYPE " << g.name << " gauge\n";
+    os << g.name << ' ' << fmt_number(g.value) << '\n';
+  }
+  for (const HistogramSample& h : m.histograms) {
+    os << "# TYPE " << h.name << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += i < h.buckets.size() ? h.buckets[i] : 0;
+      os << h.name << "_bucket{le=\"" << fmt_number(h.bounds[i]) << "\"} " << cumulative << '\n';
+    }
+    if (h.bounds.size() < h.buckets.size()) cumulative += h.buckets.back();
+    os << h.name << "_bucket{le=\"+Inf\"} " << cumulative << '\n';
+    os << h.name << "_count " << cumulative << '\n';
+    os << h.name << "_sum " << fmt_number(h.sum) << '\n';
+  }
+  os << "# EOF\n";
+}
+
+std::string openmetrics_text(const MetricsSnapshot& m,
+                             const std::vector<std::pair<std::string, std::string>>& info_labels) {
+  std::ostringstream os;
+  render_openmetrics(m, os, info_labels);
+  return os.str();
+}
+
+// ---- OpenMetrics validation -------------------------------------------------
+
+namespace {
+
+struct FamilyState {
+  std::string type;  // "counter" | "gauge" | "histogram" | ...
+  // histogram bookkeeping
+  std::vector<double> le_edges;          // in order of appearance
+  std::vector<std::uint64_t> le_counts;  // cumulative values as written
+  bool has_inf = false;
+  bool has_sum = false;
+  bool has_count = false;
+  std::uint64_t inf_value = 0;
+  std::uint64_t count_value = 0;
+};
+
+bool metric_name_ok(std::string_view name) {
+  if (name.empty()) return false;
+  const auto head = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  };
+  if (!head(name[0])) return false;
+  return std::all_of(name.begin() + 1, name.end(), [&](char c) {
+    return head(c) || std::isdigit(static_cast<unsigned char>(c));
+  });
+}
+
+bool set_error(std::string* error, std::size_t lineno, const std::string& what) {
+  if (error != nullptr) *error = "line " + std::to_string(lineno) + ": " + what;
+  return false;
+}
+
+// Parses `key="value",...}` starting after '{'; returns false on malformed
+// syntax (including a bad escape). Fills `labels`.
+bool parse_labels(std::string_view s, std::size_t& i,
+                  std::vector<std::pair<std::string, std::string>>& labels) {
+  for (;;) {
+    if (i < s.size() && s[i] == '}') {
+      ++i;
+      return true;
+    }
+    std::size_t eq = s.find('=', i);
+    if (eq == std::string_view::npos) return false;
+    std::string key(s.substr(i, eq - i));
+    if (!metric_name_ok(key)) return false;
+    i = eq + 1;
+    if (i >= s.size() || s[i] != '"') return false;
+    ++i;
+    std::string value;
+    bool closed = false;
+    while (i < s.size()) {
+      const char c = s[i++];
+      if (c == '"') {
+        closed = true;
+        break;
+      }
+      if (c == '\\') {
+        if (i >= s.size()) return false;
+        const char esc = s[i++];
+        if (esc == '\\') {
+          value.push_back('\\');
+        } else if (esc == '"') {
+          value.push_back('"');
+        } else if (esc == 'n') {
+          value.push_back('\n');
+        } else {
+          return false;  // invalid escape sequence in a label value
+        }
+      } else {
+        value.push_back(c);
+      }
+    }
+    if (!closed) return false;
+    labels.emplace_back(std::move(key), std::move(value));
+    if (i < s.size() && s[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (i < s.size() && s[i] == '}') {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+}
+
+bool parse_value(std::string_view text, double& out) {
+  if (text == "+Inf" || text == "Inf") {
+    out = std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (text == "-Inf") {
+    out = -std::numeric_limits<double>::infinity();
+    return true;
+  }
+  try {
+    std::size_t used = 0;
+    out = std::stod(std::string(text), &used);
+    return used == text.size();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+bool validate_openmetrics(std::string_view text, std::string* error) {
+  if (text.empty()) return set_error(error, 0, "empty exposition");
+  if (text.back() != '\n') return set_error(error, 0, "exposition does not end with a newline");
+  if (text.size() < 6 || text.substr(text.size() - 6) != "# EOF\n") {
+    return set_error(error, 0, "exposition does not end with '# EOF'");
+  }
+
+  std::map<std::string, FamilyState> families;
+  std::size_t lineno = 0;
+  bool saw_eof = false;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    ++lineno;
+    const std::size_t nl = text.find('\n', pos);
+    if (nl == std::string_view::npos) return set_error(error, lineno, "unterminated line");
+    const std::string_view line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+
+    if (saw_eof) return set_error(error, lineno, "content after '# EOF'");
+    if (line.empty()) return set_error(error, lineno, "blank line");
+
+    if (line[0] == '#') {
+      if (line == "# EOF") {
+        saw_eof = true;
+        continue;
+      }
+      std::istringstream meta{std::string(line)};
+      std::string hash;
+      std::string directive;
+      std::string family;
+      meta >> hash >> directive >> family;
+      if (directive == "TYPE") {
+        std::string type;
+        meta >> type;
+        if (!metric_name_ok(family)) return set_error(error, lineno, "bad family name in TYPE");
+        if (type.empty()) return set_error(error, lineno, "TYPE without a type");
+        if (families.count(family) != 0) {
+          return set_error(error, lineno, "duplicate TYPE for family '" + family + "'");
+        }
+        families[family].type = type;
+      } else if (directive != "HELP" && directive != "UNIT") {
+        return set_error(error, lineno, "unknown comment directive '" + directive + "'");
+      }
+      continue;
+    }
+
+    // Sample line: name[{labels}] value [timestamp]
+    std::size_t i = 0;
+    while (i < line.size() && line[i] != '{' && line[i] != ' ') ++i;
+    const std::string name(line.substr(0, i));
+    if (!metric_name_ok(name)) return set_error(error, lineno, "bad metric name '" + name + "'");
+    std::vector<std::pair<std::string, std::string>> labels;
+    if (i < line.size() && line[i] == '{') {
+      ++i;
+      if (!parse_labels(line, i, labels)) {
+        return set_error(error, lineno, "malformed labels on '" + name + "'");
+      }
+    }
+    if (i >= line.size() || line[i] != ' ') {
+      return set_error(error, lineno, "sample without a value");
+    }
+    ++i;
+    const std::size_t value_end = line.find(' ', i);  // a timestamp may follow
+    const std::string_view value_text =
+        line.substr(i, value_end == std::string_view::npos ? line.size() - i : value_end - i);
+    double value = 0.0;
+    if (!parse_value(value_text, value)) {
+      return set_error(error, lineno, "unparseable value '" + std::string(value_text) + "'");
+    }
+
+    // Attribute the sample to a declared family.
+    std::string family;
+    std::string suffix;
+    for (const auto& [fam, state] : families) {
+      (void)state;
+      if (name == fam || (name.size() > fam.size() && name.compare(0, fam.size(), fam) == 0 &&
+                          name[fam.size()] == '_')) {
+        if (fam.size() > family.size()) {
+          family = fam;
+          suffix = name.size() > fam.size() ? name.substr(fam.size()) : "";
+        }
+      }
+    }
+    if (family.empty()) {
+      return set_error(error, lineno, "sample '" + name + "' has no TYPE declaration");
+    }
+    FamilyState& state = families[family];
+    if (state.type == "counter") {
+      if (suffix != "_total" && suffix != "_created") {
+        return set_error(error, lineno,
+                         "counter sample '" + name + "' must end with '_total' or '_created'");
+      }
+      if (value < 0.0) return set_error(error, lineno, "negative counter value");
+    } else if (state.type == "gauge" || state.type == "unknown") {
+      if (!suffix.empty()) {
+        return set_error(error, lineno, "unexpected suffix '" + suffix + "' on " + state.type);
+      }
+    } else if (state.type == "histogram") {
+      if (suffix == "_bucket") {
+        const auto le = std::find_if(labels.begin(), labels.end(),
+                                     [](const auto& kv) { return kv.first == "le"; });
+        if (le == labels.end()) {
+          return set_error(error, lineno, "histogram bucket without an 'le' label");
+        }
+        double edge = 0.0;
+        if (!parse_value(le->second, edge)) {
+          return set_error(error, lineno, "unparseable 'le' edge '" + le->second + "'");
+        }
+        if (!state.le_edges.empty() && edge <= state.le_edges.back()) {
+          return set_error(error, lineno, "histogram '" + family + "' bucket edges not ascending");
+        }
+        if (!state.le_counts.empty() && value < static_cast<double>(state.le_counts.back())) {
+          return set_error(error, lineno,
+                           "histogram '" + family + "' bucket counts not cumulative");
+        }
+        state.le_edges.push_back(edge);
+        state.le_counts.push_back(static_cast<std::uint64_t>(value));
+        if (std::isinf(edge) && edge > 0.0) {
+          state.has_inf = true;
+          state.inf_value = static_cast<std::uint64_t>(value);
+        }
+      } else if (suffix == "_count") {
+        state.has_count = true;
+        state.count_value = static_cast<std::uint64_t>(value);
+      } else if (suffix == "_sum") {
+        state.has_sum = true;
+      } else if (suffix != "_created") {
+        return set_error(error, lineno, "unexpected histogram sample '" + name + "'");
+      }
+    }
+  }
+  if (!saw_eof) return set_error(error, lineno, "missing '# EOF'");
+
+  for (const auto& [family, state] : families) {
+    if (state.type != "histogram" || state.le_edges.empty()) continue;
+    if (!state.has_inf || !std::isinf(state.le_edges.back())) {
+      return set_error(error, 0, "histogram '" + family + "' does not close with le=\"+Inf\"");
+    }
+    if (!state.has_count) {
+      return set_error(error, 0, "histogram '" + family + "' has no _count sample");
+    }
+    if (!state.has_sum) {
+      return set_error(error, 0, "histogram '" + family + "' has no _sum sample");
+    }
+    if (state.count_value != state.inf_value) {
+      return set_error(error, 0, "histogram '" + family + "' _count disagrees with +Inf bucket");
+    }
+  }
+  return true;
+}
+
+// ---- /progress JSON ---------------------------------------------------------
+
+std::string progress_to_json(const ProgressSnapshot& p) {
+  std::ostringstream os;
+  const auto key = [&os](const char* k) {
+    write_json_string(os, k);
+    os << ':';
+  };
+  const auto num = [&](const char* k, double v) {
+    key(k);
+    write_json_number(os, v);
+    os << ',';
+  };
+  const auto boolean = [&](const char* k, bool v) {
+    key(k);
+    os << (v ? "true" : "false") << ',';
+  };
+  os << '{';
+  num("seq", static_cast<double>(p.seq));
+  num("virtual_time", p.virtual_time);
+  num("wall_time_seconds", p.wall_time_seconds);
+  key("strategy");
+  write_json_string(os, p.strategy);
+  os << ',';
+  boolean("finished", p.finished);
+  boolean("converged", p.converged);
+  num("evals_done", static_cast<double>(p.evals_done));
+  num("real_evals", static_cast<double>(p.real_evals));
+  num("cache_hits", static_cast<double>(p.cache_hits));
+  num("timeouts", static_cast<double>(p.timeouts));
+  num("ppo_updates", static_cast<double>(p.ppo_updates));
+  num("batches_in_flight", static_cast<double>(p.batches_in_flight));
+  num("best_reward", p.best_reward);
+  boolean("has_best", p.has_best);
+  key("top");
+  os << '[';
+  for (std::size_t i = 0; i < p.top.size(); ++i) {
+    if (i) os << ',';
+    os << "{\"arch\":";
+    write_json_string(os, p.top[i].arch);
+    os << ",\"reward\":";
+    write_json_number(os, p.top[i].reward);
+    os << ",\"params\":" << p.top[i].params << ",\"agent\":" << p.top[i].agent << '}';
+  }
+  os << "],";
+  key("agents");
+  os << '[';
+  for (std::size_t i = 0; i < p.agents.size(); ++i) {
+    const AgentProgress& a = p.agents[i];
+    if (i) os << ',';
+    os << "{\"id\":" << a.id << ",\"status\":";
+    write_json_string(os, a.status);
+    os << ",\"evals\":" << a.evals << ",\"cache_hits\":" << a.cache_hits
+       << ",\"timeouts\":" << a.timeouts << ",\"cached_streak\":" << a.cached_streak
+       << ",\"best_reward\":";
+    write_json_number(os, a.best_reward);
+    os << ",\"has_best\":" << (a.has_best ? "true" : "false") << '}';
+  }
+  os << "],";
+  num("retries", static_cast<double>(p.retries));
+  num("exhausted", static_cast<double>(p.exhausted));
+  num("lost_results", static_cast<double>(p.lost_results));
+  num("crashed_workers", static_cast<double>(p.crashed_workers));
+  num("dead_agents", static_cast<double>(p.dead_agents));
+  boolean("healthy", p.healthy);
+  num("stragglers", static_cast<double>(p.stragglers));
+  num("stalls", static_cast<double>(p.stalls));
+  key("hot_scopes");
+  os << '[';
+  for (std::size_t i = 0; i < p.hot_scopes.size(); ++i) {
+    const HotScopeProgress& h = p.hot_scopes[i];
+    if (i) os << ',';
+    os << "{\"name\":";
+    write_json_string(os, h.name);
+    os << ",\"calls\":" << h.calls << ",\"total_ms\":";
+    write_json_number(os, h.total_ms);
+    os << ",\"self_ms\":";
+    write_json_number(os, h.self_ms);
+    os << '}';
+  }
+  os << "],";
+  num("journal_events", static_cast<double>(p.journal_events));
+  key("exporter_errors");
+  write_json_number(os, static_cast<double>(p.exporter_errors));
+  os << "}\n";
+  return os.str();
+}
+
+namespace {
+
+// Minimal general JSON reader for the /progress payload (nas_top's poll
+// path). Objects, arrays, strings, numbers, booleans, null.
+struct JsonValue {
+  enum class Kind : std::uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] const JsonValue* get(std::string_view key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+  [[nodiscard]] double num_or(std::string_view key, double fallback = 0.0) const {
+    const JsonValue* v = get(key);
+    return v != nullptr && v->kind == Kind::kNumber ? v->number : fallback;
+  }
+  [[nodiscard]] bool bool_or(std::string_view key, bool fallback = false) const {
+    const JsonValue* v = get(key);
+    return v != nullptr && v->kind == Kind::kBool ? v->boolean : fallback;
+  }
+  [[nodiscard]] std::string str_or(std::string_view key, std::string fallback = {}) const {
+    const JsonValue* v = get(key);
+    return v != nullptr && v->kind == Kind::kString ? v->string : fallback;
+  }
+};
+
+struct JsonParser {
+  std::string_view s;
+  std::size_t i = 0;
+
+  [[noreturn]] void fail(const char* what) const {
+    throw std::runtime_error(std::string("progress json: ") + what);
+  }
+  void ws() {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  }
+  char peek() {
+    ws();
+    if (i >= s.size()) fail("unexpected end of input");
+    return s[i];
+  }
+  void expect(char c) {
+    if (peek() != c) fail("unexpected character");
+    ++i;
+  }
+  bool consume(char c) {
+    if (i < s.size() && peek() == c) {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+  bool literal(std::string_view lit) {
+    if (s.substr(i, lit.size()) == lit) {
+      i += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue value() {
+    JsonValue out;
+    switch (peek()) {
+      case '{': {
+        out.kind = JsonValue::Kind::kObject;
+        expect('{');
+        if (!consume('}')) {
+          do {
+            std::string key = string_body();
+            expect(':');
+            out.object.emplace_back(std::move(key), value());
+          } while (consume(','));
+          expect('}');
+        }
+        break;
+      }
+      case '[': {
+        out.kind = JsonValue::Kind::kArray;
+        expect('[');
+        if (!consume(']')) {
+          do {
+            out.array.push_back(value());
+          } while (consume(','));
+          expect(']');
+        }
+        break;
+      }
+      case '"':
+        out.kind = JsonValue::Kind::kString;
+        out.string = string_body();
+        break;
+      case 't':
+        if (!literal("true")) fail("bad literal");
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = true;
+        break;
+      case 'f':
+        if (!literal("false")) fail("bad literal");
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = false;
+        break;
+      case 'n':
+        if (!literal("null")) fail("bad literal");
+        break;
+      default: {
+        out.kind = JsonValue::Kind::kNumber;
+        const std::size_t start = i;
+        if (i < s.size() && (s[i] == '-' || s[i] == '+')) ++i;
+        while (i < s.size() && (std::isdigit(static_cast<unsigned char>(s[i])) || s[i] == '.' ||
+                                s[i] == 'e' || s[i] == 'E' || s[i] == '-' || s[i] == '+')) {
+          ++i;
+        }
+        if (i == start) fail("expected a value");
+        try {
+          out.number = std::stod(std::string(s.substr(start, i - start)));
+        } catch (const std::exception&) {
+          fail("unparseable number");
+        }
+      }
+    }
+    return out;
+  }
+
+  std::string string_body() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (i >= s.size()) fail("unterminated string");
+      const char c = s[i++];
+      if (c == '"') break;
+      if (c == '\\') {
+        if (i >= s.size()) fail("truncated escape");
+        const char esc = s[i++];
+        switch (esc) {
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          case 'u': {
+            if (i + 4 > s.size()) fail("truncated escape");
+            out.push_back(
+                static_cast<char>(std::stoi(std::string(s.substr(i, 4)), nullptr, 16)));
+            i += 4;
+            break;
+          }
+          default: out.push_back(esc);
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+ProgressSnapshot parse_progress_json(std::string_view json) {
+  JsonParser parser{json};
+  const JsonValue root = parser.value();
+  if (root.kind != JsonValue::Kind::kObject) {
+    throw std::runtime_error("progress json: top level is not an object");
+  }
+  ProgressSnapshot p;
+  p.seq = static_cast<std::uint64_t>(root.num_or("seq"));
+  p.virtual_time = root.num_or("virtual_time");
+  p.wall_time_seconds = root.num_or("wall_time_seconds");
+  p.strategy = root.str_or("strategy");
+  p.finished = root.bool_or("finished");
+  p.converged = root.bool_or("converged");
+  p.evals_done = static_cast<std::size_t>(root.num_or("evals_done"));
+  p.real_evals = static_cast<std::size_t>(root.num_or("real_evals"));
+  p.cache_hits = static_cast<std::size_t>(root.num_or("cache_hits"));
+  p.timeouts = static_cast<std::size_t>(root.num_or("timeouts"));
+  p.ppo_updates = static_cast<std::size_t>(root.num_or("ppo_updates"));
+  p.batches_in_flight = static_cast<std::size_t>(root.num_or("batches_in_flight"));
+  p.best_reward = static_cast<float>(root.num_or("best_reward"));
+  p.has_best = root.bool_or("has_best");
+  if (const JsonValue* top = root.get("top"); top != nullptr) {
+    for (const JsonValue& t : top->array) {
+      TopArchProgress out;
+      out.arch = t.str_or("arch");
+      out.reward = static_cast<float>(t.num_or("reward"));
+      out.params = static_cast<std::size_t>(t.num_or("params"));
+      out.agent = static_cast<std::uint32_t>(t.num_or("agent"));
+      p.top.push_back(std::move(out));
+    }
+  }
+  if (const JsonValue* agents = root.get("agents"); agents != nullptr) {
+    for (const JsonValue& a : agents->array) {
+      AgentProgress out;
+      out.id = static_cast<std::uint32_t>(a.num_or("id"));
+      out.status = a.str_or("status");
+      out.evals = static_cast<std::size_t>(a.num_or("evals"));
+      out.cache_hits = static_cast<std::size_t>(a.num_or("cache_hits"));
+      out.timeouts = static_cast<std::size_t>(a.num_or("timeouts"));
+      out.cached_streak = static_cast<std::size_t>(a.num_or("cached_streak"));
+      out.best_reward = static_cast<float>(a.num_or("best_reward"));
+      out.has_best = a.bool_or("has_best");
+      p.agents.push_back(std::move(out));
+    }
+  }
+  p.retries = static_cast<std::size_t>(root.num_or("retries"));
+  p.exhausted = static_cast<std::size_t>(root.num_or("exhausted"));
+  p.lost_results = static_cast<std::size_t>(root.num_or("lost_results"));
+  p.crashed_workers = static_cast<std::size_t>(root.num_or("crashed_workers"));
+  p.dead_agents = static_cast<std::size_t>(root.num_or("dead_agents"));
+  p.healthy = root.bool_or("healthy", true);
+  p.stragglers = static_cast<std::size_t>(root.num_or("stragglers"));
+  p.stalls = static_cast<std::size_t>(root.num_or("stalls"));
+  if (const JsonValue* hot = root.get("hot_scopes"); hot != nullptr) {
+    for (const JsonValue& h : hot->array) {
+      HotScopeProgress out;
+      out.name = h.str_or("name");
+      out.calls = static_cast<std::uint64_t>(h.num_or("calls"));
+      out.total_ms = h.num_or("total_ms");
+      out.self_ms = h.num_or("self_ms");
+      p.hot_scopes.push_back(std::move(out));
+    }
+  }
+  p.journal_events = static_cast<std::uint64_t>(root.num_or("journal_events"));
+  p.exporter_errors = static_cast<std::uint64_t>(root.num_or("exporter_errors"));
+  return p;
+}
+
+// ---- SnapshotBus ------------------------------------------------------------
+
+void SnapshotBus::add_sink(Sink sink) {
+  const std::scoped_lock lock(mu_);
+  sinks_.push_back(std::move(sink));
+}
+
+std::uint64_t SnapshotBus::publish(PublishedSnapshot snap) {
+  const std::uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  snap.seq = seq;
+  snap.progress.seq = seq;
+  if (cadence_ > 0.0) {
+    // Land the next publication on the first cadence boundary strictly after
+    // this tick — pure arithmetic on the virtual clock, so the schedule is
+    // deterministic regardless of wall time.
+    const double next = (std::floor(snap.virtual_time / cadence_) + 1.0) * cadence_;
+    next_due_.store(next, std::memory_order_relaxed);
+  }
+  const std::scoped_lock lock(mu_);
+  for (const Sink& sink : sinks_) sink(snap);
+  return seq;
+}
+
+// ---- Exporter facade --------------------------------------------------------
+
+Exporter::Exporter(ExporterConfig cfg, Telemetry& telemetry)
+    : cfg_(std::move(cfg)),
+      telemetry_(&telemetry),
+      errors_(&telemetry.metrics().counter("ncnas_exporter_errors_total")),
+      bus_(cfg_.cadence_seconds) {
+  bus_.add_sink([this](const PublishedSnapshot& snap) { render_payloads(snap); });
+  if (!cfg_.live_journal_path.empty()) {
+    Journal& journal = telemetry.enable_journal();
+    if (!journal.open_live_export(cfg_.live_journal_path, cfg_.live_journal_append, errors_)) {
+      std::cerr << "ncnas exporter: cannot open live journal '" << cfg_.live_journal_path
+                << "'; live tailing disabled, search continues\n";
+    }
+  }
+  if (cfg_.http_port >= 0) {
+    {
+      // Pre-publication defaults: /metrics must still be a valid (empty)
+      // OpenMetrics exposition the moment the server comes up.
+      const std::scoped_lock lock(payload_mu_);
+      metrics_text_ = "# EOF\n";
+      progress_json_ = "{}\n";
+    }
+    http_ = std::make_unique<HttpExporter>(
+        cfg_.bind_address, cfg_.http_port,
+        [this](const std::string& path) -> std::tuple<int, std::string, std::string> {
+          if (path == "/metrics") {
+            return {200, "application/openmetrics-text; version=1.0.0; charset=utf-8",
+                    metrics_text()};
+          }
+          if (path == "/progress") return {200, "application/json", progress_json()};
+          if (path == "/healthz") return {healthz_status(), "text/plain; charset=utf-8",
+                                          healthz_body()};
+          return {404, "text/plain; charset=utf-8", "not found\n"};
+        },
+        errors_);
+  }
+}
+
+Exporter::~Exporter() {
+  if (http_) http_->stop();
+  if (!cfg_.live_journal_path.empty() && telemetry_->journal() != nullptr) {
+    telemetry_->journal()->close_live_export();
+  }
+}
+
+void Exporter::tick(double vt, ProgressSnapshot progress) {
+  if (!bus_.due(vt)) return;
+  publish(vt, std::move(progress));
+}
+
+void Exporter::publish(double vt, ProgressSnapshot progress) {
+  // Publication times never rewind. The driver keeps harvesting in-flight
+  // completions past the wall-time deadline (their ticks publish at t >
+  // wall_time), but the final flush comes in at the deadline-clamped
+  // end_time; clamping here keeps every consumer's timeline monotone.
+  vt = std::max(vt, last_vt_);
+  last_vt_ = vt;
+  PublishedSnapshot snap;
+  snap.virtual_time = vt;
+  snap.metrics = telemetry_->metrics().snapshot();
+  if (const Journal* journal = telemetry_->journal(); journal != nullptr) {
+    snap.journal_offset = journal_seen_;
+    snap.journal_delta = journal->snapshot_since(journal_seen_);
+    journal_seen_ += snap.journal_delta.size();
+  }
+  if (const HealthWatchdog* watchdog = telemetry_->watchdog(); watchdog != nullptr) {
+    const WatchdogReport report = watchdog->report();
+    progress.healthy = report.healthy();
+    progress.stragglers = report.stragglers.size();
+    progress.stalls = report.stalls.size();
+  }
+  if (Profiler* profiler = telemetry_->profiler(); profiler != nullptr) {
+    const std::vector<FlatProfileEntry> flat = profiler->snapshot().flat();
+    for (std::size_t i = 0; i < flat.size() && i < cfg_.hot_scopes; ++i) {
+      progress.hot_scopes.push_back({flat[i].name, flat[i].calls, flat[i].total_ms,
+                                     flat[i].self_ms});
+    }
+  }
+  progress.virtual_time = vt;
+  progress.journal_events = journal_seen_;
+  progress.exporter_errors = errors_->value();
+  snap.progress = std::move(progress);
+  bus_.publish(std::move(snap));
+}
+
+void Exporter::render_payloads(const PublishedSnapshot& snap) {
+  std::vector<std::pair<std::string, std::string>> info;
+  if (!snap.progress.strategy.empty()) info.emplace_back("strategy", snap.progress.strategy);
+  std::string metrics = openmetrics_text(snap.metrics, info);
+  std::string progress = progress_to_json(snap.progress);
+  std::string health;
+  int status = 200;
+  if (snap.progress.healthy) {
+    health = snap.progress.finished ? "ok: run finished\n" : "ok\n";
+  } else {
+    status = 503;
+    health = "unhealthy: " + std::to_string(snap.progress.stragglers) + " straggler(s), " +
+             std::to_string(snap.progress.stalls) + " stall(s)\n";
+  }
+  const std::scoped_lock lock(payload_mu_);
+  metrics_text_ = std::move(metrics);
+  progress_json_ = std::move(progress);
+  healthz_body_ = std::move(health);
+  healthz_status_ = status;
+}
+
+std::string Exporter::metrics_text() const {
+  const std::scoped_lock lock(payload_mu_);
+  return metrics_text_;
+}
+
+std::string Exporter::progress_json() const {
+  const std::scoped_lock lock(payload_mu_);
+  return progress_json_;
+}
+
+std::string Exporter::healthz_body() const {
+  const std::scoped_lock lock(payload_mu_);
+  return healthz_body_;
+}
+
+int Exporter::healthz_status() const {
+  const std::scoped_lock lock(payload_mu_);
+  return healthz_status_;
+}
+
+}  // namespace ncnas::obs

@@ -8,41 +8,11 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "ncnas/obs/metrics.hpp"
+
 namespace ncnas::obs {
 
-namespace {
-
-struct NameEntry {
-  JournalEventType type;
-  const char* name;
-};
-
-constexpr NameEntry kNames[] = {
-    {JournalEventType::kRunStarted, "run_started"},
-    {JournalEventType::kRunFinished, "run_finished"},
-    {JournalEventType::kEvalDispatched, "eval_dispatched"},
-    {JournalEventType::kEvalFinished, "eval_finished"},
-    {JournalEventType::kEvalCached, "eval_cached"},
-    {JournalEventType::kEvalTimeout, "eval_timeout"},
-    {JournalEventType::kPpoUpdate, "ppo_update"},
-    {JournalEventType::kPsExchange, "ps_exchange"},
-    {JournalEventType::kAgentConverged, "agent_converged"},
-    {JournalEventType::kStragglerDetected, "straggler_detected"},
-    {JournalEventType::kAgentStalled, "agent_stalled"},
-    {JournalEventType::kEvalFailed, "eval_failed"},
-    {JournalEventType::kEvalRetried, "eval_retried"},
-    {JournalEventType::kEvalExhausted, "eval_exhausted"},
-    {JournalEventType::kResultLost, "result_lost"},
-    {JournalEventType::kWorkerCrashed, "worker_crashed"},
-    {JournalEventType::kAgentDead, "agent_dead"},
-    {JournalEventType::kPsDropped, "ps_dropped"},
-    {JournalEventType::kPsDelayed, "ps_delayed"},
-    {JournalEventType::kBarrierTimeout, "barrier_timeout"},
-    {JournalEventType::kCheckpointWritten, "checkpoint_written"},
-    {JournalEventType::kRunResumed, "run_resumed"},
-};
-
-void write_escaped(std::ostream& os, std::string_view s) {
+void write_json_string(std::ostream& os, std::string_view s) {
   os << '"';
   for (char c : s) {
     switch (c) {
@@ -79,6 +49,38 @@ void write_json_number(std::ostream& os, double v) {
   }
 }
 
+namespace {
+
+struct NameEntry {
+  JournalEventType type;
+  const char* name;
+};
+
+constexpr NameEntry kNames[] = {
+    {JournalEventType::kRunStarted, "run_started"},
+    {JournalEventType::kRunFinished, "run_finished"},
+    {JournalEventType::kEvalDispatched, "eval_dispatched"},
+    {JournalEventType::kEvalFinished, "eval_finished"},
+    {JournalEventType::kEvalCached, "eval_cached"},
+    {JournalEventType::kEvalTimeout, "eval_timeout"},
+    {JournalEventType::kPpoUpdate, "ppo_update"},
+    {JournalEventType::kPsExchange, "ps_exchange"},
+    {JournalEventType::kAgentConverged, "agent_converged"},
+    {JournalEventType::kStragglerDetected, "straggler_detected"},
+    {JournalEventType::kAgentStalled, "agent_stalled"},
+    {JournalEventType::kEvalFailed, "eval_failed"},
+    {JournalEventType::kEvalRetried, "eval_retried"},
+    {JournalEventType::kEvalExhausted, "eval_exhausted"},
+    {JournalEventType::kResultLost, "result_lost"},
+    {JournalEventType::kWorkerCrashed, "worker_crashed"},
+    {JournalEventType::kAgentDead, "agent_dead"},
+    {JournalEventType::kPsDropped, "ps_dropped"},
+    {JournalEventType::kPsDelayed, "ps_delayed"},
+    {JournalEventType::kBarrierTimeout, "barrier_timeout"},
+    {JournalEventType::kCheckpointWritten, "checkpoint_written"},
+    {JournalEventType::kRunResumed, "run_resumed"},
+};
+
 void write_event(std::ostream& os, const JournalEvent& e) {
   os << "{\"v\":" << kJournalSchemaVersion << ",\"seq\":" << e.seq << ",\"type\":\""
      << journal_event_name(e.type) << "\",\"t\":";
@@ -92,7 +94,7 @@ void write_event(std::ostream& os, const JournalEvent& e) {
   os << ",\"payload\":{";
   for (std::size_t i = 0; i < e.payload.size(); ++i) {
     if (i) os << ',';
-    write_escaped(os, e.payload[i].key);
+    write_json_string(os, e.payload[i].key);
     os << ':';
     write_json_number(os, e.payload[i].value);
   }
@@ -238,6 +240,7 @@ void Journal::append(JournalEventType type, double t, std::uint32_t agent,
     const std::scoped_lock lock(mu_);
     e.seq = next_seq_++;
     events_.push_back(e);
+    if (live_.is_open()) live_write_locked(e);
   }
   // Dispatch outside the buffer lock; the recursive mutex lets a subscriber
   // append follow-up events (watchdog verdicts) from inside its callback.
@@ -255,10 +258,80 @@ std::vector<JournalEvent> Journal::snapshot() const {
   return events_;
 }
 
+std::vector<JournalEvent> Journal::snapshot_since(std::size_t start) const {
+  const std::scoped_lock lock(mu_);
+  if (start >= events_.size()) return {};
+  return {events_.begin() + static_cast<std::ptrdiff_t>(start), events_.end()};
+}
+
 void Journal::clear() {
   const std::scoped_lock lock(mu_);
   events_.clear();
   next_seq_ = 0;
+}
+
+// ---- live streaming ---------------------------------------------------------
+
+bool Journal::open_live_export(const std::string& path, bool append, Counter* error_counter) {
+  const std::scoped_lock lock(mu_);
+  if (live_.is_open()) live_.close();
+  live_errors_sink_ = error_counter;
+  live_.clear();
+  live_.open(path, append ? (std::ios::out | std::ios::app) : std::ios::out);
+  if (!live_.is_open()) {
+    ++live_errors_;
+    if (live_errors_sink_ != nullptr) live_errors_sink_->inc();
+    return false;
+  }
+  // Header plus catch-up: everything already buffered goes out first so the
+  // file is a complete journal, not a mid-run fragment.
+  std::ostringstream head;
+  head << "{\"schema\":\"ncnas.journal\",\"v\":" << kJournalSchemaVersion
+       << ",\"events\":" << events_.size() << "}\n";
+  for (const JournalEvent& e : events_) {
+    write_event(head, e);
+    head << '\n';
+  }
+  live_ << head.str() << std::flush;
+  if (live_.fail()) {
+    ++live_errors_;
+    if (live_errors_sink_ != nullptr) live_errors_sink_->inc();
+    live_.close();
+    return false;
+  }
+  return true;
+}
+
+void Journal::close_live_export() {
+  const std::scoped_lock lock(mu_);
+  if (live_.is_open()) {
+    live_.flush();
+    live_.close();
+  }
+}
+
+bool Journal::live_export_open() const {
+  const std::scoped_lock lock(mu_);
+  return live_.is_open();
+}
+
+std::uint64_t Journal::live_export_errors() const {
+  const std::scoped_lock lock(mu_);
+  return live_errors_;
+}
+
+void Journal::live_write_locked(const JournalEvent& e) {
+  // Build the full line first, then write it in one shot and flush, so a
+  // concurrent `tail -f` never observes a torn line.
+  std::ostringstream line;
+  write_event(line, e);
+  line << '\n';
+  live_ << line.str() << std::flush;
+  if (live_.fail()) {
+    ++live_errors_;
+    if (live_errors_sink_ != nullptr) live_errors_sink_->inc();
+    live_.close();  // first failure disables the sink; the search carries on
+  }
 }
 
 void Journal::export_jsonl(std::ostream& os) const { export_jsonl(snapshot(), os); }
@@ -479,6 +552,111 @@ std::vector<JournalEvent> merge_resumed_journal(std::vector<JournalEvent> prior,
   prior.insert(prior.end(), resumed.begin(), resumed.end());
   for (std::size_t i = 0; i < prior.size(); ++i) prior[i].seq = i;
   return prior;
+}
+
+void export_run_summary_json(const RunSummary& sum, std::ostream& os) {
+  const auto key = [&os](const char* k) {
+    write_json_string(os, k);
+    os << ':';
+  };
+  const auto num = [&](const char* k, double v) {
+    key(k);
+    write_json_number(os, v);
+    os << ',';
+  };
+  const auto boolean = [&](const char* k, bool v) {
+    key(k);
+    os << (v ? "true" : "false") << ',';
+  };
+  const auto number_array = [&](const char* k, const std::vector<double>& vs) {
+    key(k);
+    os << '[';
+    for (std::size_t i = 0; i < vs.size(); ++i) {
+      if (i) os << ',';
+      write_json_number(os, vs[i]);
+    }
+    os << "],";
+  };
+
+  os << '{';
+  num("schema_version", kJournalSchemaVersion);
+  boolean("has_run_started", sum.has_run_started);
+  boolean("has_run_finished", sum.has_run_finished);
+  num("strategy", sum.strategy);
+  num("agents_declared", static_cast<double>(sum.agents_declared));
+  num("workers_per_agent", static_cast<double>(sum.workers_per_agent));
+  num("wall_time_s", sum.wall_time_s);
+  num("end_time_s", sum.end_time_s);
+  boolean("converged", sum.converged);
+  num("evals", static_cast<double>(sum.evals));
+  num("real_evals", static_cast<double>(sum.real_evals));
+  num("cache_hits", static_cast<double>(sum.cache_hits));
+  num("timeouts", static_cast<double>(sum.timeouts));
+  num("ppo_updates", static_cast<double>(sum.ppo_updates));
+  num("ps_exchanges", static_cast<double>(sum.ps_exchanges));
+  num("stragglers", static_cast<double>(sum.stragglers));
+  num("stalls", static_cast<double>(sum.stalls));
+  key("converged_agents");
+  os << '[';
+  for (std::size_t i = 0; i < sum.converged_agents.size(); ++i) {
+    if (i) os << ',';
+    os << sum.converged_agents[i];
+  }
+  os << "],";
+  num("eval_failures", static_cast<double>(sum.eval_failures));
+  num("retries", static_cast<double>(sum.retries));
+  num("exhausted", static_cast<double>(sum.exhausted));
+  num("lost_results", static_cast<double>(sum.lost_results));
+  num("crashed_workers", static_cast<double>(sum.crashed_workers));
+  num("dead_agents", static_cast<double>(sum.dead_agents));
+  num("ps_dropped", static_cast<double>(sum.ps_dropped));
+  num("ps_delayed", static_cast<double>(sum.ps_delayed));
+  num("barrier_timeouts", static_cast<double>(sum.barrier_timeouts));
+  num("checkpoints", static_cast<double>(sum.checkpoints));
+  num("resumes", static_cast<double>(sum.resumes));
+  number_array("resume_times", sum.resume_times);
+  boolean("faulty", sum.faulty());
+  num("best_reward", sum.best_reward);
+  num("best_reward_t", sum.best_reward_t);
+  key("rewards");
+  os << '[';
+  for (std::size_t i = 0; i < sum.rewards.size(); ++i) {
+    if (i) os << ',';
+    os << "[";
+    write_json_number(os, sum.rewards[i].first);
+    os << ',';
+    write_json_number(os, sum.rewards[i].second);
+    os << ']';
+  }
+  os << "],";
+  key("per_agent");
+  os << '{';
+  bool first_agent = true;
+  for (const auto& [id, a] : sum.per_agent) {
+    if (!first_agent) os << ',';
+    first_agent = false;
+    write_json_string(os, std::to_string(id));
+    os << ":{";
+    os << "\"evals\":" << a.evals << ",\"cached\":" << a.cached
+       << ",\"timeouts\":" << a.timeouts << ",\"ppo_updates\":" << a.ppo_updates
+       << ",\"last_event_t\":";
+    write_json_number(os, a.last_event_t);
+    os << ",\"best_reward\":";
+    write_json_number(os, a.best_reward);
+    os << ",\"rate_per_min\":";
+    write_json_number(os, sum.agent_rate_per_min(id));
+    os << '}';
+  }
+  os << "},";
+  number_array("ps_wait_seconds", sum.ps_wait_seconds);
+  key("ps_staleness");
+  os << '[';
+  for (std::size_t i = 0; i < sum.ps_staleness.size(); ++i) {
+    if (i) os << ',';
+    write_json_number(os, sum.ps_staleness[i]);
+  }
+  os << ']';
+  os << "}\n";
 }
 
 }  // namespace ncnas::obs

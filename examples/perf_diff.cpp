@@ -9,11 +9,14 @@
 //                 metric = self ms, lower is better)
 //
 //   ./examples/perf_diff <baseline.json> <current.json> \
-//       [--threshold 0.15] [--fail-on-regress]
+//       [--threshold 0.15] [--fail-on-regress] [--match SUBSTR]...
 //
 // The file kind is auto-detected (both inputs must be the same kind) and
 // every record present on both sides is compared; relative deltas beyond the
-// threshold are flagged. The default mode is informational — it always exits
+// threshold are flagged. --match (repeatable) restricts the comparison to
+// records whose key contains any given substring — e.g. `--match gemm/
+// --match gemm_nt/` gates CI on just the gemm families while the rest of
+// the table stays informational. The default mode is informational — it always exits
 // 0 so CI can surface regressions without failing the build; --fail-on-regress
 // turns flagged regressions into exit code 1. Profile self-times are only
 // comparable between runs of the same workload on the same machine; bench
@@ -119,6 +122,7 @@ std::string fmt(double v) {
 
 int main(int argc, char** argv) {
   std::vector<std::string> paths;
+  std::vector<std::string> matches;
   double threshold = 0.15;
   bool fail_on_regress = false;
   for (int i = 1; i < argc; ++i) {
@@ -129,6 +133,12 @@ int main(int argc, char** argv) {
         return 2;
       }
       threshold = std::stod(argv[++i]);
+    } else if (arg == "--match") {
+      if (i + 1 >= argc) {
+        std::cerr << "--match needs a substring\n";
+        return 2;
+      }
+      matches.push_back(argv[++i]);
     } else if (arg == "--fail-on-regress") {
       fail_on_regress = true;
     } else {
@@ -137,9 +147,14 @@ int main(int argc, char** argv) {
   }
   if (paths.size() != 2) {
     std::cerr << "usage: perf_diff <baseline.json> <current.json> [--threshold 0.15]"
-                 " [--fail-on-regress]\n";
+                 " [--fail-on-regress] [--match SUBSTR]...\n";
     return 2;
   }
+  const auto matched = [&matches](const std::string& key) {
+    if (matches.empty()) return true;
+    return std::any_of(matches.begin(), matches.end(),
+                       [&key](const std::string& m) { return key.find(m) != std::string::npos; });
+  };
 
   std::string contents[2];
   for (int i = 0; i < 2; ++i) {
@@ -171,13 +186,20 @@ int main(int argc, char** argv) {
   std::cout << "perf_diff (" << (kind == Kind::kBench ? "bench" : "profile") << ", metric "
             << metric << ", threshold " << fmt(100.0 * threshold) << "%)\n";
   std::cout << "  baseline: " << paths[0] << " (" << base.size() << " records)\n";
-  std::cout << "  current:  " << paths[1] << " (" << cur.size() << " records)\n\n";
+  std::cout << "  current:  " << paths[1] << " (" << cur.size() << " records)\n";
+  if (!matches.empty()) {
+    std::cout << "  match:   ";
+    for (const std::string& m : matches) std::cout << " \"" << m << "\"";
+    std::cout << "\n";
+  }
+  std::cout << "\n";
 
   std::size_t regressions = 0, improvements = 0, compared = 0, added = 0, removed = 0;
   std::cout << std::left << std::setw(34) << "record" << std::right << std::setw(12)
             << "baseline" << std::setw(12) << "current" << std::setw(10) << "delta"
             << "  verdict\n";
   for (const auto& [key, b] : base) {
+    if (!matched(key)) continue;
     const auto it = cur.find(key);
     if (it == cur.end()) {
       ++removed;
@@ -195,7 +217,9 @@ int main(int argc, char** argv) {
               << fmt(b.value) << std::setw(12) << fmt(c.value) << std::setw(9)
               << fmt(100.0 * delta) << "%  " << verdict << "\n";
   }
-  for (const auto& [key, c] : cur) added += base.find(key) == base.end();
+  for (const auto& [key, c] : cur) {
+    added += matched(key) && base.find(key) == base.end();
+  }
 
   std::cout << "\n"
             << compared << " compared: " << regressions << " regressed beyond threshold, "

@@ -27,6 +27,13 @@ enum class Act { kLinear, kRelu, kTanh, kSigmoid, kSoftmax };
 [[nodiscard]] tensor::Tensor act_backward(Act a, const tensor::Tensor& grad_y,
                                           const tensor::Tensor& y);
 
+/// In-place variants — the layers' hot paths use these on reusable scratch
+/// tensors so forward/backward allocate nothing in steady state.
+/// Turns logits z into activations in place.
+void apply_act_inplace(Act a, tensor::Tensor& y);
+/// Turns dL/dy into dL/dz in place, given the cached activated output y.
+void act_backward_inplace(Act a, tensor::Tensor& g, const tensor::Tensor& y);
+
 // ---------------------------------------------------------------------------
 
 class Input final : public Layer {
@@ -95,6 +102,8 @@ class Dense final : public Layer {
   bool shared_ = false;        // true when mirroring another Dense's params
   tensor::Tensor x_;           // cached input
   tensor::Tensor y_;           // cached activated output
+  tensor::Tensor gz_;          // backward scratch: dL/dz (capacity reused)
+  tensor::Tensor dw_;          // backward scratch: this step's dW
 };
 
 class Activation final : public Layer {

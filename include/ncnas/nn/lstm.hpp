@@ -64,6 +64,13 @@ class LstmCell {
   ParamPtr wh_;  // [hidden, 4*hidden]
   ParamPtr b_;   // [4*hidden]
   std::vector<StepCache> cache_;
+  // Reusable scratch (capacity survives across steps, so steady-state calls
+  // allocate nothing). mutable: step_nograd is logically const but still
+  // needs the scratch; these hold no observable state between calls.
+  mutable tensor::Tensor z_;    // pre-activation gates [batch, 4*hidden]
+  mutable tensor::Tensor zh_;   // h_prev * Wh partial inside gates()
+  tensor::Tensor dz_;           // backward: dL/dz
+  tensor::Tensor dwx_, dwh_;    // backward: per-step weight grads
 };
 
 }  // namespace ncnas::nn

@@ -5,7 +5,9 @@
 // gemm/gemm_nt/gemm_tn and the large elementwise helpers to cache-blocked
 // kernels; threads > 1 additionally spreads row blocks of the output across
 // a dedicated internal ThreadPool (separate from the search driver's pool,
-// so nested use cannot deadlock).
+// so nested use cannot deadlock). On the blocked path, SimdMode selects the
+// runtime-dispatched SIMD micro-kernel tier (AVX2 on x86-64, NEON on
+// aarch64) — same bytes, fewer instructions.
 //
 // Determinism is a hard design rule, not an aspiration: every output element
 // is produced by exactly one task and accumulated in the same (k-ascending)
@@ -21,6 +23,21 @@
 namespace ncnas::tensor {
 
 class ThreadPool;
+
+/// Policy for the runtime-dispatched SIMD micro-kernel tier.
+///
+/// The SIMD tier substitutes explicit vector micro-kernels (AVX2+FMA on
+/// x86-64, NEON on aarch64) for the scalar blocked micro-kernels. It is only
+/// ever *eligible* when this translation unit set was compiled optimized with
+/// FMA contraction available (see simd_available()): the scalar kernels then
+/// compile to the exact per-element fused-multiply-add chains the SIMD
+/// kernels issue explicitly, so both tiers produce identical bytes. In any
+/// other build the tier silently resolves to the blocked kernels.
+enum class SimdMode : int {
+  kAuto = 0,  ///< Use the SIMD tier whenever it is available (the default).
+  kOff = 1,   ///< Never use SIMD micro-kernels, even when available.
+  kOn = 2,    ///< Request SIMD; falls back to blocked when unavailable.
+};
 
 struct KernelConfig {
   /// 0 = serial reference kernels (the default; the seed code path).
@@ -38,16 +55,33 @@ struct KernelConfig {
   std::size_t min_blocked_flops = 16 * 1024;
   /// Element count below which the elementwise helpers stay serial.
   std::size_t min_parallel_elems = 32 * 1024;
+  /// SIMD micro-kernel policy (only consulted on the blocked path; the
+  /// serial reference kernels never dispatch to SIMD). The NCNAS_SIMD
+  /// environment variable acts as a process-wide kill switch: "off"/"0"
+  /// disables the tier regardless of this field.
+  SimdMode simd = SimdMode::kAuto;
 
   /// Blocked kernels requested (serial when threads == 1).
   [[nodiscard]] bool blocked() const noexcept { return threads >= 1; }
   /// Blocked kernels spread over the internal pool.
   [[nodiscard]] bool pooled() const noexcept { return threads > 1; }
+  /// True when this config's blocked path will use SIMD micro-kernels:
+  /// blocked() and the simd policy resolves on and simd_available().
+  [[nodiscard]] bool simd_active() const noexcept;
 
   /// Blocked + pooled config; `threads` 0 picks hardware concurrency.
   [[nodiscard]] static KernelConfig parallel(std::size_t threads = 0);
   /// The default: serial reference kernels.
   [[nodiscard]] static KernelConfig serial() noexcept { return {}; }
+
+  /// Whether the SIMD tier can run in this process: the library was built
+  /// optimized with FMA contraction (x86) or for aarch64, the CPU supports
+  /// the ISA (AVX2+FMA checked at runtime on x86), and the NCNAS_SIMD
+  /// environment variable does not say "off".
+  [[nodiscard]] static bool simd_available() noexcept;
+  /// ISA label of the available SIMD tier: "avx2", "neon", or "" when
+  /// simd_available() is false.
+  [[nodiscard]] static const char* simd_isa() noexcept;
 };
 
 /// Installs `cfg` process-wide. Fields are individually atomic, but the

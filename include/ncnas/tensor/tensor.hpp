@@ -103,6 +103,12 @@ class Tensor {
   void fill(float value);
   void zero() { fill(0.0f); }
 
+  /// Reshapes this tensor in place to `shape`, reusing the existing buffer
+  /// capacity whenever it suffices (no heap traffic in that case — this is
+  /// how layer scratch tensors stay allocation-free across steps). Contents
+  /// after reset are unspecified; callers must overwrite every element.
+  void reset(Shape shape);
+
   /// Throws std::invalid_argument unless `shape() == expected`.
   void require_shape(const Shape& expected, const char* what) const;
 

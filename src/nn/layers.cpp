@@ -44,6 +44,11 @@ const char* act_name(Act a) {
 
 Tensor apply_act(Act a, const Tensor& z) {
   Tensor y = z;
+  apply_act_inplace(a, y);
+  return y;
+}
+
+void apply_act_inplace(Act a, Tensor& y) {
   // Pointwise activations run through parallel_elems / parallel_rows: each
   // element (or row, for softmax) has one writer and no cross-chunk data
   // flow, so the bytes are the serial loop's bytes at any thread count.
@@ -84,11 +89,15 @@ Tensor apply_act(Act a, const Tensor& z) {
       break;
     }
   }
-  return y;
 }
 
 Tensor act_backward(Act a, const Tensor& grad_y, const Tensor& y) {
   Tensor g = grad_y;
+  act_backward_inplace(a, g, y);
+  return g;
+}
+
+void act_backward_inplace(Act a, Tensor& g, const Tensor& y) {
   float* pg = g.data();
   const float* py = y.data();
   switch (a) {
@@ -126,7 +135,6 @@ Tensor act_backward(Act a, const Tensor& grad_y, const Tensor& y) {
       break;
     }
   }
-  return g;
 }
 
 // --- Input ------------------------------------------------------------------
@@ -198,23 +206,28 @@ FeatShape Dense::output_shape(std::span<const FeatShape> in) const {
 Tensor Dense::forward(std::span<const tensor::Tensor* const> inputs, ForwardCtx&) {
   const Tensor& x = single_input(inputs, "dense");
   ensure_params(x.dim(1));
+  // Scratch discipline: x_/y_ reuse their buffers across steps (copy-assign
+  // and reset() keep capacity), gemm writes straight into y_, and the
+  // activation runs in place — steady-state forward allocates nothing
+  // beyond the returned copy.
   x_ = x;
-  Tensor z({x.dim(0), units_});
-  tensor::gemm(x, slot_->w->value, z);
-  tensor::add_row_bias(z, slot_->b->value);
-  y_ = apply_act(act_, z);
+  y_.reset({x.dim(0), units_});
+  tensor::gemm(x, slot_->w->value, y_);
+  tensor::add_row_bias(y_, slot_->b->value);
+  apply_act_inplace(act_, y_);
   return y_;
 }
 
 std::vector<Tensor> Dense::backward(const Tensor& grad_out) {
-  const Tensor gz = act_backward(act_, grad_out, y_);
+  gz_ = grad_out;
+  act_backward_inplace(act_, gz_, y_);
   // dW += X^T gz ; db += colsum(gz) ; dX = gz W^T
-  tensor::Tensor dw({x_.dim(1), units_});
-  tensor::gemm_tn(x_, gz, dw);
-  tensor::add_inplace(slot_->w->grad, dw);
-  tensor::accumulate_col_sums(gz, slot_->b->grad);
+  dw_.reset({x_.dim(1), units_});
+  tensor::gemm_tn(x_, gz_, dw_);
+  tensor::add_inplace(slot_->w->grad, dw_);
+  tensor::accumulate_col_sums(gz_, slot_->b->grad);
   Tensor dx({x_.dim(0), x_.dim(1)});
-  tensor::gemm_nt(gz, slot_->w->value, dx);
+  tensor::gemm_nt(gz_, slot_->w->value, dx);
   return {std::move(dx)};
 }
 
@@ -236,7 +249,8 @@ FeatShape Activation::output_shape(std::span<const FeatShape> in) const {
 }
 
 Tensor Activation::forward(std::span<const tensor::Tensor* const> inputs, ForwardCtx&) {
-  y_ = apply_act(act_, single_input(inputs, "activation"));
+  y_ = single_input(inputs, "activation");  // copy-assign reuses capacity
+  apply_act_inplace(act_, y_);
   return y_;
 }
 
@@ -269,7 +283,7 @@ Tensor Dropout::forward(std::span<const tensor::Tensor* const> inputs, ForwardCt
   if (ctx.rng == nullptr) {
     throw std::invalid_argument("dropout: training forward requires ForwardCtx::rng");
   }
-  mask_ = Tensor(x.shape());
+  mask_.reset(x.shape());
   const float keep = 1.0f - rate_;
   const float inv_keep = 1.0f / keep;
   Tensor y = x;

@@ -39,19 +39,21 @@ LstmState LstmCell::initial_state(std::size_t batch) const {
 
 void LstmCell::gates(const Tensor& x, const LstmState& prev, Tensor& z) const {
   const std::size_t batch = x.dim(0);
-  z = Tensor({batch, 4 * hidden_dim_});
-  Tensor zx({batch, 4 * hidden_dim_});
-  tensor::gemm(x, wx_->value, zx);
-  Tensor zh({batch, 4 * hidden_dim_});
-  tensor::gemm(prev.h, wh_->value, zh);
-  tensor::add_inplace(z, zx);
-  tensor::add_inplace(z, zh);
+  // z = x Wx + h_prev Wh + b, built on scratch tensors: gemm overwrites z
+  // directly (it zero-starts every accumulation chain, so this is bitwise
+  // the old zeros-then-add form — gemm also never produces -0, so the
+  // dropped `0 +` term can't flip a sign bit) and zh_ is the only partial.
+  z.reset({batch, 4 * hidden_dim_});
+  tensor::gemm(x, wx_->value, z);
+  zh_.reset({batch, 4 * hidden_dim_});
+  tensor::gemm(prev.h, wh_->value, zh_);
+  tensor::add_inplace(z, zh_);
   tensor::add_row_bias(z, b_->value);
 }
 
 LstmState LstmCell::step(const Tensor& x, const LstmState& prev) {
   const std::size_t batch = x.dim(0);
-  Tensor z;
+  Tensor& z = z_;
   gates(x, prev, z);
 
   StepCache cache;
@@ -96,7 +98,7 @@ LstmState LstmCell::step(const Tensor& x, const LstmState& prev) {
 
 LstmState LstmCell::step_nograd(const Tensor& x, const LstmState& prev) const {
   const std::size_t batch = x.dim(0);
-  Tensor z;
+  Tensor& z = z_;
   gates(x, prev, z);
   LstmState next{Tensor({batch, hidden_dim_}), Tensor({batch, hidden_dim_})};
   const std::size_t H = hidden_dim_;
@@ -125,8 +127,11 @@ Tensor LstmCell::backward_step(const Tensor& grad_h, const Tensor& grad_c,
 
   const std::size_t batch = cache.x.dim(0);
   const std::size_t H = hidden_dim_;
-  Tensor dz({batch, 4 * H});
-  grad_c_prev = Tensor({batch, H});
+  // dz_/dwx_/dwh_ are member scratch and grad_*_prev reuse the caller's
+  // buffers via reset(); every element is overwritten below.
+  dz_.reset({batch, 4 * H});
+  Tensor& dz = dz_;
+  grad_c_prev.reset({batch, H});
   tensor::parallel_rows(batch, 4 * H, [&](std::size_t rb, std::size_t re) {
     for (std::size_t r = rb; r < re; ++r) {
       float* dzr = dz.data() + r * 4 * H;
@@ -152,18 +157,18 @@ Tensor LstmCell::backward_step(const Tensor& grad_h, const Tensor& grad_c,
   });
 
   // Parameter grads.
-  Tensor dwx({input_dim_, 4 * H});
-  tensor::gemm_tn(cache.x, dz, dwx);
-  tensor::add_inplace(wx_->grad, dwx);
-  Tensor dwh({H, 4 * H});
-  tensor::gemm_tn(cache.h_prev, dz, dwh);
-  tensor::add_inplace(wh_->grad, dwh);
+  dwx_.reset({input_dim_, 4 * H});
+  tensor::gemm_tn(cache.x, dz, dwx_);
+  tensor::add_inplace(wx_->grad, dwx_);
+  dwh_.reset({H, 4 * H});
+  tensor::gemm_tn(cache.h_prev, dz, dwh_);
+  tensor::add_inplace(wh_->grad, dwh_);
   tensor::accumulate_col_sums(dz, b_->grad);
 
   // Input grads.
   Tensor dx({batch, input_dim_});
   tensor::gemm_nt(dz, wx_->value, dx);
-  grad_h_prev = Tensor({batch, H});
+  grad_h_prev.reset({batch, H});
   tensor::gemm_nt(dz, wh_->value, grad_h_prev);
   return dx;
 }

@@ -1,0 +1,63 @@
+#include "ncnas/tensor/arena.hpp"
+
+#include <algorithm>
+#include <new>
+
+#include "ncnas/obs/profiler.hpp"
+
+namespace ncnas::tensor::detail {
+
+namespace {
+
+// First chunk sized for a typical pack panel set (256 KiB = 64k floats);
+// later chunks double so any workload settles after O(log) growths.
+constexpr std::size_t kMinChunkFloats = 64 * 1024;
+constexpr std::size_t kAlignFloats = 16;  // 64-byte alignment in floats
+
+std::size_t align_up(std::size_t n) {
+  return (n + kAlignFloats - 1) & ~(kAlignFloats - 1);
+}
+
+}  // namespace
+
+void Arena::AlignedDelete::operator()(float* p) const noexcept {
+  ::operator delete[](p, std::align_val_t{64});
+}
+
+Arena& Arena::local() {
+  thread_local Arena arena;
+  return arena;
+}
+
+float* Arena::alloc(std::size_t n) {
+  const std::size_t want = std::max<std::size_t>(1, align_up(n));
+  // Advance through existing chunks before growing a new one.
+  while (chunk_ < chunks_.size()) {
+    Chunk& c = chunks_[chunk_];
+    if (used_ + want <= c.size) {
+      float* out = c.data.get() + used_;
+      used_ += want;
+      return out;
+    }
+    ++chunk_;
+    used_ = 0;
+  }
+  std::size_t grow = std::max(want, kMinChunkFloats);
+  if (!chunks_.empty()) grow = std::max(grow, chunks_.back().size * 2);
+  Chunk c;
+  c.data.reset(static_cast<float*>(::operator new[](grow * sizeof(float), std::align_val_t{64})));
+  c.size = grow;
+  obs::profile_alloc(grow * sizeof(float));
+  chunks_.push_back(std::move(c));
+  chunk_ = chunks_.size() - 1;
+  used_ = want;
+  return chunks_.back().data.get();
+}
+
+std::size_t Arena::capacity_floats() const noexcept {
+  std::size_t total = 0;
+  for (const Chunk& c : chunks_) total += c.size;
+  return total;
+}
+
+}  // namespace ncnas::tensor::detail

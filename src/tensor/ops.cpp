@@ -5,8 +5,10 @@
 #include <vector>
 
 #include "ncnas/obs/profiler.hpp"
+#include "ncnas/tensor/arena.hpp"
 #include "ncnas/tensor/kernel_config.hpp"
 #include "ncnas/tensor/thread_pool.hpp"
+#include "simd_kernels.hpp"
 
 namespace ncnas::tensor {
 
@@ -83,13 +85,20 @@ void gemm_ref_impl(const float* pa, const float* pb, float* pc, const GemmDims& 
 }
 
 void gemm_nt_ref_impl(const float* pa, const float* pb, float* pc, const GemmDims& d) {
+  // Same i-k-j accumulate-through-memory structure as gemm_ref_impl, reading
+  // B^T through its k-stride. This deliberately replaced an earlier
+  // dot-product formulation (per-element scalar accumulator): the compiler
+  // contracted that loop's reduction into a mix of partial FMA forms that no
+  // explicit kernel could reproduce, whereas this form compiles to the same
+  // clean per-element k-ascending FMA chain as the packed micro-kernels —
+  // which is what lets gemm_nt share the transposed-B pack path bit-for-bit.
   for (std::size_t i = 0; i < d.m; ++i) {
-    for (std::size_t j = 0; j < d.n; ++j) {
-      const float* arow = pa + i * d.k;
-      const float* brow = pb + j * d.k;
-      float acc = 0.0f;
-      for (std::size_t kk = 0; kk < d.k; ++kk) acc += arow[kk] * brow[kk];
-      pc[i * d.n + j] = acc;
+    float* crow = pc + i * d.n;
+    std::fill(crow, crow + d.n, 0.0f);
+    const float* arow = pa + i * d.k;
+    for (std::size_t kk = 0; kk < d.k; ++kk) {
+      const float aik = arow[kk];
+      for (std::size_t j = 0; j < d.n; ++j) crow[j] += aik * pb[j * d.k + kk];
     }
   }
 }
@@ -119,6 +128,18 @@ void gemm_tn_ref_impl(const float* pa, const float* pb, float* pc, const GemmDim
 constexpr std::size_t kPanelWidth = 32;  // NR: columns per packed B panel
 constexpr std::size_t kMicroRows = 4;    // MR: C rows per micro-kernel step
 
+// The SIMD micro-kernels consume the same packed panels the scalar ones do.
+static_assert(simd::kSimdPanelWidth == kPanelWidth,
+              "SIMD kernel panel width must match the pack layout");
+
+/// The SIMD micro-kernel table the given config dispatches to, or nullptr
+/// for the scalar micro-kernels. Centralised so the gemm drivers and the
+/// elementwise ops apply one policy (config says SIMD, build supports it,
+/// CPU supports it, NCNAS_SIMD doesn't veto it).
+const simd::KernelTable* simd_table(const KernelConfig& cfg) {
+  return cfg.simd_active() ? simd::active_table() : nullptr;
+}
+
 /// Grain of the deterministic chunking used by the elementwise helpers.
 /// Fixed — never derived from the thread count — so chunk boundaries (and
 /// therefore bytes) are identical no matter how many workers execute them.
@@ -142,6 +163,17 @@ void pack_b_panel(const float* pb, std::size_t k, std::size_t n, std::size_t j0,
     const float* src = pb + kk * n + j0;
     float* out = dst + kk * w;
     for (std::size_t jj = 0; jj < w; ++jj) out[jj] = src[jj];
+  }
+}
+
+/// pack_b_panel for a transposed operand: B is stored (n, k) row-major but
+/// used as a (k, n) matrix. Produces the identical k-major panel layout —
+/// dst[kk*w + jj] = B[j0+jj][kk] — so gemm and gemm_nt share every kernel
+/// downstream of packing. Reads stream contiguously along each B row.
+void pack_bt_panel(const float* pb, std::size_t k, std::size_t j0, std::size_t w, float* dst) {
+  for (std::size_t jj = 0; jj < w; ++jj) {
+    const float* src = pb + (j0 + jj) * k;
+    for (std::size_t kk = 0; kk < k; ++kk) dst[kk * w + jj] = src[kk];
   }
 }
 
@@ -199,18 +231,36 @@ void gemm_micro_edge(const float* pa, const float* bp, float* pc, std::size_t k,
   }
 }
 
-void gemm_blocked(const float* pa, const float* pb, float* pc, const GemmDims& d,
-                  const KernelConfig& cfg) {
+/// Shared blocked driver for gemm and gemm_nt. The only difference between
+/// the two ops is how B reaches the k-major packed panels (pack_b_panel vs
+/// pack_bt_panel); every kernel downstream of packing — scalar micro-kernels
+/// and the SIMD table alike — is identical, which is both the perf story
+/// (gemm_nt used to run a strided dot kernel that never vectorized) and the
+/// determinism story (one accumulation order to verify, not two).
+///
+/// The pack buffer comes from the per-thread arena: steady-state calls do
+/// zero heap allocations (the old std::vector alloc'd k*n floats per call).
+/// Pool workers write disjoint panel ranges of it; alloc/rewind stay on the
+/// calling thread as the arena contract requires.
+void gemm_panels_blocked(const float* pa, const float* pb, float* pc, const GemmDims& d,
+                         const KernelConfig& cfg, bool b_transposed) {
   const std::size_t npanels = div_up(d.n, kPanelWidth);
   // Panel p covers columns [p*W, p*W + w); packing it at offset j0*k keeps
   // the buffer exactly k*n floats with no holes.
-  std::vector<float> packed(d.k * d.n);
+  detail::ArenaScope scratch;
+  float* packed = scratch.alloc(d.k * d.n);
   run_tasks(cfg.pooled(), npanels, [&](std::size_t p) {
     const std::size_t j0 = p * kPanelWidth;
     const std::size_t w = std::min(kPanelWidth, d.n - j0);
-    pack_b_panel(pb, d.k, d.n, j0, w, packed.data() + j0 * d.k);
+    float* dst = packed + j0 * d.k;
+    if (b_transposed) {
+      pack_bt_panel(pb, d.k, j0, w, dst);
+    } else {
+      pack_b_panel(pb, d.k, d.n, j0, w, dst);
+    }
   });
 
+  const simd::KernelTable* tbl = simd_table(cfg);
   const std::size_t panels_per_pass = std::max<std::size_t>(1, cfg.block_cols / kPanelWidth);
   const std::size_t nblocks = div_up(d.m, cfg.block_rows);
   run_tasks(cfg.pooled(), nblocks, [&](std::size_t blk) {
@@ -221,57 +271,17 @@ void gemm_blocked(const float* pa, const float* pb, float* pc, const GemmDims& d
       for (std::size_t p = pc0; p < pc1; ++p) {
         const std::size_t j0 = p * kPanelWidth;
         const std::size_t w = std::min(kPanelWidth, d.n - j0);
-        const float* bp = packed.data() + j0 * d.k;
+        const float* bp = packed + j0 * d.k;
         if (w == kPanelWidth) {
-          gemm_micro_full<kPanelWidth>(pa, bp, pc, d.k, d.n, i0, i1, j0);
+          // SIMD handles only full-width panels; bit-safe to mix with the
+          // scalar edge path because equality is a per-element property.
+          if (tbl != nullptr) {
+            tbl->gemm_panel(pa, bp, pc, d.k, d.n, i0, i1, j0);
+          } else {
+            gemm_micro_full<kPanelWidth>(pa, bp, pc, d.k, d.n, i0, i1, j0);
+          }
         } else {
           gemm_micro_edge(pa, bp, pc, d.k, d.n, i0, i1, j0, w);
-        }
-      }
-    }
-  });
-}
-
-void gemm_nt_blocked(const float* pa, const float* pb, float* pc, const GemmDims& d,
-                     const KernelConfig& cfg) {
-  // Dot-product kernel: A rows and B rows both stream contiguously over k,
-  // so no packing is needed. Four independent accumulation chains (one per
-  // C column) hide FMA latency; each chain is k ascending, like the
-  // reference's scalar accumulator.
-  const std::size_t cols_per_pass = std::max<std::size_t>(1, cfg.block_cols);
-  const std::size_t nblocks = div_up(d.m, cfg.block_rows);
-  run_tasks(cfg.pooled(), nblocks, [&](std::size_t blk) {
-    const std::size_t i0 = blk * cfg.block_rows;
-    const std::size_t i1 = std::min(i0 + cfg.block_rows, d.m);
-    for (std::size_t jc = 0; jc < d.n; jc += cols_per_pass) {
-      const std::size_t jce = std::min(jc + cols_per_pass, d.n);
-      for (std::size_t i = i0; i < i1; ++i) {
-        const float* arow = pa + i * d.k;
-        float* crow = pc + i * d.n;
-        std::size_t j = jc;
-        for (; j + 4 <= jce; j += 4) {
-          const float* b0 = pb + (j + 0) * d.k;
-          const float* b1 = pb + (j + 1) * d.k;
-          const float* b2 = pb + (j + 2) * d.k;
-          const float* b3 = pb + (j + 3) * d.k;
-          float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
-          for (std::size_t kk = 0; kk < d.k; ++kk) {
-            const float av = arow[kk];
-            acc0 += av * b0[kk];
-            acc1 += av * b1[kk];
-            acc2 += av * b2[kk];
-            acc3 += av * b3[kk];
-          }
-          crow[j + 0] = acc0;
-          crow[j + 1] = acc1;
-          crow[j + 2] = acc2;
-          crow[j + 3] = acc3;
-        }
-        for (; j < jce; ++j) {
-          const float* brow = pb + j * d.k;
-          float acc = 0.0f;
-          for (std::size_t kk = 0; kk < d.k; ++kk) acc += arow[kk] * brow[kk];
-          crow[j] = acc;
         }
       }
     }
@@ -320,10 +330,21 @@ void gemm_tn_micro_r1(const float* pa, const float* pb, float* pc, const GemmDim
 
 void gemm_tn_blocked(const float* pa, const float* pb, float* pc, const GemmDims& d,
                      const KernelConfig& cfg) {
+  const simd::KernelTable* tbl = simd_table(cfg);
+  const std::size_t n_full = tbl != nullptr ? tbl->gemm_tn_full_cols(d.n) : 0;
   const std::size_t nblocks = div_up(d.m, cfg.block_rows);
   run_tasks(cfg.pooled(), nblocks, [&](std::size_t blk) {
     const std::size_t i0 = blk * cfg.block_rows;
     const std::size_t i1 = std::min(i0 + cfg.block_rows, d.m);
+    if (tbl != nullptr && n_full > 0) {
+      tbl->gemm_tn_block(pa, pb, pc, d.m, d.k, d.n, i0, i1, n_full);
+      // Leftover columns [n_full, n) — fewer than one vector chunk — go to
+      // the scalar edge kernel, one sub-width pass per row.
+      for (std::size_t i = i0; n_full < d.n && i < i1; ++i) {
+        gemm_tn_micro_r1(pa, pb, pc, d, i, n_full, d.n - n_full);
+      }
+      return;
+    }
     std::size_t i = i0;
     for (; i + kMicroRows <= i1; i += kMicroRows) {
       std::size_t j0 = 0;
@@ -344,8 +365,14 @@ void gemm_tn_blocked(const float* pa, const float* pb, float* pc, const GemmDims
   });
 }
 
-bool use_blocked(const GemmDims& d, const KernelConfig& cfg) {
-  return cfg.blocked() && d.m * d.k * d.n >= cfg.min_blocked_flops;
+/// Which tier a gemm of these dims runs under cfg. One rule for all three
+/// variants: below min_blocked_flops the blocking/packing overhead loses to
+/// the plain reference loop (this is what fixes the small-size gemm_nt
+/// regression — tiny matmuls now take the reference path outright), above
+/// it the blocked drivers run, upgraded to the SIMD table when eligible.
+GemmPath plan_path(const GemmDims& d, const KernelConfig& cfg) {
+  if (!cfg.blocked() || d.m * d.k * d.n < cfg.min_blocked_flops) return GemmPath::kReference;
+  return cfg.simd_active() ? GemmPath::kSimd : GemmPath::kBlocked;
 }
 
 // 2*m*k*n multiply-adds; bytes = read A, read B, write C (float32).
@@ -361,13 +388,17 @@ double gemm_bytes(const GemmDims& d) {
 
 }  // namespace
 
+GemmPath planned_gemm_path(std::size_t m, std::size_t k, std::size_t n) {
+  return plan_path({m, k, n}, kernel_config());
+}
+
 void gemm(const Tensor& a, const Tensor& b, Tensor& c) {
   const GemmDims d = check_gemm(a, b, c);
   obs::ProfileScope prof("gemm");
   prof.add_work(gemm_flops(d), gemm_bytes(d));
   const KernelConfig cfg = kernel_config();
-  if (use_blocked(d, cfg)) {
-    gemm_blocked(a.data(), b.data(), c.data(), d, cfg);
+  if (plan_path(d, cfg) != GemmPath::kReference) {
+    gemm_panels_blocked(a.data(), b.data(), c.data(), d, cfg, /*b_transposed=*/false);
   } else {
     gemm_ref_impl(a.data(), b.data(), c.data(), d);
   }
@@ -378,8 +409,8 @@ void gemm_nt(const Tensor& a, const Tensor& b, Tensor& c) {
   obs::ProfileScope prof("gemm_nt");
   prof.add_work(gemm_flops(d), gemm_bytes(d));
   const KernelConfig cfg = kernel_config();
-  if (use_blocked(d, cfg)) {
-    gemm_nt_blocked(a.data(), b.data(), c.data(), d, cfg);
+  if (plan_path(d, cfg) != GemmPath::kReference) {
+    gemm_panels_blocked(a.data(), b.data(), c.data(), d, cfg, /*b_transposed=*/true);
   } else {
     gemm_nt_ref_impl(a.data(), b.data(), c.data(), d);
   }
@@ -390,7 +421,7 @@ void gemm_tn(const Tensor& a, const Tensor& b, Tensor& c) {
   obs::ProfileScope prof("gemm_tn");
   prof.add_work(gemm_flops(d), gemm_bytes(d));
   const KernelConfig cfg = kernel_config();
-  if (use_blocked(d, cfg)) {
+  if (plan_path(d, cfg) != GemmPath::kReference) {
     gemm_tn_blocked(a.data(), b.data(), c.data(), d, cfg);
   } else {
     gemm_tn_ref_impl(a.data(), b.data(), c.data(), d);
@@ -458,8 +489,13 @@ void axpy(float alpha, const Tensor& x, Tensor& y) {
   prof.add_work(2.0 * static_cast<double>(y.size()), 12.0 * static_cast<double>(y.size()));
   float* py = y.data();
   const float* px = x.data();
+  const simd::KernelTable* tbl = simd_table(kernel_config());
   parallel_elems(y.size(), [&](std::size_t b, std::size_t e) {
-    for (std::size_t i = b; i < e; ++i) py[i] += alpha * px[i];
+    if (tbl != nullptr) {
+      tbl->axpy_range(alpha, px, py, b, e);
+    } else {
+      for (std::size_t i = b; i < e; ++i) py[i] += alpha * px[i];
+    }
   });
 }
 
@@ -467,8 +503,13 @@ void scale_inplace(Tensor& y, float alpha) {
   obs::ProfileScope prof("scale_inplace");
   prof.add_work(static_cast<double>(y.size()), 8.0 * static_cast<double>(y.size()));
   float* py = y.data();
+  const simd::KernelTable* tbl = simd_table(kernel_config());
   parallel_elems(y.size(), [&](std::size_t b, std::size_t e) {
-    for (std::size_t i = b; i < e; ++i) py[i] *= alpha;
+    if (tbl != nullptr) {
+      tbl->scale_range(alpha, py, b, e);
+    } else {
+      for (std::size_t i = b; i < e; ++i) py[i] *= alpha;
+    }
   });
 }
 
@@ -485,10 +526,15 @@ void add_row_bias(Tensor& y, const Tensor& bias) {
                        static_cast<double>(n)));
   float* py = y.data();
   const float* pb = bias.data();
+  const simd::KernelTable* tbl = simd_table(kernel_config());
   parallel_rows(m, n, [&](std::size_t rb, std::size_t re) {
-    for (std::size_t i = rb; i < re; ++i) {
-      float* row = py + i * n;
-      for (std::size_t j = 0; j < n; ++j) row[j] += pb[j];
+    if (tbl != nullptr) {
+      tbl->add_bias_rows(py, pb, n, rb, re);
+    } else {
+      for (std::size_t i = rb; i < re; ++i) {
+        float* row = py + i * n;
+        for (std::size_t j = 0; j < n; ++j) row[j] += pb[j];
+      }
     }
   });
 }
@@ -506,12 +552,17 @@ void accumulate_col_sums(const Tensor& g, Tensor& out) {
                        2.0 * static_cast<double>(n)));
   const float* pg = g.data();
   float* po = out.data();
+  const simd::KernelTable* tbl = simd_table(kernel_config());
   // Parallel over column ranges: each out[j] has a single writer, and its
   // accumulation stays row-ascending — the serial order — per column.
   parallel_rows(n, m, [&](std::size_t jb, std::size_t je) {
-    for (std::size_t i = 0; i < m; ++i) {
-      const float* row = pg + i * n;
-      for (std::size_t j = jb; j < je; ++j) po[j] += row[j];
+    if (tbl != nullptr) {
+      tbl->col_sum_cols(pg, po, m, n, jb, je);
+    } else {
+      for (std::size_t i = 0; i < m; ++i) {
+        const float* row = pg + i * n;
+        for (std::size_t j = jb; j < je; ++j) po[j] += row[j];
+      }
     }
   });
 }

@@ -1,0 +1,34 @@
+// Runtime SIMD dispatch: picks the micro-kernel table this machine can run.
+//
+// Compiled with the base flags only (no -mavx2), so it is safe to execute on
+// any CPU; the ISA-specific tables live in their own TUs and are only
+// dereferenced after the capability check below says they can run.
+
+#include "simd_kernels.hpp"
+
+namespace ncnas::tensor::simd {
+
+namespace {
+
+const KernelTable* detect() {
+#if defined(__x86_64__) || defined(__i386__)
+  // AVX2 and FMA are separate CPUID feature bits; the table uses both.
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return avx2_table();
+  }
+  return nullptr;
+#elif defined(__aarch64__)
+  return neon_table();
+#else
+  return nullptr;
+#endif
+}
+
+}  // namespace
+
+const KernelTable* active_table() {
+  static const KernelTable* table = detect();
+  return table;
+}
+
+}  // namespace ncnas::tensor::simd

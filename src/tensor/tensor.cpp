@@ -71,6 +71,20 @@ Tensor Tensor::reshaped(Shape new_shape) const {
 
 void Tensor::fill(float value) { std::ranges::fill(data_, value); }
 
+void Tensor::reset(Shape shape) {
+  const std::size_t n = numel(shape);
+  if (n > data_.capacity()) {
+    // Growing: drop the old elements first so resize doesn't copy them into
+    // the new buffer, and count the fresh allocation like the constructors.
+    data_.clear();
+    data_.resize(n);
+    if (n != 0) obs::profile_alloc(n * sizeof(float));
+  } else {
+    data_.resize(n);
+  }
+  shape_ = std::move(shape);
+}
+
 void Tensor::require_shape(const Shape& expected, const char* what) const {
   if (shape_ != expected) {
     throw std::invalid_argument(std::string(what) + ": expected shape " + to_string(expected) +

@@ -17,16 +17,23 @@
 
 namespace ncnas::testing {
 
-/// Parameterized fixture that re-runs a suite under each kernel mode: param 0
-/// keeps the serial reference kernels, param >= 1 installs blocked kernels at
-/// that thread count. Dispatch thresholds are zeroed and blocks shrunk so
-/// even the tiny problems gradchecks use genuinely exercise the blocked
-/// paths (including edge panels) instead of falling back to the reference.
-class KernelModeTest : public ::testing::TestWithParam<std::size_t> {
+/// One kernel-tier configuration a parameterized suite runs under: a thread
+/// count (0 = serial reference kernels) and whether the SIMD tier may engage.
+struct KernelMode {
+  std::size_t threads;
+  tensor::SimdMode simd;
+};
+
+/// Parameterized fixture that re-runs a suite under each kernel mode.
+/// Dispatch thresholds are zeroed and blocks shrunk so even the tiny
+/// problems gradchecks use genuinely exercise the blocked paths (including
+/// edge panels) instead of falling back to the reference.
+class KernelModeTest : public ::testing::TestWithParam<KernelMode> {
  protected:
   void SetUp() override {
     tensor::KernelConfig cfg;
-    cfg.threads = GetParam();
+    cfg.threads = GetParam().threads;
+    cfg.simd = GetParam().simd;
     cfg.block_rows = 8;
     cfg.block_cols = 32;
     cfg.min_blocked_flops = 0;
@@ -39,18 +46,28 @@ class KernelModeTest : public ::testing::TestWithParam<std::size_t> {
   std::optional<tensor::KernelConfigGuard> guard_;
 };
 
-/// The thread counts every kernel-mode suite runs under: reference, blocked
-/// serial, and blocked on the hardware's worth of pool threads.
-inline std::vector<std::size_t> kernel_mode_params() {
-  return {0, 1, std::max<std::size_t>(2, std::thread::hardware_concurrency())};
+/// The modes every kernel-mode suite runs under: reference, blocked (SIMD
+/// forced off) serially and on the hardware's worth of pool threads, and the
+/// SIMD tier at the same two thread counts. On machines where the SIMD tier
+/// is unavailable the simd entries degrade to the blocked tier — still a
+/// valid (if redundant) run, so no skipping logic is needed.
+inline std::vector<KernelMode> kernel_mode_params() {
+  const std::size_t hw = std::max<std::size_t>(2, std::thread::hardware_concurrency());
+  return {{0, tensor::SimdMode::kOff},
+          {1, tensor::SimdMode::kOff},
+          {hw, tensor::SimdMode::kOff},
+          {1, tensor::SimdMode::kOn},
+          {hw, tensor::SimdMode::kOn}};
 }
 
 /// Stable, unique test-name suffix per mode (the hardware entry can never
-/// collide with "ref"/"blocked_serial" because it is clamped to >= 2).
-inline std::string kernel_mode_name(const ::testing::TestParamInfo<std::size_t>& info) {
-  if (info.param == 0) return "ref";
-  if (info.param == 1) return "blocked_serial";
-  return "blocked_t" + std::to_string(info.param);
+/// collide with the serial entries because it is clamped to >= 2).
+inline std::string kernel_mode_name(const ::testing::TestParamInfo<KernelMode>& info) {
+  const KernelMode& m = info.param;
+  if (m.threads == 0) return "ref";
+  const std::string tier = m.simd == tensor::SimdMode::kOn ? "simd" : "blocked";
+  if (m.threads == 1) return tier + "_serial";
+  return tier + "_t" + std::to_string(m.threads);
 }
 
 /// Scalar probe loss: L = sum_i w_i * y_i with fixed pseudo-random weights,

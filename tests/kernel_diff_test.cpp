@@ -21,9 +21,11 @@
 
 namespace {
 
+using ncnas::tensor::GemmPath;
 using ncnas::tensor::KernelConfig;
 using ncnas::tensor::KernelConfigGuard;
 using ncnas::tensor::Rng;
+using ncnas::tensor::SimdMode;
 using ncnas::tensor::Tensor;
 
 std::size_t hardware_threads() {
@@ -33,14 +35,34 @@ std::size_t hardware_threads() {
 /// The thread counts the suite sweeps, per the issue: 1, 2, hardware.
 std::vector<std::size_t> thread_counts() { return {1, 2, hardware_threads()}; }
 
-KernelConfig test_config(std::size_t threads) {
+KernelConfig test_config(std::size_t threads, SimdMode simd = SimdMode::kAuto) {
   KernelConfig cfg;
   cfg.threads = threads;
+  cfg.simd = simd;
   cfg.block_rows = 8;    // small enough that every sweep shape spans blocks
   cfg.block_cols = 32;   // two packed panels per cache pass
   cfg.min_blocked_flops = 0;    // force the blocked path even for 1x1x1
   cfg.min_parallel_elems = 0;   // force pool dispatch for tiny elementwise ops
   return cfg;
+}
+
+/// One non-reference tier configuration in the differential sweep: the
+/// scalar blocked kernels (SIMD forced off) and the SIMD tier, each at
+/// several thread counts. Where the SIMD tier is unavailable its entries
+/// degrade to the blocked tier, which keeps the sweep valid everywhere.
+struct TierMode {
+  std::size_t threads;
+  SimdMode simd;
+  const char* label;
+};
+
+std::vector<TierMode> tier_sweep() {
+  static const std::size_t hw = hardware_threads();
+  return {{1, SimdMode::kOff, "blocked_t1"},
+          {2, SimdMode::kOff, "blocked_t2"},
+          {hw, SimdMode::kOff, "blocked_tmax"},
+          {1, SimdMode::kOn, "simd_t1"},
+          {hw, SimdMode::kOn, "simd_tmax"}};
 }
 
 Tensor random_tensor(const ncnas::tensor::Shape& shape, Rng& rng) {
@@ -84,14 +106,14 @@ TEST_F(KernelDiff, GemmMatchesReferenceBitwiseAcrossShapesAndThreads) {
     const Tensor b = random_tensor({s.k, s.n}, rng_);
     Tensor want({s.m, s.n});
     ncnas::tensor::gemm_ref(a, b, want);
-    for (std::size_t t : thread_counts()) {
-      KernelConfigGuard guard(test_config(t));
+    for (const TierMode& tm : tier_sweep()) {
+      KernelConfigGuard guard(test_config(tm.threads, tm.simd));
       Tensor got({s.m, s.n});
       // Poison the output first: the blocked kernel must fully overwrite C.
       for (float& v : got.flat()) v = -123.75f;
       ncnas::tensor::gemm(a, b, got);
       EXPECT_TRUE(bytes_equal(want, got))
-          << "gemm " << s.m << "x" << s.k << "x" << s.n << " threads=" << t
+          << "gemm " << s.m << "x" << s.k << "x" << s.n << " tier=" << tm.label
           << " max|diff|=" << ncnas::tensor::max_abs_diff(want, got);
     }
   }
@@ -103,13 +125,13 @@ TEST_F(KernelDiff, GemmNtMatchesReferenceBitwiseAcrossShapesAndThreads) {
     const Tensor b = random_tensor({s.n, s.k}, rng_);
     Tensor want({s.m, s.n});
     ncnas::tensor::gemm_nt_ref(a, b, want);
-    for (std::size_t t : thread_counts()) {
-      KernelConfigGuard guard(test_config(t));
+    for (const TierMode& tm : tier_sweep()) {
+      KernelConfigGuard guard(test_config(tm.threads, tm.simd));
       Tensor got({s.m, s.n});
       for (float& v : got.flat()) v = -123.75f;
       ncnas::tensor::gemm_nt(a, b, got);
       EXPECT_TRUE(bytes_equal(want, got))
-          << "gemm_nt " << s.m << "x" << s.k << "x" << s.n << " threads=" << t
+          << "gemm_nt " << s.m << "x" << s.k << "x" << s.n << " tier=" << tm.label
           << " max|diff|=" << ncnas::tensor::max_abs_diff(want, got);
     }
   }
@@ -121,13 +143,13 @@ TEST_F(KernelDiff, GemmTnMatchesReferenceBitwiseAcrossShapesAndThreads) {
     const Tensor b = random_tensor({s.k, s.n}, rng_);
     Tensor want({s.m, s.n});
     ncnas::tensor::gemm_tn_ref(a, b, want);
-    for (std::size_t t : thread_counts()) {
-      KernelConfigGuard guard(test_config(t));
+    for (const TierMode& tm : tier_sweep()) {
+      KernelConfigGuard guard(test_config(tm.threads, tm.simd));
       Tensor got({s.m, s.n});
       for (float& v : got.flat()) v = -123.75f;
       ncnas::tensor::gemm_tn(a, b, got);
       EXPECT_TRUE(bytes_equal(want, got))
-          << "gemm_tn " << s.m << "x" << s.k << "x" << s.n << " threads=" << t
+          << "gemm_tn " << s.m << "x" << s.k << "x" << s.n << " tier=" << tm.label
           << " max|diff|=" << ncnas::tensor::max_abs_diff(want, got);
     }
   }
@@ -265,14 +287,14 @@ TEST_F(KernelDiff, ElementwiseOpsMatchSerialBitwise) {
   Tensor want_scale = y0;
   ncnas::tensor::scale_inplace(want_scale, -1.72f);
 
-  for (std::size_t t : thread_counts()) {
-    KernelConfigGuard guard(test_config(t));
+  for (const TierMode& tm : tier_sweep()) {
+    KernelConfigGuard guard(test_config(tm.threads, tm.simd));
     Tensor got_axpy = y0;
     ncnas::tensor::axpy(0.37f, x, got_axpy);
-    EXPECT_TRUE(bytes_equal(want_axpy, got_axpy)) << "axpy threads=" << t;
+    EXPECT_TRUE(bytes_equal(want_axpy, got_axpy)) << "axpy tier=" << tm.label;
     Tensor got_scale = y0;
     ncnas::tensor::scale_inplace(got_scale, -1.72f);
-    EXPECT_TRUE(bytes_equal(want_scale, got_scale)) << "scale threads=" << t;
+    EXPECT_TRUE(bytes_equal(want_scale, got_scale)) << "scale tier=" << tm.label;
   }
 }
 
@@ -288,14 +310,14 @@ TEST_F(KernelDiff, RowwiseOpsMatchSerialBitwise) {
   Tensor want_colsum = colsum0;
   ncnas::tensor::accumulate_col_sums(g, want_colsum);
 
-  for (std::size_t t : thread_counts()) {
-    KernelConfigGuard guard(test_config(t));
+  for (const TierMode& tm : tier_sweep()) {
+    KernelConfigGuard guard(test_config(tm.threads, tm.simd));
     Tensor got_bias = y0;
     ncnas::tensor::add_row_bias(got_bias, bias);
-    EXPECT_TRUE(bytes_equal(want_bias, got_bias)) << "add_row_bias threads=" << t;
+    EXPECT_TRUE(bytes_equal(want_bias, got_bias)) << "add_row_bias tier=" << tm.label;
     Tensor got_colsum = colsum0;
     ncnas::tensor::accumulate_col_sums(g, got_colsum);
-    EXPECT_TRUE(bytes_equal(want_colsum, got_colsum)) << "accumulate_col_sums threads=" << t;
+    EXPECT_TRUE(bytes_equal(want_colsum, got_colsum)) << "accumulate_col_sums tier=" << tm.label;
   }
 }
 
@@ -336,6 +358,70 @@ TEST_F(KernelDiff, ShapeValidationStillThrowsInBlockedMode) {
   Tensor bad_c({3, 5});
   Tensor ok_b({3, 5});
   EXPECT_THROW(ncnas::tensor::gemm(a, ok_b, bad_c), std::invalid_argument);
+}
+
+TEST_F(KernelDiff, ReferenceBlockedCrossoverPinned) {
+  // Pins the small-size cutoff that fixed the gemm_nt regression: below
+  // min_blocked_flops every gemm variant takes the reference path outright
+  // (no blocking/packing overhead), at or above it the blocked tiers run.
+  KernelConfig cfg = KernelConfig::parallel(1);
+  cfg.simd = SimdMode::kOff;
+  cfg.min_blocked_flops = 1000;
+  KernelConfigGuard guard(cfg);
+  using ncnas::tensor::planned_gemm_path;
+  EXPECT_EQ(planned_gemm_path(9, 9, 9), GemmPath::kReference);     // 729 < 1000
+  EXPECT_EQ(planned_gemm_path(10, 10, 10), GemmPath::kBlocked);    // exactly 1000
+  EXPECT_EQ(planned_gemm_path(16, 16, 16), GemmPath::kBlocked);
+  // The default threshold keeps genuinely tiny products on the reference
+  // path even in fully parallel configs.
+  KernelConfigGuard defaults{KernelConfig::parallel()};
+  EXPECT_EQ(planned_gemm_path(8, 8, 8), GemmPath::kReference);
+  EXPECT_EQ(planned_gemm_path(64, 64, 64),
+            KernelConfig::simd_available() ? GemmPath::kSimd : GemmPath::kBlocked);
+}
+
+TEST_F(KernelDiff, SimdTierEngagesExactlyWhenEligible) {
+  using ncnas::tensor::planned_gemm_path;
+  {
+    // threads == 0 is the serial reference tier; SIMD must never engage.
+    KernelConfigGuard guard{KernelConfig{}};
+    EXPECT_EQ(planned_gemm_path(64, 64, 64), GemmPath::kReference);
+  }
+  {
+    KernelConfigGuard guard(test_config(1, SimdMode::kOff));
+    EXPECT_EQ(planned_gemm_path(64, 64, 64), GemmPath::kBlocked);
+  }
+  {
+    KernelConfigGuard guard(test_config(1, SimdMode::kOn));
+    const GemmPath p = planned_gemm_path(64, 64, 64);
+    if (KernelConfig::simd_available()) {
+      EXPECT_EQ(p, GemmPath::kSimd);
+      EXPECT_STRNE(KernelConfig::simd_isa(), "");
+    } else {
+      EXPECT_EQ(p, GemmPath::kBlocked);
+      EXPECT_STREQ(KernelConfig::simd_isa(), "");
+    }
+  }
+}
+
+TEST_F(KernelDiff, SimdNanPropagationMatchesReference) {
+  // NaN/Inf travel through the SIMD micro-kernels exactly as through the
+  // reference loops — including values that only touch the panel interior
+  // vs only the scalar edge region of the same product.
+  const std::size_t m = 9, k = 13, n = 47;  // 47 = one full panel + edge 15
+  Tensor a = random_tensor({m, k}, rng_);
+  Tensor b = random_tensor({k, n}, rng_);
+  a(3, 5) = std::numeric_limits<float>::quiet_NaN();
+  b(7, 2) = std::numeric_limits<float>::infinity();   // interior column
+  b(2, 40) = -std::numeric_limits<float>::infinity();  // edge column
+  Tensor want({m, n});
+  ncnas::tensor::gemm_ref(a, b, want);
+  for (const TierMode& tm : tier_sweep()) {
+    KernelConfigGuard guard(test_config(tm.threads, tm.simd));
+    Tensor got({m, n});
+    ncnas::tensor::gemm(a, b, got);
+    EXPECT_TRUE(bytes_equal(want, got)) << "tier=" << tm.label;
+  }
 }
 
 TEST_F(KernelDiff, SetKernelConfigRejectsZeroBlocks) {

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <string>
 #include <thread>
 
 #include "ncnas/nas/driver.hpp"
@@ -190,10 +191,11 @@ TEST(KernelDeterminism, RandomShapesByteIdenticalSerialVsParallel) {
   }
 }
 
-TEST(KernelDeterminism, SearchResultBitIdenticalUnderParallelKernels) {
+TEST(KernelDeterminism, SearchResultBitIdenticalAcrossKernelTiers) {
   // The end-to-end guarantee: a full driver strategy pass (controller LSTM,
   // PPO updates, reward-estimation training) produces a bit-identical
-  // SearchResult whether the tensor kernels run serially or parallel.
+  // SearchResult on every kernel tier — serial reference, blocked on the
+  // pool with SIMD forced off, and the SIMD tier — for every strategy.
   data::Nt3Dims dims;
   dims.train = 64;
   dims.valid = 32;
@@ -201,32 +203,48 @@ TEST(KernelDeterminism, SearchResultBitIdenticalUnderParallelKernels) {
   dims.motif = 6;
   const data::Dataset ds = data::make_nt3(5, dims);
   const space::SearchSpace s = space::nt3_small_space();
-  nas::SearchConfig cfg;
-  cfg.strategy = nas::SearchStrategy::kA3C;
-  cfg.cluster = {.num_agents = 3, .workers_per_agent = 4};
-  cfg.wall_time_seconds = 600.0;
-  cfg.fidelity = {.epochs = 1, .subset_fraction = 1.0};
-  cfg.cost = {.startup_seconds = 20.0, .seconds_per_megaunit = 1.0, .timeout_seconds = 600.0};
-  cfg.seed = 11;
 
-  const nas::SearchResult serial = nas::SearchDriver(s, ds, cfg).run();
-  nas::SearchResult parallel;
-  {
-    KernelConfigGuard guard(pooled_config());
-    parallel = nas::SearchDriver(s, ds, cfg).run();
-  }
+  const nas::SearchStrategy strategies[] = {
+      nas::SearchStrategy::kA3C, nas::SearchStrategy::kA2C, nas::SearchStrategy::kRandom,
+      nas::SearchStrategy::kEvolution};
+  for (const nas::SearchStrategy strategy : strategies) {
+    nas::SearchConfig cfg;
+    cfg.strategy = strategy;
+    cfg.cluster = {.num_agents = 3, .workers_per_agent = 4};
+    cfg.wall_time_seconds = 600.0;
+    cfg.fidelity = {.epochs = 1, .subset_fraction = 1.0};
+    cfg.cost = {.startup_seconds = 20.0, .seconds_per_megaunit = 1.0, .timeout_seconds = 600.0};
+    cfg.seed = 11;
+    const std::string tag = "strategy " + std::to_string(static_cast<int>(strategy));
 
-  ASSERT_EQ(serial.evals.size(), parallel.evals.size());
-  for (std::size_t i = 0; i < serial.evals.size(); ++i) {
-    EXPECT_EQ(serial.evals[i].reward, parallel.evals[i].reward) << "eval " << i;
-    EXPECT_EQ(serial.evals[i].arch, parallel.evals[i].arch) << "eval " << i;
-    EXPECT_DOUBLE_EQ(serial.evals[i].time, parallel.evals[i].time) << "eval " << i;
+    const nas::SearchResult baseline = nas::SearchDriver(s, ds, cfg).run();
+
+    struct Tier {
+      const char* label;
+      SimdMode simd;
+    };
+    for (const Tier tier : {Tier{"blocked", SimdMode::kOff}, Tier{"simd", SimdMode::kOn}}) {
+      KernelConfig kcfg = pooled_config();
+      kcfg.simd = tier.simd;
+      KernelConfigGuard guard(kcfg);
+      const nas::SearchResult got = nas::SearchDriver(s, ds, cfg).run();
+
+      ASSERT_EQ(baseline.evals.size(), got.evals.size()) << tag << " tier " << tier.label;
+      for (std::size_t i = 0; i < baseline.evals.size(); ++i) {
+        EXPECT_EQ(baseline.evals[i].reward, got.evals[i].reward)
+            << tag << " tier " << tier.label << " eval " << i;
+        EXPECT_EQ(baseline.evals[i].arch, got.evals[i].arch)
+            << tag << " tier " << tier.label << " eval " << i;
+        EXPECT_DOUBLE_EQ(baseline.evals[i].time, got.evals[i].time)
+            << tag << " tier " << tier.label << " eval " << i;
+      }
+      EXPECT_EQ(baseline.cache_hits, got.cache_hits) << tag << " tier " << tier.label;
+      EXPECT_EQ(baseline.unique_archs, got.unique_archs) << tag << " tier " << tier.label;
+      EXPECT_EQ(baseline.ppo_updates, got.ppo_updates) << tag << " tier " << tier.label;
+      EXPECT_EQ(baseline.converged_early, got.converged_early) << tag << " tier " << tier.label;
+      EXPECT_DOUBLE_EQ(baseline.end_time, got.end_time) << tag << " tier " << tier.label;
+    }
   }
-  EXPECT_EQ(serial.cache_hits, parallel.cache_hits);
-  EXPECT_EQ(serial.unique_archs, parallel.unique_archs);
-  EXPECT_EQ(serial.ppo_updates, parallel.ppo_updates);
-  EXPECT_EQ(serial.converged_early, parallel.converged_early);
-  EXPECT_DOUBLE_EQ(serial.end_time, parallel.end_time);
 }
 
 TEST(KernelDeterminism, KernelConfigIsFingerprintNeutral) {

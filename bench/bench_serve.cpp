@@ -1,0 +1,207 @@
+// bench_serve — serving-plane microbench: DRR scheduler dispatch overhead and
+// SharedEvalCache lookup cost.
+//
+//   bench_serve [--json PATH] [--quick]
+//
+// Writes perf_diff-compatible records (default BENCH_serve.json) and prints a
+// throughput table. Two op families:
+//
+//   drr_dispatch      size = registered tenants; one op = one
+//                     next_round()+release-all cycle on a pool the tenants
+//                     either saturate ("saturated") or all fit in at once
+//                     ("uncontended"). Per-grant cost is cycle cost divided by
+//                     grants issued, printed alongside.
+//   shared_cache      size = resident entries; one op = one lookup that hits
+//                     ("hit") or misses ("miss") the store.
+//
+// The metric column is named "gflops" because perf_diff reads exactly that
+// field as its higher-is-better measure; for these ops the value is millions
+// of operations per second (Mop/s), not floating-point throughput. Records
+// are deterministically ordered and `speedup_vs_ref` is pinned to 1.0 so
+// reruns diff cleanly.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ncnas/exec/shared_cache.hpp"
+#include "ncnas/serve/scheduler.hpp"
+
+namespace {
+
+struct Record {
+  std::string op;
+  std::size_t size = 0;
+  std::string config;
+  double mops = 0.0;  // millions of ops per second; emitted as "gflops"
+};
+
+/// Runs `body(iters)` in growing batches until the timed region exceeds
+/// `min_seconds`, then returns ops/second. `body` must perform exactly
+/// `iters` ops per call.
+template <typename Body>
+double measure_ops_per_second(double min_seconds, std::size_t start_iters, Body&& body) {
+  using clock = std::chrono::steady_clock;
+  std::size_t iters = start_iters;
+  body(iters);  // warmup: touch every cache line the loop will
+  for (;;) {
+    const auto t0 = clock::now();
+    body(iters);
+    const double elapsed = std::chrono::duration<double>(clock::now() - t0).count();
+    if (elapsed >= min_seconds) return static_cast<double>(iters) / elapsed;
+    iters *= 2;
+  }
+}
+
+int config_rank(const std::string& c) {
+  if (c == "saturated") return 0;
+  if (c == "uncontended") return 1;
+  if (c == "hit") return 0;
+  if (c == "miss") return 1;
+  return 2;
+}
+
+/// One dispatch cycle: a full next_round() followed by releasing every grant,
+/// which is the per-quantum steady state of SearchServer::step(). `saturated`
+/// sizes the pool so only a fraction of the gangs fit per round (the DRR
+/// arbitration path stays hot); otherwise every gang fits at once.
+double bench_drr(std::size_t tenants, bool saturated, double min_seconds,
+                 std::uint64_t* grants_per_cycle) {
+  const std::uint32_t gang = 4;
+  const std::uint32_t pool =
+      saturated ? gang * static_cast<std::uint32_t>(std::max<std::size_t>(tenants / 4, 1))
+                : gang * static_cast<std::uint32_t>(tenants);
+  ncnas::serve::DrrScheduler sched(pool);
+  for (std::size_t i = 0; i < tenants; ++i) {
+    // Mixed weights exercise the deficit arithmetic rather than the trivial
+    // equal-share fast path.
+    sched.add_tenant(static_cast<std::uint32_t>(i + 1), (i % 3 == 0) ? 2.0 : 1.0, gang);
+  }
+  std::uint64_t grants = 0;
+  std::uint64_t cycles = 0;
+  const double ops = measure_ops_per_second(min_seconds, 256, [&](std::size_t iters) {
+    for (std::size_t it = 0; it < iters; ++it) {
+      const std::vector<std::uint32_t> granted = sched.next_round();
+      grants += granted.size();
+      ++cycles;
+      for (std::uint32_t id : granted) sched.release(id);
+    }
+  });
+  *grants_per_cycle = cycles == 0 ? 0 : grants / std::max<std::uint64_t>(cycles, 1);
+  return ops;
+}
+
+/// Steady-state lookup cost against a store of `entries` architectures. The
+/// key mix cycles through the resident set (hit) or probes keys that were
+/// never inserted (miss); both paths pay the same hash + lock cost the
+/// serving loop pays per evaluation.
+double bench_shared_cache(std::size_t entries, bool hit, double min_seconds) {
+  ncnas::exec::SharedEvalCache cache;
+  const std::string ctx = "bench|nt3|fidelity:3/0.5/0.001/32/0.2|cost:20/1/600";
+  std::vector<std::string> keys(entries);
+  for (std::size_t i = 0; i < entries; ++i) {
+    keys[i] = "arch-" + std::to_string(i);
+    ncnas::exec::EvalResult r;
+    r.reward = static_cast<float>(i % 97) * 0.01f;
+    r.sim_duration = 100.0;
+    cache.insert(ctx, keys[i], /*tenant=*/1, r);
+  }
+  std::vector<std::string> probes(entries);
+  for (std::size_t i = 0; i < entries; ++i) {
+    probes[i] = hit ? keys[i] : "absent-" + std::to_string(i);
+  }
+  double sink = 0.0;
+  const double ops = measure_ops_per_second(min_seconds, 4096, [&](std::size_t iters) {
+    for (std::size_t it = 0; it < iters; ++it) {
+      const auto& key = probes[it % probes.size()];
+      if (auto r = cache.lookup(ctx, key, /*tenant=*/2)) sink += r->reward;
+    }
+  });
+  if (sink < -1.0) std::cerr << "";  // keep the lookups observable
+  return ops;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_serve.json";
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--quick") {
+      quick = true;
+    } else {
+      std::cerr << "usage: bench_serve [--json PATH] [--quick]\n";
+      return 2;
+    }
+  }
+  const double min_seconds = quick ? 0.02 : 0.15;
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+
+  std::vector<Record> records;
+
+  std::cout << "op            size      config       Mop/s      note\n";
+  for (const std::size_t tenants : {2u, 8u, 32u, 128u}) {
+    for (const bool saturated : {true, false}) {
+      std::uint64_t grants_per_cycle = 0;
+      const double ops = bench_drr(tenants, saturated, min_seconds, &grants_per_cycle);
+      const std::string config = saturated ? "saturated" : "uncontended";
+      const double mops = ops / 1e6;
+      records.push_back({"drr_dispatch", tenants, config, mops});
+      const double ns_per_grant =
+          grants_per_cycle == 0 ? 0.0 : 1e9 / (ops * static_cast<double>(grants_per_cycle));
+      std::cout << std::left << std::setw(14) << "drr_dispatch" << std::setw(10) << tenants
+                << std::setw(13) << config << std::fixed << std::setprecision(3) << std::setw(11)
+                << mops << std::setprecision(0) << ns_per_grant << " ns/grant ("
+                << grants_per_cycle << " grants/round)\n";
+    }
+  }
+  for (const std::size_t entries : {1000u, 10000u, 100000u}) {
+    for (const bool hit : {true, false}) {
+      const double ops = bench_shared_cache(entries, hit, min_seconds);
+      const std::string config = hit ? "hit" : "miss";
+      const double mops = ops / 1e6;
+      records.push_back({"shared_cache", entries, config, mops});
+      std::cout << std::left << std::setw(14) << "shared_cache" << std::setw(10) << entries
+                << std::setw(13) << config << std::fixed << std::setprecision(3) << std::setw(11)
+                << mops << std::setprecision(0) << 1e9 / ops << " ns/lookup\n";
+    }
+  }
+
+  // Deterministic record order, mirroring bench_kernels: files from any two
+  // runs line up record-for-record for perf_diff.
+  std::stable_sort(records.begin(), records.end(), [](const Record& a, const Record& b) {
+    if (a.op != b.op) return a.op < b.op;
+    if (a.size != b.size) return a.size < b.size;
+    return config_rank(a.config) < config_rank(b.config);
+  });
+
+  std::ostringstream json;
+  json << "{\n  \"schema_version\": 1,\n  \"hardware_threads\": " << hw
+       << ",\n  \"records\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const Record& r = records[i];
+    json << "    {\"op\": \"" << r.op << "\", \"size\": " << r.size << ", \"config\": \""
+         << r.config << "\", \"threads\": 1, \"gflops\": " << std::fixed << std::setprecision(3)
+         << r.mops << ", \"speedup_vs_ref\": 1.000}";
+    json << (i + 1 < records.size() ? ",\n" : "\n");
+  }
+  json << "  ]\n}\n";
+  std::ofstream out(json_path);
+  out << json.str();
+  if (!out) {
+    std::cerr << "failed to write " << json_path << "\n";
+    return 2;
+  }
+  std::cout << "wrote " << json_path << "\n";
+  return 0;
+}

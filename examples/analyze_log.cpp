@@ -163,6 +163,9 @@ int main(int argc, char** argv) {
     // merged lineage must reconcile with the final result counter-for-counter.
     check_fault("checkpoints", sum.checkpoints, res->checkpoints_written);
     check_fault("resumes", sum.resumes, res->resumes);
+    // Shared-cache hits are journaled as eval_cached events with a `shared`
+    // marker, so the stitched lineage must agree with the result counter.
+    check_fault("shared cache hits", sum.shared_cache_hits, res->shared_cache_hits);
   }
 
   // ---- profile cross-check (requires the journal's train_wall_ms stream) ----
@@ -214,6 +217,7 @@ int main(int argc, char** argv) {
     os << ':';
     obs::write_json_string(os, fingerprint);
     os << ",\"evals\":" << res->evals.size() << ",\"cache_hits\":" << res->cache_hits
+       << ",\"shared_cache_hits\":" << res->shared_cache_hits
        << ",\"timeouts\":" << res->timeouts << ",\"unique_archs\":" << res->unique_archs
        << ",\"ppo_updates\":" << res->ppo_updates << ",\"end_time_s\":";
     obs::write_json_number(os, res->end_time);
@@ -280,6 +284,10 @@ int main(int argc, char** argv) {
   std::cout << res->evals.size() << " evaluations (" << res->cache_hits << " cached, "
             << res->timeouts << " timed out), " << res->unique_archs
             << " unique architectures, " << res->ppo_updates << " PPO updates\n";
+  if (res->shared_cache_hits > 0) {
+    std::cout << "shared eval cache: " << res->shared_cache_hits
+              << " hit(s) served from the cross-tenant store\n";
+  }
   std::cout << "search span: " << analytics::fmt(res->end_time / 60.0, 1) << " min"
             << (res->converged_early ? " (converged early)" : "") << "\n";
   if (res->retries + res->exhausted + res->lost_results + res->crashed_workers +

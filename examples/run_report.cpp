@@ -147,6 +147,10 @@ int main(int argc, char** argv) {
       sum.evals > 0 ? static_cast<double>(sum.cache_hits) / static_cast<double>(sum.evals)
                     : 0.0;
   os << "cache hit ratio: " << analytics::fmt(100.0 * hit_ratio, 1) << "%\n";
+  if (sum.shared_cache_hits > 0) {
+    os << "shared eval cache: " << sum.shared_cache_hits
+       << " hit(s) served from the cross-tenant store\n";
+  }
   os << "best reward: " << analytics::fmt(sum.best_reward) << " at "
      << analytics::fmt(sum.best_reward_t / 60.0, 1) << " min\n";
   if (sum.checkpoints + sum.resumes > 0) {

@@ -27,7 +27,9 @@ namespace ncnas::ckpt {
 /// "NCKP" — refuses files that are not snapshots at all.
 inline constexpr std::uint32_t kSnapshotMagic = 0x4E434B50u;
 /// Bump when the header or payload layout changes incompatibly.
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+/// v2: EvalRecord/EvalResult carry a shared-cache-hit flag, SearchResult
+/// carries shared_cache_hits, and agent-cache keys are context-prefixed.
+inline constexpr std::uint32_t kSnapshotVersion = 2;
 
 /// Raised on any malformed, truncated, corrupted, or mismatched snapshot.
 /// Never silently loads bad state — the error message says what failed.

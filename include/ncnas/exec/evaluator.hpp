@@ -56,6 +56,10 @@ struct EvalResult {
   std::size_t params = 0;          ///< trainable parameter count of the model
   bool timed_out = false;
   bool cache_hit = false;
+  /// True when the result was served from a process-wide SharedEvalCache
+  /// (implies cache_hit) — i.e. some tenant, possibly another one, trained
+  /// this architecture earlier and the training was skipped entirely.
+  bool shared_hit = false;
   /// Real (host) training wall time. Only measured when a telemetry sink is
   /// attached — stays 0.0 on the null path so results remain bit-identical.
   double train_wall_ms = 0.0;
@@ -68,6 +72,12 @@ class Evaluator {
   /// initialization seed (same arch + different seed may differ, per paper).
   [[nodiscard]] virtual EvalResult evaluate(const space::ArchEncoding& arch,
                                             std::uint64_t seed) const = 0;
+  /// Canonical identity of everything besides (arch, seed) that determines
+  /// this evaluator's results — dataset + fidelity + cost model for
+  /// TrainingEvaluator (see exec::eval_context_key). Caches layered on top
+  /// fold this into their keys so rewards can never leak between different
+  /// data or budgets. Empty when the evaluator has no such identity.
+  [[nodiscard]] virtual std::string context_key() const { return {}; }
 };
 
 /// Raw measurements handed to a custom reward function.
@@ -104,6 +114,10 @@ class TrainingEvaluator final : public Evaluator {
   [[nodiscard]] EvalResult evaluate(const space::ArchEncoding& arch,
                                     std::uint64_t seed) const override;
 
+  /// eval_context_key(dataset, fidelity, cost_model) — the full recipe that
+  /// determines a reward besides (arch, seed).
+  [[nodiscard]] std::string context_key() const override;
+
   /// Builds the model for `arch` without training (used for post-training).
   [[nodiscard]] nn::Graph build(const space::ArchEncoding& arch, std::uint64_t seed) const;
 
@@ -126,16 +140,22 @@ class TrainingEvaluator final : public Evaluator {
   obs::Counter* training_timeouts_ = nullptr;
 };
 
-/// Per-agent cache keyed by architecture encoding. NOT thread-safe by design:
-/// each agent owns one (a global cache would defeat agent-specific seeds, as
-/// the paper notes).
+/// Per-agent cache keyed by (evaluation context, architecture encoding). The
+/// context prefix — the inner evaluator's context_key(), i.e. dataset +
+/// fidelity + cost model for TrainingEvaluator — means a cache state carried
+/// across runs (checkpoint restore, shared backing stores) can never serve a
+/// reward computed for different data or a different budget. NOT thread-safe
+/// by design: each agent owns one (a global cache would defeat agent-specific
+/// seeds, as the paper notes — that cross-tenant role is SharedEvalCache's).
 class CachedEvaluator final : public Evaluator {
  public:
-  /// `inner` must outlive the cache.
-  explicit CachedEvaluator(const Evaluator& inner) : inner_(&inner) {}
+  /// `inner` must outlive the cache. The cache key context is taken from
+  /// `inner.context_key()`.
+  explicit CachedEvaluator(const Evaluator& inner)
+      : inner_(&inner), context_key_(inner.context_key()) {}
 
-  /// Attach a telemetry sink (null to detach) counting lookups/hits/inserts
-  /// across all caches sharing the sink.
+  /// Attach a telemetry sink (null to detach) counting hits/misses/inserts/
+  /// erases across all caches sharing the sink.
   void set_telemetry(obs::Telemetry* telemetry);
 
   [[nodiscard]] EvalResult evaluate(const space::ArchEncoding& arch,
@@ -153,7 +173,10 @@ class CachedEvaluator final : public Evaluator {
 
   [[nodiscard]] std::size_t hits() const noexcept { return hits_; }
   [[nodiscard]] std::size_t misses() const noexcept { return misses_; }
+  [[nodiscard]] std::size_t erases() const noexcept { return erases_; }
   [[nodiscard]] std::size_t unique_archs() const noexcept { return cache_.size(); }
+  /// The inner evaluator's context at construction time (key prefix).
+  [[nodiscard]] std::string context_key() const override { return context_key_; }
   void clear();
 
   /// --- checkpoint/restore ---------------------------------------------------
@@ -168,13 +191,18 @@ class CachedEvaluator final : public Evaluator {
   void import_state(const State& state);
 
  private:
+  [[nodiscard]] std::string map_key(const space::ArchEncoding& arch) const;
+
   const Evaluator* inner_;
+  std::string context_key_;
   mutable std::unordered_map<std::string, EvalResult> cache_;
   mutable std::size_t hits_ = 0;
   mutable std::size_t misses_ = 0;
+  mutable std::size_t erases_ = 0;
   obs::Counter* lookup_hits_ = nullptr;
   obs::Counter* lookup_misses_ = nullptr;
   obs::Counter* inserts_ = nullptr;
+  obs::Counter* erases_counter_ = nullptr;
 };
 
 /// Task head implied by a dataset's metric (classification for ACC).

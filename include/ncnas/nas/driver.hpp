@@ -23,6 +23,7 @@
 #include "ncnas/ckpt/checkpoint.hpp"
 #include "ncnas/exec/evaluator.hpp"
 #include "ncnas/exec/fault.hpp"
+#include "ncnas/exec/shared_cache.hpp"
 #include "ncnas/nas/parameter_server.hpp"
 #include "ncnas/obs/telemetry.hpp"
 #include "ncnas/rl/controller.hpp"
@@ -100,6 +101,18 @@ struct SearchConfig {
   /// snapshot must be resumable under a config that differs only in where
   /// (or whether) it keeps checkpointing.
   const ckpt::CheckpointConfig* checkpoint = nullptr;
+  /// Optional process-wide cross-tenant evaluation cache (not owned; must
+  /// outlive the driver). Null keeps the classic single-search behaviour.
+  /// Attaching it IS result-affecting — an architecture another tenant (or
+  /// an earlier cycle of this one, via a different agent) already trained is
+  /// served from the shared store, skipping training and worker occupancy —
+  /// so a non-null pointer is covered by config_fingerprint(), like a
+  /// non-empty fault plan and unlike telemetry/checkpoint.
+  exec::SharedEvalCache* shared_cache = nullptr;
+  /// Identity used for shared-cache ownership/accounting (which tenant
+  /// trained an entry, per-tenant hit/miss stats). Accounting only — never
+  /// part of cache keys or config_fingerprint().
+  std::uint32_t tenant_id = 0;
   // Note: the tensor kernel policy is process-wide (tensor::KernelConfig),
   // not a SearchConfig field — blocked/parallel kernels are bit-identical to
   // the serial reference at every thread count, so it belongs with the
@@ -113,6 +126,9 @@ struct EvalRecord {
   std::size_t params = 0;
   double sim_duration = 0.0;
   bool cache_hit = false;
+  /// True when the result came from the process-wide SharedEvalCache —
+  /// possibly trained by another tenant (implies cache_hit).
+  bool shared_hit = false;
   bool timed_out = false;
   /// True when every dispatch attempt failed (retry budget spent or no live
   /// worker left): the reward is the evaluator's floor, not a measurement.
@@ -128,6 +144,9 @@ struct SearchResult {
   double end_time = 0.0;           ///< when the search stopped (virtual s)
   bool converged_early = false;
   std::size_t cache_hits = 0;
+  /// Subset of cache_hits served from SearchConfig::shared_cache (0 when no
+  /// shared cache is attached).
+  std::size_t shared_cache_hits = 0;
   std::size_t timeouts = 0;
   std::size_t unique_archs = 0;
   std::size_t ppo_updates = 0;

@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -282,6 +283,16 @@ class Exporter {
   [[nodiscard]] std::string healthz_body() const;
   [[nodiscard]] int healthz_status() const;
 
+  /// Registers (or refreshes) a custom endpoint: a GET of `path` (e.g.
+  /// "/tenants") returns 200 with `body` under `content_type`. Like the
+  /// built-in payloads, the body is a pre-rendered string — requests never
+  /// touch live state. The built-in paths (/metrics, /progress, /healthz)
+  /// cannot be overridden. Thread-safe; the SearchServer refreshes its
+  /// /tenants JSON through this every scheduling round.
+  void set_payload(const std::string& path, std::string content_type, std::string body);
+  /// The current body of a custom endpoint (empty when unset).
+  [[nodiscard]] std::string payload(const std::string& path) const;
+
  private:
   void render_payloads(const PublishedSnapshot& snap);  // the bus's first sink
 
@@ -298,6 +309,8 @@ class Exporter {
   std::string progress_json_;
   std::string healthz_body_ = "ok: no publication yet\n";
   int healthz_status_ = 200;
+  /// path -> (content type, body) for set_payload endpoints.
+  std::map<std::string, std::pair<std::string, std::string>> custom_payloads_;
 };
 
 }  // namespace ncnas::obs

@@ -54,7 +54,7 @@ enum class JournalEventType : std::uint8_t {
                        ///<          ppo_updates, converged, wall_time_s
   kEvalDispatched,     ///< payload: duration_s, worker, train_wall_ms
   kEvalFinished,       ///< payload: reward, duration_s, timed_out, params
-  kEvalCached,         ///< payload: reward, timed_out
+  kEvalCached,         ///< payload: reward, timed_out [, shared=1 for shared-cache hits]
   kEvalTimeout,        ///< payload: duration_s
   kPpoUpdate,          ///< payload: policy_loss, value_loss, entropy, approx_kl, batch
   kPsExchange,         ///< payload: mode (0 sync / 1 async), wait_s, staleness
@@ -193,6 +193,9 @@ struct RunSummary {
   std::size_t evals = 0;  ///< finished + cached within the deadline
   std::size_t real_evals = 0;
   std::size_t cache_hits = 0;
+  /// Subset of cache_hits whose eval_cached event carries the `shared`
+  /// marker: served from the process-wide SharedEvalCache.
+  std::size_t shared_cache_hits = 0;
   std::size_t timeouts = 0;
   std::size_t ppo_updates = 0;
   std::size_t ps_exchanges = 0;

@@ -1,0 +1,86 @@
+// DrrScheduler — deficit-round-robin fair sharing of the server's
+// evaluation-slot pool across tenant sessions.
+//
+// Grants are *gangs*: a tenant's request is its whole simulated cluster
+// (agents x workers) and is satisfied all-or-nothing, mirroring how the
+// paper's allocations hand a search its full node set at once. Per round
+// every runnable tenant accrues `weight` deficit credits, then grants are
+// handed out — highest deficit first, ties broken by a rotating cursor over
+// registration order — while the request still fits in the free pool. A
+// grant costs the sum of runnable weights, so long-run slice shares converge
+// to the weight ratio, and two equal-weight tenants on a saturated pool
+// alternate perfectly (cumulative grants never differ by more than one).
+//
+// Everything is plain arithmetic over registration order: no wall clock, no
+// randomness, no map iteration — rerunning the same submission sequence
+// reproduces the same grant sequence bit-for-bit (DESIGN.md §Scheduler
+// determinism).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ncnas::serve {
+
+class DrrScheduler {
+ public:
+  /// Throws std::invalid_argument when total_slots == 0.
+  explicit DrrScheduler(std::size_t total_slots);
+
+  /// Registers a tenant competing for slots. `request` is the gang size
+  /// (granted all-or-nothing). Throws std::invalid_argument on a duplicate
+  /// id, weight <= 0, request == 0, or request > total_slots (the gang
+  /// could never be scheduled).
+  void add_tenant(std::uint32_t id, double weight, std::size_t request);
+
+  /// Withdraws a tenant (e.g. finished or failed). Its held slots, if any,
+  /// are returned to the pool. Unknown ids throw std::invalid_argument.
+  void remove_tenant(std::uint32_t id);
+
+  /// A non-runnable tenant accrues no deficit and receives no grants; its
+  /// deficit resets to zero (idleness hoards no credit). Held slots are
+  /// unaffected — suspend still requires release().
+  void set_runnable(std::uint32_t id, bool runnable);
+
+  /// Runs one scheduling round and returns the granted tenant ids in grant
+  /// order. Each granted tenant holds `request` slots until release(); a
+  /// tenant receives at most one grant per round.
+  [[nodiscard]] std::vector<std::uint32_t> next_round();
+
+  /// Returns a grant's slots to the pool. No-op for tenants holding none.
+  void release(std::uint32_t id);
+
+  [[nodiscard]] std::size_t total_slots() const noexcept { return total_slots_; }
+  [[nodiscard]] std::size_t free_slots() const noexcept { return free_; }
+  [[nodiscard]] std::size_t rounds() const noexcept { return rounds_; }
+  [[nodiscard]] std::size_t tenant_count() const noexcept { return tenants_.size(); }
+  /// Cumulative grants handed to `id` (0 for unknown ids).
+  [[nodiscard]] std::uint64_t grants(std::uint32_t id) const noexcept;
+  /// Current deficit credit of `id` (0 for unknown ids).
+  [[nodiscard]] double deficit(std::uint32_t id) const noexcept;
+  /// Whether `id` currently holds its granted slots.
+  [[nodiscard]] bool holding(std::uint32_t id) const noexcept;
+
+ private:
+  struct Entry {
+    std::uint32_t id = 0;
+    double weight = 1.0;
+    std::size_t request = 0;
+    double deficit = 0.0;
+    bool runnable = true;
+    bool holding = false;
+    std::uint64_t grants = 0;
+  };
+
+  [[nodiscard]] Entry* find(std::uint32_t id) noexcept;
+  [[nodiscard]] const Entry* find(std::uint32_t id) const noexcept;
+
+  std::size_t total_slots_;
+  std::size_t free_;
+  std::size_t cursor_ = 0;  ///< rotation base for deficit ties
+  std::size_t rounds_ = 0;
+  std::vector<Entry> tenants_;  ///< registration order — the determinism anchor
+};
+
+}  // namespace ncnas::serve

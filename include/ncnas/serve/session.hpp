@@ -1,0 +1,147 @@
+// TenantSession — one tenant's search, executed as a sequence of
+// checkpoint-bounded time slices under the SearchServer's scheduler.
+//
+// The suspend/resume mechanism is the existing ckpt plane, unmodified: a
+// slice runs the driver with `abort_after_snapshots = 1` and
+// `interval_seconds = quantum`, so after one quantum of virtual time the
+// driver makes a snapshot durable and throws ckpt::SearchInterrupted — that
+// is the preemption point. The next grant resumes from that snapshot
+// bit-identically (the kill-and-resume guarantee), so a sliced multi-tenant
+// run returns exactly the standalone SearchResult, `resumes` aside.
+//
+// Each slice gets a fresh obs::Telemetry whose journal opens with the
+// run_resumed watermark, and the session stitches slices together with
+// obs::merge_resumed_journal — per-tenant journal streams stay one
+// continuous, contiguous-seq story across any number of preemptions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ncnas/nas/driver.hpp"
+#include "ncnas/obs/journal.hpp"
+
+namespace ncnas::serve {
+
+/// Resource limits attached to a tenant at admission.
+struct TenantQuota {
+  /// Cap on concurrently held evaluation slots (0 = no cap). Grants are
+  /// gangs of config.cluster.total_workers() slots, so admission rejects a
+  /// spec whose gang could never fit under its own cap.
+  std::size_t max_slots = 0;
+  /// Total evaluation budget across the whole session (0 = unlimited).
+  /// Enforced deterministically via SearchConfig::max_evaluations, so the
+  /// budget stop lands on the same evaluation on every rerun.
+  std::size_t eval_budget = 0;
+};
+
+struct TenantSpec {
+  /// Identity used in metric labels and the /tenants endpoint. Must be
+  /// non-empty and limited to [A-Za-z0-9_.:-] (no quoting/escaping needed
+  /// anywhere it appears).
+  std::string name;
+  const space::SearchSpace* space = nullptr;
+  const data::Dataset* dataset = nullptr;
+  nas::SearchConfig config;
+  /// DRR weight: long-run slice share is proportional to priority.
+  double priority = 1.0;
+  TenantQuota quota;
+  /// Opt into the server's cross-tenant SharedEvalCache (result-affecting;
+  /// see SearchConfig::shared_cache).
+  bool use_shared_cache = true;
+  /// Keep a stitched per-tenant journal (needed for eval accounting and the
+  /// /tenants progress fields; costs one journal per slice).
+  bool enable_journal = true;
+};
+
+enum class TenantState : std::uint8_t {
+  kQueued,     ///< admitted, not yet granted a first slice
+  kRunning,    ///< holds a gang this round (transient within a round)
+  kPreempted,  ///< suspended at a checkpoint, awaiting its next grant
+  kFinished,   ///< search completed; result() is available
+  kFailed,     ///< slice threw; error() has the reason
+};
+
+[[nodiscard]] const char* tenant_state_name(TenantState s);
+
+/// What one time slice did.
+enum class SliceOutcome : std::uint8_t {
+  kExpired,    ///< quantum elapsed: checkpointed and suspended
+  kCompleted,  ///< search ran to its natural end inside the slice
+  kFailed,     ///< the driver threw something other than SearchInterrupted
+};
+
+class TenantSession {
+ public:
+  /// `spec.space` / `spec.dataset` / `shared_cache` / `pool` must outlive
+  /// the session. `state_dir` is this tenant's private checkpoint directory.
+  TenantSession(std::uint32_t id, TenantSpec spec, double quantum_seconds,
+                std::string state_dir, exec::SharedEvalCache* shared_cache,
+                tensor::ThreadPool* pool);
+
+  /// Runs one time slice: a fresh driver on the first call, resume_search
+  /// from the latest suspension snapshot afterwards. Returns what happened;
+  /// kExpired counts as one preemption.
+  SliceOutcome run_slice();
+
+  [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
+  [[nodiscard]] const std::string& name() const noexcept { return spec_.name; }
+  [[nodiscard]] const TenantSpec& spec() const noexcept { return spec_; }
+  /// Slots one grant occupies: the spec's cluster gang size.
+  [[nodiscard]] std::size_t slot_request() const noexcept {
+    return config_.cluster.total_workers();
+  }
+
+  [[nodiscard]] TenantState state() const noexcept { return state_; }
+  void set_state(TenantState s) noexcept { state_ = s; }
+  [[nodiscard]] bool unfinished() const noexcept {
+    return state_ != TenantState::kFinished && state_ != TenantState::kFailed;
+  }
+
+  [[nodiscard]] std::size_t slices() const noexcept { return slices_; }
+  [[nodiscard]] std::size_t preemptions() const noexcept { return preemptions_; }
+  /// Journal-derived progress (zeros when the journal is disabled).
+  [[nodiscard]] std::size_t evals() const noexcept { return evals_; }
+  [[nodiscard]] std::size_t cache_hits() const noexcept { return cache_hits_; }
+  [[nodiscard]] std::size_t shared_cache_hits() const noexcept { return shared_hits_; }
+  [[nodiscard]] bool has_best() const noexcept { return has_best_; }
+  [[nodiscard]] float best_reward() const noexcept { return best_reward_; }
+
+  /// Snapshot the session is suspended at (empty before the first slice and
+  /// after completion).
+  [[nodiscard]] const std::string& snapshot_path() const noexcept { return snapshot_path_; }
+  /// Only valid in kFinished; throws std::logic_error otherwise.
+  [[nodiscard]] const nas::SearchResult& result() const;
+  /// Only non-empty in kFailed.
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+  /// The stitched cross-slice journal (empty when disabled).
+  [[nodiscard]] const std::vector<obs::JournalEvent>& journal() const noexcept {
+    return journal_;
+  }
+
+ private:
+  void absorb_slice_journal(const obs::Telemetry& slice_telemetry);
+
+  std::uint32_t id_;
+  TenantSpec spec_;
+  nas::SearchConfig config_;  ///< spec.config with quota/cache/tenant wiring applied
+  double quantum_seconds_;
+  std::string state_dir_;
+  tensor::ThreadPool* pool_;
+
+  TenantState state_ = TenantState::kQueued;
+  std::string snapshot_path_;
+  std::size_t slices_ = 0;
+  std::size_t preemptions_ = 0;
+  std::size_t evals_ = 0;
+  std::size_t cache_hits_ = 0;
+  std::size_t shared_hits_ = 0;
+  bool has_best_ = false;
+  float best_reward_ = 0.0f;
+  nas::SearchResult result_;
+  std::string error_;
+  std::vector<obs::JournalEvent> journal_;
+};
+
+}  // namespace ncnas::serve

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "ncnas/exec/shared_cache.hpp"
 #include "ncnas/nn/trainer.hpp"
 #include "ncnas/obs/profiler.hpp"
 
@@ -31,6 +32,10 @@ void TrainingEvaluator::set_telemetry(obs::Telemetry* telemetry) {
   train_wall_ms_ = &m.histogram("ncnas_train_wall_ms", obs::exp_buckets(0.25, 2.0, 18));
   trainings_ = &m.counter("ncnas_trainings_total");
   training_timeouts_ = &m.counter("ncnas_training_timeouts_total");
+}
+
+std::string TrainingEvaluator::context_key() const {
+  return eval_context_key(*dataset_, fidelity_, cost_);
 }
 
 float TrainingEvaluator::reward_floor() const noexcept {
@@ -139,16 +144,29 @@ void CachedEvaluator::set_telemetry(obs::Telemetry* telemetry) {
     lookup_hits_ = nullptr;
     lookup_misses_ = nullptr;
     inserts_ = nullptr;
+    erases_counter_ = nullptr;
     return;
   }
   obs::MetricsRegistry& m = telemetry->metrics();
-  lookup_hits_ = &m.counter("ncnas_cache_lookup_hits_total");
-  lookup_misses_ = &m.counter("ncnas_cache_lookup_misses_total");
-  inserts_ = &m.counter("ncnas_cache_inserts_total");
+  lookup_hits_ = &m.counter("ncnas_eval_cache_hits_total");
+  lookup_misses_ = &m.counter("ncnas_eval_cache_misses_total");
+  inserts_ = &m.counter("ncnas_eval_cache_inserts_total");
+  erases_counter_ = &m.counter("ncnas_eval_cache_erases_total");
+}
+
+std::string CachedEvaluator::map_key(const space::ArchEncoding& arch) const {
+  std::string key = space::arch_key(arch);
+  if (context_key_.empty()) return key;
+  std::string out;
+  out.reserve(context_key_.size() + 1 + key.size());
+  out += context_key_;
+  out += '\x1f';
+  out += key;
+  return out;
 }
 
 EvalResult CachedEvaluator::evaluate(const space::ArchEncoding& arch, std::uint64_t seed) const {
-  const std::string key = space::arch_key(arch);
+  const std::string key = map_key(arch);
   if (const auto it = cache_.find(key); it != cache_.end()) {
     ++hits_;
     if (lookup_hits_ != nullptr) lookup_hits_->inc();
@@ -165,7 +183,7 @@ EvalResult CachedEvaluator::evaluate(const space::ArchEncoding& arch, std::uint6
 }
 
 std::optional<EvalResult> CachedEvaluator::lookup(const space::ArchEncoding& arch) const {
-  const auto it = cache_.find(space::arch_key(arch));
+  const auto it = cache_.find(map_key(arch));
   if (it == cache_.end()) {
     ++misses_;
     if (lookup_misses_ != nullptr) lookup_misses_->inc();
@@ -179,18 +197,22 @@ std::optional<EvalResult> CachedEvaluator::lookup(const space::ArchEncoding& arc
 }
 
 void CachedEvaluator::insert(const space::ArchEncoding& arch, const EvalResult& result) const {
-  cache_.emplace(space::arch_key(arch), result);
+  cache_.emplace(map_key(arch), result);
   if (inserts_ != nullptr) inserts_->inc();
 }
 
 void CachedEvaluator::erase(const space::ArchEncoding& arch) const {
-  cache_.erase(space::arch_key(arch));
+  if (cache_.erase(map_key(arch)) != 0) {
+    ++erases_;
+    if (erases_counter_ != nullptr) erases_counter_->inc();
+  }
 }
 
 void CachedEvaluator::clear() {
   cache_.clear();
   hits_ = 0;
   misses_ = 0;
+  erases_ = 0;
 }
 
 CachedEvaluator::State CachedEvaluator::export_state() const {

@@ -98,6 +98,7 @@ struct Completion {
 struct Instruments {
   obs::Counter* evals;
   obs::Counter* cache_hits;
+  obs::Counter* shared_hits;
   obs::Counter* real_evals;
   obs::Counter* timeouts;
   obs::Counter* cycles;
@@ -123,6 +124,7 @@ struct Instruments {
     obs::MetricsRegistry& m = t.metrics();
     evals = &m.counter("ncnas_evals_total");
     cache_hits = &m.counter("ncnas_cache_hits_total");
+    shared_hits = &m.counter("ncnas_shared_cache_hits_total");
     real_evals = &m.counter("ncnas_real_evals_total");
     timeouts = &m.counter("ncnas_eval_timeouts_total");
     cycles = &m.counter("ncnas_agent_cycles_total");
@@ -168,6 +170,7 @@ void put_record(ckpt::ByteWriter& w, const EvalRecord& e) {
   w.u64(e.params);
   w.f64(e.sim_duration);
   w.flag(e.cache_hit);
+  w.flag(e.shared_hit);
   w.flag(e.timed_out);
   w.flag(e.failed);
   w.u64(e.agent);
@@ -182,6 +185,7 @@ EvalRecord get_record(ckpt::ByteReader& in) {
   e.params = in.u64();
   e.sim_duration = in.f64();
   e.cache_hit = in.flag();
+  e.shared_hit = in.flag();
   e.timed_out = in.flag();
   e.failed = in.flag();
   e.agent = in.u64();
@@ -196,6 +200,7 @@ void put_eval_result(ckpt::ByteWriter& w, const exec::EvalResult& r) {
   w.u64(r.params);
   w.flag(r.timed_out);
   w.flag(r.cache_hit);
+  w.flag(r.shared_hit);
   w.f64(r.train_wall_ms);
 }
 
@@ -206,6 +211,7 @@ exec::EvalResult get_eval_result(ckpt::ByteReader& in) {
   r.params = in.u64();
   r.timed_out = in.flag();
   r.cache_hit = in.flag();
+  r.shared_hit = in.flag();
   r.train_wall_ms = in.f64();
   return r;
 }
@@ -265,6 +271,11 @@ class SearchRun {
   // bit-identical results, identical config fingerprint.
   const exec::FaultInjector* fx_;
   exec::TrainingEvaluator evaluator_;
+  // Cross-tenant shared cache (null = classic single-search behaviour) and
+  // this search's evaluation-context key, resolved once — every shared
+  // lookup/insert/erase uses the same (context, arch) address.
+  exec::SharedEvalCache* shared_;
+  std::string shared_ctx_;
   float floor_reward_;
   exec::UtilizationMonitor monitor_;
   std::optional<Instruments> inst_;
@@ -305,6 +316,8 @@ SearchRun::SearchRun(const space::SearchSpace& space, const data::Dataset& datas
       evolution_(config_.strategy == SearchStrategy::kEvolution),
       fx_((config_.faults != nullptr && config_.faults->enabled()) ? config_.faults : nullptr),
       evaluator_(space, dataset, config_.fidelity, config_.cost),
+      shared_(config_.shared_cache),
+      shared_ctx_(shared_ != nullptr ? evaluator_.context_key() : std::string()),
       floor_reward_(evaluator_.reward_floor()),
       monitor_(config_.cluster.total_workers()) {
   if (config_.telemetry != nullptr) {
@@ -553,7 +566,10 @@ bool SearchRun::dispatch_faulty(AgentState& agent, std::vector<double>& worker_f
     // The cache was primed with the real result before dispatch; a task
     // that never delivered must not leave that result behind (a later
     // regeneration re-evaluates instead of replaying a non-measurement).
+    // The shared cache mirrors the erase: failed evals never poison it for
+    // other tenants either.
     if (config_.use_cache) agent.cache->erase(rec.arch);
+    if (shared_ != nullptr) shared_->erase(shared_ctx_, key);
     if (inst_) {
       inst_->fault_exhausted->inc();
       if (inst_->journal != nullptr) {
@@ -719,12 +735,26 @@ void SearchRun::start_cycle(AgentState& agent, double t) {
     }
   }
 
-  // Resolve against the agent's cache; farm unique misses out for real.
+  // Resolve against the agent's cache, then the process-wide shared cache;
+  // farm unique misses out for real. Shared lookups run serially on the
+  // driver's event loop (never from pool threads), and a shared hit also
+  // primes the agent cache (flags cleared) so later regenerations stay
+  // agent-local and are not double-counted as shared.
   std::vector<std::optional<exec::EvalResult>> results(M_);
   std::vector<std::size_t> miss_index;           // batch position per unique miss
   std::unordered_set<std::string> miss_keys;
   for (std::size_t m = 0; m < M_; ++m) {
     if (config_.use_cache) results[m] = agent.cache->lookup(agent.archs[m]);
+    if (!results[m] && shared_ != nullptr) {
+      results[m] = shared_->lookup(shared_ctx_, space::arch_key(agent.archs[m]),
+                                   config_.tenant_id);
+      if (results[m] && config_.use_cache) {
+        exec::EvalResult primed = *results[m];
+        primed.cache_hit = false;
+        primed.shared_hit = false;
+        agent.cache->insert(agent.archs[m], primed);
+      }
+    }
     if (!results[m] && miss_keys.insert(space::arch_key(agent.archs[m])).second) {
       miss_index.push_back(m);
     }
@@ -740,6 +770,10 @@ void SearchRun::start_cycle(AgentState& agent, double t) {
   }
   for (std::size_t i = 0; i < miss_index.size(); ++i) {
     agent.cache->insert(agent.archs[miss_index[i]], fresh[i]);
+    if (shared_ != nullptr) {
+      shared_->insert(shared_ctx_, space::arch_key(agent.archs[miss_index[i]]),
+                      config_.tenant_id, fresh[i]);
+    }
     results[miss_index[i]] = fresh[i];  // first occurrence stays a real task
   }
   // Within-batch duplicates of a fresh miss read the cache result.
@@ -758,6 +792,7 @@ void SearchRun::start_cycle(AgentState& agent, double t) {
     rec.params = r.params;
     rec.sim_duration = r.sim_duration;
     rec.cache_hit = r.cache_hit;
+    rec.shared_hit = r.shared_hit;
     rec.timed_out = r.timed_out;
     rec.agent = agent.id;
     rec.arch = agent.archs[m];
@@ -765,7 +800,8 @@ void SearchRun::start_cycle(AgentState& agent, double t) {
       rec.time = t;
       if (inst_) {
         inst_->trace->instant("eval_cached", "exec", t, static_cast<std::uint32_t>(agent.id),
-                              {{"reward", rec.reward}});
+                              {{"reward", rec.reward},
+                               {"shared", rec.shared_hit ? 1.0 : 0.0}});
       }
     } else if (fx_ == nullptr) {
       const auto slot = static_cast<std::size_t>(
@@ -866,11 +902,13 @@ bool SearchRun::process_completion(const Completion& done) {
     if (rec.cache_hit) rec.time = t;  // resolved when the batch closes
     rewards.push_back(rec.reward);
     if (rec.cache_hit) ++result_.cache_hits;
+    if (rec.shared_hit) ++result_.shared_cache_hits;
     if (rec.timed_out) ++result_.timeouts;
     if (inst_) {
       inst_->evals->inc();
       if (rec.cache_hit) {
         inst_->cache_hits->inc();
+        if (rec.shared_hit) inst_->shared_hits->inc();
       } else {
         inst_->real_evals->inc();
         inst_->eval_sim->observe(rec.sim_duration);
@@ -882,9 +920,14 @@ bool SearchRun::process_completion(const Completion& done) {
       if (inst_->journal != nullptr) {
         const auto aid = static_cast<std::uint32_t>(agent.id);
         if (rec.cache_hit) {
+          std::vector<obs::JournalField> fields{
+              {"reward", rec.reward},
+              {"timed_out", rec.timed_out ? 1.0 : 0.0}};
+          // Only shared hits carry the marker, so pre-existing journals (and
+          // their replays) are byte-for-byte unchanged.
+          if (rec.shared_hit) fields.push_back({"shared", 1.0});
           inst_->journal->append(obs::JournalEventType::kEvalCached, rec.time, aid,
-                                 {{"reward", rec.reward},
-                                  {"timed_out", rec.timed_out ? 1.0 : 0.0}});
+                                 std::move(fields));
         } else {
           std::vector<obs::JournalField> fields{
               {"reward", rec.reward},
@@ -1143,6 +1186,7 @@ void SearchRun::serialize_state(ckpt::ByteWriter& w) const {
   w.f64(result_.end_time);
   w.flag(result_.converged_early);
   w.u64(result_.cache_hits);
+  w.u64(result_.shared_cache_hits);
   w.u64(result_.timeouts);
   w.u64(result_.unique_archs);
   w.u64(result_.ppo_updates);
@@ -1282,6 +1326,7 @@ void SearchRun::restore(const ckpt::SnapshotHeader& header, ckpt::ByteReader& in
   result_.end_time = in.f64();
   result_.converged_early = in.flag();
   result_.cache_hits = in.u64();
+  result_.shared_cache_hits = in.u64();
   result_.timeouts = in.u64();
   result_.unique_archs = in.u64();
   result_.ppo_updates = in.u64();

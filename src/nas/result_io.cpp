@@ -33,7 +33,8 @@ void save_result(const std::string& path, const SearchResult& result,
       << result.utilization_bucket << ' ' << result.telemetry_enabled << ' ' << result.retries
       << ' ' << result.exhausted << ' ' << result.lost_results << ' '
       << result.crashed_workers << ' ' << result.dead_agents << ' '
-      << result.checkpoints_written << ' ' << result.resumes << '\n';
+      << result.checkpoints_written << ' ' << result.resumes << ' '
+      << result.shared_cache_hits << '\n';
   out << result.utilization.size();
   for (double u : result.utilization) out << ' ' << u;
   out << '\n' << result.evals.size() << '\n';
@@ -42,7 +43,7 @@ void save_result(const std::string& path, const SearchResult& result,
         << e.cache_hit << ' ' << e.timed_out << ' ' << e.agent;
     out << ' ' << e.arch.size();
     for (std::uint16_t a : e.arch) out << ' ' << a;
-    out << ' ' << e.failed << ' ' << e.attempts << '\n';
+    out << ' ' << e.failed << ' ' << e.attempts << ' ' << e.shared_hit << '\n';
   }
   if (!out) throw std::runtime_error("save_result: write failed for " + path);
 }
@@ -73,6 +74,8 @@ std::optional<SearchResult> load_result(const std::string& path,
     // then optional checkpoint/resume counters (absent in pre-ckpt logs).
     stats >> res.retries >> res.exhausted >> res.lost_results >> res.crashed_workers >>
         res.dead_agents >> res.checkpoints_written >> res.resumes;
+    // Optional shared-cache hit counter (absent in pre-serve logs).
+    stats >> res.shared_cache_hits;
   }
   in >> util_count;
   res.utilization.resize(util_count);
@@ -105,6 +108,8 @@ std::optional<SearchResult> load_result(const std::string& path,
     if (es >> failed) {
       e.failed = failed != 0;
       if (!(es >> e.attempts)) e.attempts = 1;
+      unsigned shared = 0;
+      if (es >> shared) e.shared_hit = shared != 0;  // optional (post-serve logs)
     }
   }
   return res;
@@ -142,6 +147,13 @@ std::string config_fingerprint(const SearchConfig& cfg, const std::string& space
     // empty plan leaves the fingerprint — like the results — untouched, and
     // logs from different fault plans never alias.
     os << "|faults:" << cfg.faults->plan().fingerprint();
+  }
+  if (cfg.shared_cache != nullptr) {
+    // A shared cache is result-affecting (hits skip training and worker
+    // occupancy), so its presence marks the fingerprint; like the fault
+    // marker, a null pointer leaves existing fingerprints untouched. The
+    // tenant id is accounting only and deliberately absent.
+    os << "|shared_cache:on";
   }
   return os.str();
 }

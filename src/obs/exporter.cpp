@@ -47,6 +47,17 @@ std::string counter_family(const std::string& name) {
   return name;
 }
 
+// Registry names may carry an inline label set — `ncnas_tenant_evals_total
+// {tenant="alice"}` (no space) — which is how the label-free MetricsRegistry
+// serves multi-tenant metrics: one instrument per (family, label) pair.
+// Splits the registered name into the bare metric name and the `{...}` label
+// suffix (empty when unlabeled).
+std::pair<std::string, std::string> split_inline_labels(const std::string& name) {
+  const std::size_t brace = name.find('{');
+  if (brace == std::string::npos) return {name, std::string()};
+  return {name.substr(0, brace), name.substr(brace)};
+}
+
 }  // namespace
 
 // ---- OpenMetrics rendering --------------------------------------------------
@@ -63,14 +74,22 @@ void render_openmetrics(const MetricsSnapshot& m, std::ostream& os,
     }
     os << "} 1\n";
   }
+  // The registry map is sorted, so all label variants of one family are
+  // adjacent; still, the TYPE line is deduplicated by set (not by previous-
+  // family comparison) so a pathological interleaving can never emit a
+  // duplicate TYPE — the validator rejects those.
+  std::set<std::string> declared;
   for (const CounterSample& c : m.counters) {
-    const std::string family = counter_family(c.name);
-    os << "# TYPE " << family << " counter\n";
-    os << family << "_total " << c.value << '\n';
+    const auto [bare, labels] = split_inline_labels(c.name);
+    const std::string family = counter_family(bare);
+    if (declared.insert(family).second) os << "# TYPE " << family << " counter\n";
+    os << bare << labels << ' ' << c.value << '\n';
   }
+  declared.clear();
   for (const GaugeSample& g : m.gauges) {
-    os << "# TYPE " << g.name << " gauge\n";
-    os << g.name << ' ' << fmt_number(g.value) << '\n';
+    const auto [bare, labels] = split_inline_labels(g.name);
+    if (declared.insert(bare).second) os << "# TYPE " << bare << " gauge\n";
+    os << bare << labels << ' ' << fmt_number(g.value) << '\n';
   }
   for (const HistogramSample& h : m.histograms) {
     os << "# TYPE " << h.name << " histogram\n";
@@ -726,6 +745,12 @@ Exporter::Exporter(ExporterConfig cfg, Telemetry& telemetry)
           if (path == "/progress") return {200, "application/json", progress_json()};
           if (path == "/healthz") return {healthz_status(), "text/plain; charset=utf-8",
                                           healthz_body()};
+          {
+            const std::scoped_lock lock(payload_mu_);
+            if (const auto it = custom_payloads_.find(path); it != custom_payloads_.end()) {
+              return {200, it->second.first, it->second.second};
+            }
+          }
           return {404, "text/plain; charset=utf-8", "not found\n"};
         },
         errors_);
@@ -818,6 +843,19 @@ std::string Exporter::healthz_body() const {
 int Exporter::healthz_status() const {
   const std::scoped_lock lock(payload_mu_);
   return healthz_status_;
+}
+
+void Exporter::set_payload(const std::string& path, std::string content_type,
+                           std::string body) {
+  if (path == "/metrics" || path == "/progress" || path == "/healthz") return;
+  const std::scoped_lock lock(payload_mu_);
+  custom_payloads_[path] = {std::move(content_type), std::move(body)};
+}
+
+std::string Exporter::payload(const std::string& path) const {
+  const std::scoped_lock lock(payload_mu_);
+  const auto it = custom_payloads_.find(path);
+  return it != custom_payloads_.end() ? it->second.second : std::string();
 }
 
 }  // namespace ncnas::obs

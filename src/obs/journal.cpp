@@ -436,6 +436,7 @@ RunSummary summarize_journal(const std::vector<JournalEvent>& events) {
         ++sum.evals;
         if (cached) {
           ++sum.cache_hits;
+          if (e.field("shared") != 0.0) ++sum.shared_cache_hits;
         } else {
           ++sum.real_evals;
         }
@@ -591,6 +592,7 @@ void export_run_summary_json(const RunSummary& sum, std::ostream& os) {
   num("evals", static_cast<double>(sum.evals));
   num("real_evals", static_cast<double>(sum.real_evals));
   num("cache_hits", static_cast<double>(sum.cache_hits));
+  num("shared_cache_hits", static_cast<double>(sum.shared_cache_hits));
   num("timeouts", static_cast<double>(sum.timeouts));
   num("ppo_updates", static_cast<double>(sum.ppo_updates));
   num("ps_exchanges", static_cast<double>(sum.ps_exchanges));

@@ -112,11 +112,30 @@ void write_number(std::ostream& os, double v) {
 }  // namespace
 
 void MetricsSnapshot::to_prometheus(std::ostream& os) const {
+  // Registered names may carry an inline `{label="..."}` suffix (the
+  // multi-tenant convention); the TYPE line only ever shows the bare name,
+  // deduplicated across the label variants of a family.
+  const auto bare_name = [](const std::string& name) {
+    const std::size_t brace = name.find('{');
+    return brace == std::string::npos ? name : name.substr(0, brace);
+  };
+  std::string last_type;
   for (const CounterSample& c : counters) {
-    os << "# TYPE " << c.name << " counter\n" << c.name << ' ' << c.value << '\n';
+    const std::string bare = bare_name(c.name);
+    if (bare != last_type) {
+      os << "# TYPE " << bare << " counter\n";
+      last_type = bare;
+    }
+    os << c.name << ' ' << c.value << '\n';
   }
+  last_type.clear();
   for (const GaugeSample& g : gauges) {
-    os << "# TYPE " << g.name << " gauge\n" << g.name << ' ';
+    const std::string bare = bare_name(g.name);
+    if (bare != last_type) {
+      os << "# TYPE " << bare << " gauge\n";
+      last_type = bare;
+    }
+    os << g.name << ' ';
     write_number(os, g.value);
     os << '\n';
   }

@@ -1,0 +1,151 @@
+#include "ncnas/serve/scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace ncnas::serve {
+
+DrrScheduler::DrrScheduler(std::size_t total_slots)
+    : total_slots_(total_slots), free_(total_slots) {
+  if (total_slots == 0) {
+    throw std::invalid_argument("DrrScheduler: total_slots must be positive");
+  }
+}
+
+DrrScheduler::Entry* DrrScheduler::find(std::uint32_t id) noexcept {
+  for (Entry& e : tenants_) {
+    if (e.id == id) return &e;
+  }
+  return nullptr;
+}
+
+const DrrScheduler::Entry* DrrScheduler::find(std::uint32_t id) const noexcept {
+  for (const Entry& e : tenants_) {
+    if (e.id == id) return &e;
+  }
+  return nullptr;
+}
+
+void DrrScheduler::add_tenant(std::uint32_t id, double weight, std::size_t request) {
+  if (find(id) != nullptr) {
+    throw std::invalid_argument("DrrScheduler: duplicate tenant id " + std::to_string(id));
+  }
+  if (weight <= 0.0) {
+    throw std::invalid_argument("DrrScheduler: weight must be positive");
+  }
+  if (request == 0 || request > total_slots_) {
+    throw std::invalid_argument("DrrScheduler: gang request " + std::to_string(request) +
+                                " cannot fit a pool of " + std::to_string(total_slots_));
+  }
+  Entry e;
+  e.id = id;
+  e.weight = weight;
+  e.request = request;
+  tenants_.push_back(e);
+}
+
+void DrrScheduler::remove_tenant(std::uint32_t id) {
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    if (tenants_[i].id != id) continue;
+    if (tenants_[i].holding) free_ += tenants_[i].request;
+    tenants_.erase(tenants_.begin() + static_cast<std::ptrdiff_t>(i));
+    // Keep the cursor pointing at the same successor tenant.
+    if (cursor_ > i) --cursor_;
+    if (!tenants_.empty()) cursor_ %= tenants_.size();
+    else cursor_ = 0;
+    return;
+  }
+  throw std::invalid_argument("DrrScheduler: unknown tenant id " + std::to_string(id));
+}
+
+void DrrScheduler::set_runnable(std::uint32_t id, bool runnable) {
+  Entry* e = find(id);
+  if (e == nullptr) {
+    throw std::invalid_argument("DrrScheduler: unknown tenant id " + std::to_string(id));
+  }
+  e->runnable = runnable;
+  if (!runnable) e->deficit = 0.0;
+}
+
+std::vector<std::uint32_t> DrrScheduler::next_round() {
+  std::vector<std::uint32_t> granted;
+  const std::size_t n = tenants_.size();
+  if (n == 0) {
+    ++rounds_;
+    return granted;
+  }
+
+  // Competitors this round: runnable and not already holding a gang.
+  double total_weight = 0.0;
+  for (Entry& e : tenants_) {
+    if (e.runnable && !e.holding) total_weight += e.weight;
+  }
+  for (Entry& e : tenants_) {
+    if (e.runnable && !e.holding) e.deficit += e.weight;
+  }
+
+  // Hand out grants while something still fits: highest deficit first, ties
+  // resolved by distance from the rotating cursor. A grant costs the round's
+  // total competitor weight, so shares converge to the weight ratio.
+  std::vector<bool> granted_this_round(n, false);
+  for (;;) {
+    std::size_t best = n;
+    std::size_t best_distance = n;
+    for (std::size_t offset = 0; offset < n; ++offset) {
+      const std::size_t idx = (cursor_ + offset) % n;
+      const Entry& e = tenants_[idx];
+      if (!e.runnable || e.holding || granted_this_round[idx]) continue;
+      if (e.request > free_) continue;
+      if (best == n || e.deficit > tenants_[best].deficit ||
+          (e.deficit == tenants_[best].deficit && offset < best_distance)) {
+        best = idx;
+        best_distance = offset;
+      }
+    }
+    if (best == n) break;
+    Entry& e = tenants_[best];
+    granted_this_round[best] = true;
+    e.holding = true;
+    e.deficit -= total_weight;
+    ++e.grants;
+    free_ -= e.request;
+    granted.push_back(e.id);
+  }
+
+  cursor_ = (cursor_ + 1) % n;
+  // Bound staleness: a tenant starved by pool pressure saturates at one
+  // round's worth of aggregate credit rather than accruing without limit.
+  for (Entry& e : tenants_) {
+    e.deficit = std::clamp(e.deficit, -total_weight, total_weight);
+  }
+  ++rounds_;
+  return granted;
+}
+
+void DrrScheduler::release(std::uint32_t id) {
+  Entry* e = find(id);
+  if (e == nullptr) {
+    throw std::invalid_argument("DrrScheduler: unknown tenant id " + std::to_string(id));
+  }
+  if (!e->holding) return;
+  e->holding = false;
+  free_ += e->request;
+}
+
+std::uint64_t DrrScheduler::grants(std::uint32_t id) const noexcept {
+  const Entry* e = find(id);
+  return e != nullptr ? e->grants : 0;
+}
+
+double DrrScheduler::deficit(std::uint32_t id) const noexcept {
+  const Entry* e = find(id);
+  return e != nullptr ? e->deficit : 0.0;
+}
+
+bool DrrScheduler::holding(std::uint32_t id) const noexcept {
+  const Entry* e = find(id);
+  return e != nullptr && e->holding;
+}
+
+}  // namespace ncnas::serve

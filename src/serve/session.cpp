@@ -1,0 +1,118 @@
+#include "ncnas/serve/session.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "ncnas/ckpt/checkpoint.hpp"
+#include "ncnas/obs/telemetry.hpp"
+
+namespace ncnas::serve {
+
+const char* tenant_state_name(TenantState s) {
+  switch (s) {
+    case TenantState::kQueued: return "queued";
+    case TenantState::kRunning: return "running";
+    case TenantState::kPreempted: return "preempted";
+    case TenantState::kFinished: return "finished";
+    case TenantState::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+TenantSession::TenantSession(std::uint32_t id, TenantSpec spec, double quantum_seconds,
+                             std::string state_dir, exec::SharedEvalCache* shared_cache,
+                             tensor::ThreadPool* pool)
+    : id_(id),
+      spec_(std::move(spec)),
+      config_(spec_.config),
+      quantum_seconds_(quantum_seconds),
+      state_dir_(std::move(state_dir)),
+      pool_(pool) {
+  config_.tenant_id = id_;
+  config_.shared_cache = spec_.use_shared_cache ? shared_cache : nullptr;
+  if (spec_.quota.eval_budget != 0) {
+    config_.max_evaluations = config_.max_evaluations == 0
+                                  ? spec_.quota.eval_budget
+                                  : std::min(config_.max_evaluations, spec_.quota.eval_budget);
+  }
+  // The server's per-slice checkpoint/telemetry wiring replaces whatever the
+  // spec carried; both are result-neutral, so the tenant's search is still
+  // the search its fingerprint describes.
+  config_.checkpoint = nullptr;
+  config_.telemetry = nullptr;
+}
+
+const nas::SearchResult& TenantSession::result() const {
+  if (state_ != TenantState::kFinished) {
+    throw std::logic_error("TenantSession::result: tenant '" + spec_.name + "' is " +
+                           tenant_state_name(state_) + ", not finished");
+  }
+  return result_;
+}
+
+void TenantSession::absorb_slice_journal(const obs::Telemetry& slice_telemetry) {
+  if (!spec_.enable_journal) return;
+  const obs::Journal* journal = slice_telemetry.journal();
+  if (journal == nullptr) return;
+  std::vector<obs::JournalEvent> events = journal->snapshot();
+  if (journal_.empty()) {
+    journal_ = std::move(events);
+  } else {
+    // Later slices open with run_resumed at the snapshot's watermark; the
+    // merge truncates redone tail events and reassigns seq contiguously.
+    journal_ = obs::merge_resumed_journal(std::move(journal_), events);
+  }
+  // Recompute progress by replaying the stitched stream — the merge may
+  // have truncated events the previous slice counted, and summarize_journal
+  // applies the same deadline convention the final SearchResult uses, so
+  // /tenants and the result never disagree.
+  const obs::RunSummary sum = obs::summarize_journal(journal_);
+  evals_ = sum.evals;
+  cache_hits_ = sum.cache_hits;
+  shared_hits_ = sum.shared_cache_hits;
+  has_best_ = sum.evals > 0;
+  best_reward_ = sum.best_reward;
+}
+
+SliceOutcome TenantSession::run_slice() {
+  ckpt::CheckpointConfig slice_checkpoint;
+  slice_checkpoint.directory = state_dir_;
+  slice_checkpoint.interval_seconds = quantum_seconds_;
+  slice_checkpoint.keep_last = 2;
+  // One snapshot, then SearchInterrupted: the quantum expiry signal.
+  slice_checkpoint.abort_after_snapshots = 1;
+
+  obs::Telemetry slice_telemetry;
+  if (spec_.enable_journal) slice_telemetry.enable_journal();
+
+  nas::SearchConfig cfg = config_;
+  cfg.checkpoint = &slice_checkpoint;
+  cfg.telemetry = &slice_telemetry;
+
+  try {
+    nas::SearchResult r =
+        snapshot_path_.empty()
+            ? nas::SearchDriver(*spec_.space, *spec_.dataset, cfg, pool_).run()
+            : nas::resume_search(snapshot_path_, *spec_.space, *spec_.dataset, cfg, pool_);
+    ++slices_;
+    snapshot_path_.clear();
+    absorb_slice_journal(slice_telemetry);
+    result_ = std::move(r);
+    state_ = TenantState::kFinished;
+    return SliceOutcome::kCompleted;
+  } catch (const ckpt::SearchInterrupted& stop) {
+    ++slices_;
+    ++preemptions_;
+    snapshot_path_ = stop.snapshot_path();
+    absorb_slice_journal(slice_telemetry);
+    state_ = TenantState::kPreempted;
+    return SliceOutcome::kExpired;
+  } catch (const std::exception& err) {
+    error_ = err.what();
+    state_ = TenantState::kFailed;
+    return SliceOutcome::kFailed;
+  }
+}
+
+}  // namespace ncnas::serve

@@ -80,6 +80,7 @@ void expect_bit_identical(const SearchResult& a, const SearchResult& b) {
     EXPECT_EQ(x.params, y.params);
     EXPECT_DOUBLE_EQ(x.sim_duration, y.sim_duration);
     EXPECT_EQ(x.cache_hit, y.cache_hit);
+    EXPECT_EQ(x.shared_hit, y.shared_hit);
     EXPECT_EQ(x.timed_out, y.timed_out);
     EXPECT_EQ(x.failed, y.failed);
     EXPECT_EQ(x.attempts, y.attempts);
@@ -89,6 +90,7 @@ void expect_bit_identical(const SearchResult& a, const SearchResult& b) {
   EXPECT_DOUBLE_EQ(a.end_time, b.end_time);
   EXPECT_EQ(a.converged_early, b.converged_early);
   EXPECT_EQ(a.cache_hits, b.cache_hits);
+  EXPECT_EQ(a.shared_cache_hits, b.shared_cache_hits);
   EXPECT_EQ(a.timeouts, b.timeouts);
   EXPECT_EQ(a.unique_archs, b.unique_archs);
   EXPECT_EQ(a.ppo_updates, b.ppo_updates);

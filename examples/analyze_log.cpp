@@ -166,6 +166,13 @@ int main(int argc, char** argv) {
     // Shared-cache hits are journaled as eval_cached events with a `shared`
     // marker, so the stitched lineage must agree with the result counter.
     check_fault("shared cache hits", sum.shared_cache_hits, res->shared_cache_hits);
+    // Ladder accounting is journaled as ladder_rung events with the same
+    // no-deadline convention, so a multi-fidelity run's journal must
+    // reconcile counter-for-counter too.
+    check_fault("ladder trainings", sum.ladder_trainings, res->ladder_trainings);
+    check_fault("ladder promotions", sum.ladder_promotions, res->ladder_promotions);
+    check_fault("ladder warm starts", sum.ladder_warm_starts, res->ladder_warm_starts);
+    check_fault("ladder rung hits", sum.ladder_rung_hits, res->ladder_rung_hits);
   }
 
   // ---- profile cross-check (requires the journal's train_wall_ms stream) ----
@@ -227,7 +234,11 @@ int main(int argc, char** argv) {
        << ",\"crashed_workers\":" << res->crashed_workers
        << ",\"dead_agents\":" << res->dead_agents
        << ",\"checkpoints_written\":" << res->checkpoints_written
-       << ",\"resumes\":" << res->resumes << ",\"top\":[";
+       << ",\"resumes\":" << res->resumes
+       << ",\"ladder_trainings\":" << res->ladder_trainings
+       << ",\"ladder_promotions\":" << res->ladder_promotions
+       << ",\"ladder_warm_starts\":" << res->ladder_warm_starts
+       << ",\"ladder_rung_hits\":" << res->ladder_rung_hits << ",\"top\":[";
     bool first = true;
     for (const auto& rec : res->top_k(5)) {
       if (!first) os << ',';
@@ -301,6 +312,11 @@ int main(int argc, char** argv) {
   if (res->checkpoints_written + res->resumes > 0) {
     std::cout << "checkpoints: " << res->checkpoints_written << " snapshot(s) written, "
               << res->resumes << " resume(s) behind this result\n";
+  }
+  if (res->ladder_trainings > 0) {
+    std::cout << "fidelity ladder: " << res->ladder_trainings << " rung trainings ("
+              << res->ladder_warm_starts << " warm-started), " << res->ladder_promotions
+              << " promotions, " << res->ladder_rung_hits << " rung-level shared-cache hits\n";
   }
   std::cout << "\n";
 

@@ -207,6 +207,26 @@ int main(int argc, char** argv) {
     os << "\n";
   }
 
+  if (sum.ladder_rung_events > 0) {
+    // Rendered only for multi-fidelity runs; a flat journal keeps the flat
+    // report layout.
+    os << h2 << "Fidelity ladder\n";
+    os << sum.ladder_trainings << " rung trainings (" << sum.ladder_warm_starts
+       << " warm-started), " << sum.ladder_promotions << " promotions, "
+       << sum.ladder_rung_hits << " rung-level shared-cache hits, " << sum.ladder_timeouts
+       << " rung timeouts\n";
+    analytics::Table rungs({"rung", "candidates", "survivors", "trainings", "warm",
+                            "rung hits", "timeouts"});
+    for (const auto& [rung, rt] : sum.ladder_rungs) {
+      rungs.add_row({std::to_string(rung), std::to_string(rt.candidates),
+                     std::to_string(rt.survivors), std::to_string(rt.trainings),
+                     std::to_string(rt.warm_starts), std::to_string(rt.rung_hits),
+                     std::to_string(rt.timeouts)});
+    }
+    rungs.print(os);
+    os << "\n";
+  }
+
   if (sum.faulty()) {
     // Rendered only for runs whose journal recorded injected faults or
     // recovery actions; a clean journal keeps the clean report layout.

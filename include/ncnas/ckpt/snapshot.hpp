@@ -29,7 +29,9 @@ inline constexpr std::uint32_t kSnapshotMagic = 0x4E434B50u;
 /// Bump when the header or payload layout changes incompatibly.
 /// v2: EvalRecord/EvalResult carry a shared-cache-hit flag, SearchResult
 /// carries shared_cache_hits, and agent-cache keys are context-prefixed.
-inline constexpr std::uint32_t kSnapshotVersion = 2;
+/// v3: EvalRecord/EvalResult carry the fidelity rung and SearchResult
+/// carries the four ladder counters.
+inline constexpr std::uint32_t kSnapshotVersion = 3;
 
 /// Raised on any malformed, truncated, corrupted, or mismatched snapshot.
 /// Never silently loads bad state — the error message says what failed.

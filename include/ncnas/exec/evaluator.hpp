@@ -63,6 +63,9 @@ struct EvalResult {
   /// Real (host) training wall time. Only measured when a telemetry sink is
   /// attached — stays 0.0 on the null path so results remain bit-identical.
   double train_wall_ms = 0.0;
+  /// Highest fidelity rung this result reached (exec::FidelityLadder);
+  /// always 0 for flat evaluations, so null-ladder runs are unchanged.
+  std::uint32_t rung = 0;
 };
 
 class Evaluator {

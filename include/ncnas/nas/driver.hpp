@@ -23,6 +23,7 @@
 #include "ncnas/ckpt/checkpoint.hpp"
 #include "ncnas/exec/evaluator.hpp"
 #include "ncnas/exec/fault.hpp"
+#include "ncnas/exec/fidelity_ladder.hpp"
 #include "ncnas/exec/shared_cache.hpp"
 #include "ncnas/nas/parameter_server.hpp"
 #include "ncnas/obs/telemetry.hpp"
@@ -66,6 +67,15 @@ struct SearchConfig {
   ClusterConfig cluster;
   double wall_time_seconds = 6.0 * 3600.0;  ///< the paper's 6-hour allocations
   exec::FidelityConfig fidelity;
+  /// Opt-in successive-halving fidelity ladder (>= 2 rungs enables it; the
+  /// default — no rungs — keeps the flat evaluator and every existing result
+  /// bit). When enabled it REPLACES `fidelity`: candidates train at
+  /// `ladder.rungs` with promotion + weight inheritance, and each record's
+  /// reward is its highest-rung signal. Result-affecting, so an enabled
+  /// ladder is covered by config_fingerprint() (like a non-empty fault
+  /// plan); `max_evaluations` then counts rung trainings, not records —
+  /// the rung-weighted cost that serve quotas meter.
+  exec::LadderConfig ladder;
   exec::CostModel cost;
   rl::PpoConfig ppo;
   std::uint64_t seed = 42;
@@ -136,6 +146,9 @@ struct EvalRecord {
   std::size_t agent = 0;
   /// Dispatch attempts behind this record (1 on the fault-free path).
   std::size_t attempts = 1;
+  /// Highest fidelity rung the evaluation reached (0 on flat runs and for
+  /// candidates eliminated at the bottom rung).
+  std::uint32_t rung = 0;
   space::ArchEncoding arch;
 };
 
@@ -164,6 +177,13 @@ struct SearchResult {
   // field that legitimately differs (0 uninterrupted, +1 per resume).
   std::size_t checkpoints_written = 0;  ///< snapshots made durable
   std::size_t resumes = 0;              ///< process restarts behind this result
+  // Fidelity-ladder accounting (all zero on flat runs). Counted when the
+  // ladder batch is dispatched, with no deadline filter, so they reconcile
+  // 1:1 with the journal's ladder_rung events.
+  std::size_t ladder_trainings = 0;    ///< rung trainings run (budget units)
+  std::size_t ladder_promotions = 0;   ///< candidates promoted to a higher rung
+  std::size_t ladder_warm_starts = 0;  ///< trainings resumed from inherited weights
+  std::size_t ladder_rung_hits = 0;    ///< shared-cache hits at rung contexts
   std::vector<double> utilization;     ///< per-minute worker utilization
   double utilization_bucket = 60.0;
   /// Whether the run was instrumented (recorded in saved logs so replayed

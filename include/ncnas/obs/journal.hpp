@@ -76,6 +76,10 @@ enum class JournalEventType : std::uint8_t {
   // within schema v1: older readers skip unknown event names.
   kCheckpointWritten,  ///< payload: ordinal, bytes (t = snapshot virtual time)
   kRunResumed,         ///< payload: from_t, prior_events, ordinal, wall_time_s, strategy
+  // Multi-fidelity ladder events (exec::FidelityLadder + driver). Additions
+  // within schema v1: older readers skip unknown event names.
+  kLadderRung,         ///< payload: rung, candidates, survivors, trainings,
+                       ///<          warm_starts, rung_hits, timeouts
 };
 
 /// Stable wire name of an event type ("eval_finished", ...).
@@ -223,6 +227,26 @@ struct RunSummary {
   std::size_t checkpoints = 0;          ///< snapshots made durable
   std::size_t resumes = 0;              ///< run_resumed events seen
   std::vector<double> resume_times;     ///< virtual times the run was resumed at
+
+  // Fidelity-ladder accounting. Counted with no deadline filter (a rung
+  // training is real worker time regardless of the deadline), mirroring
+  // SearchResult::ladder_* — a replayed ladder run reconciles 1:1 with the
+  // returned result's counters. All zero on flat runs.
+  struct LadderRungTotals {
+    std::size_t candidates = 0;
+    std::size_t survivors = 0;
+    std::size_t trainings = 0;
+    std::size_t warm_starts = 0;
+    std::size_t rung_hits = 0;
+    std::size_t timeouts = 0;
+  };
+  std::size_t ladder_rung_events = 0;   ///< ladder_rung events seen
+  std::size_t ladder_trainings = 0;
+  std::size_t ladder_promotions = 0;    ///< sum of per-event survivors
+  std::size_t ladder_warm_starts = 0;
+  std::size_t ladder_rung_hits = 0;
+  std::size_t ladder_timeouts = 0;
+  std::map<std::uint32_t, LadderRungTotals> ladder_rungs;  ///< keyed by rung index
   /// True when the journal recorded any injected fault or recovery action.
   [[nodiscard]] bool faulty() const {
     return eval_failures + retries + exhausted + lost_results + crashed_workers + dead_agents +

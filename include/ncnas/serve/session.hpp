@@ -105,6 +105,9 @@ class TenantSession {
   [[nodiscard]] std::size_t evals() const noexcept { return evals_; }
   [[nodiscard]] std::size_t cache_hits() const noexcept { return cache_hits_; }
   [[nodiscard]] std::size_t shared_cache_hits() const noexcept { return shared_hits_; }
+  /// Fidelity-ladder rung trainings across all slices (0 on flat configs) —
+  /// the rung-weighted cost the tenant's eval budget is charged in.
+  [[nodiscard]] std::size_t rung_trainings() const noexcept { return rung_trainings_; }
   [[nodiscard]] bool has_best() const noexcept { return has_best_; }
   [[nodiscard]] float best_reward() const noexcept { return best_reward_; }
 
@@ -137,6 +140,7 @@ class TenantSession {
   std::size_t evals_ = 0;
   std::size_t cache_hits_ = 0;
   std::size_t shared_hits_ = 0;
+  std::size_t rung_trainings_ = 0;
   bool has_best_ = false;
   float best_reward_ = 0.0f;
   nas::SearchResult result_;

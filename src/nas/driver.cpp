@@ -113,6 +113,11 @@ struct Instruments {
   obs::Counter* fault_ps_dropped;
   obs::Counter* fault_ps_delayed;
   obs::Counter* checkpoints;
+  // Fidelity-ladder counters (untouched on flat runs).
+  obs::Counter* fidelity_trainings;
+  obs::Counter* fidelity_promotions;
+  obs::Counter* fidelity_warm_starts;
+  obs::Counter* fidelity_rung_hits;
   obs::Gauge* streak_min;
   obs::Histogram* cycle_latency;
   obs::Histogram* eval_sim;
@@ -138,6 +143,10 @@ struct Instruments {
     fault_ps_dropped = &m.counter("ncnas_fault_ps_dropped_total");
     fault_ps_delayed = &m.counter("ncnas_fault_ps_delayed_total");
     checkpoints = &m.counter("ncnas_checkpoints_total");
+    fidelity_trainings = &m.counter("ncnas_fidelity_rung_trainings_total");
+    fidelity_promotions = &m.counter("ncnas_fidelity_promotions_total");
+    fidelity_warm_starts = &m.counter("ncnas_fidelity_warm_starts_total");
+    fidelity_rung_hits = &m.counter("ncnas_fidelity_rung_hits_total");
     streak_min = &m.gauge("ncnas_convergence_streak_min");
     cycle_latency = &m.histogram("ncnas_cycle_latency_seconds", obs::exp_buckets(4.0, 2.0, 14));
     eval_sim = &m.histogram("ncnas_eval_sim_duration_seconds", obs::exp_buckets(4.0, 2.0, 14));
@@ -175,6 +184,7 @@ void put_record(ckpt::ByteWriter& w, const EvalRecord& e) {
   w.flag(e.failed);
   w.u64(e.agent);
   w.u64(e.attempts);
+  w.u32(e.rung);
   put_arch(w, e.arch);
 }
 
@@ -190,6 +200,7 @@ EvalRecord get_record(ckpt::ByteReader& in) {
   e.failed = in.flag();
   e.agent = in.u64();
   e.attempts = in.u64();
+  e.rung = in.u32();
   e.arch = get_arch(in);
   return e;
 }
@@ -202,6 +213,7 @@ void put_eval_result(ckpt::ByteWriter& w, const exec::EvalResult& r) {
   w.flag(r.cache_hit);
   w.flag(r.shared_hit);
   w.f64(r.train_wall_ms);
+  w.u32(r.rung);
 }
 
 exec::EvalResult get_eval_result(ckpt::ByteReader& in) {
@@ -213,6 +225,7 @@ exec::EvalResult get_eval_result(ckpt::ByteReader& in) {
   r.cache_hit = in.flag();
   r.shared_hit = in.flag();
   r.train_wall_ms = in.f64();
+  r.rung = in.u32();
   return r;
 }
 
@@ -225,6 +238,7 @@ SearchConfig normalized(SearchConfig config) {
   if (config.batch_per_agent == 0) {
     config.batch_per_agent = config.cluster.workers_per_agent;
   }
+  config.ladder.validate();  // throws on a malformed (enabled) ladder
   return config;
 }
 
@@ -248,7 +262,7 @@ class SearchRun {
   bool process_completion(const Completion& done);  // true = converged, stop
   bool dispatch_faulty(AgentState& agent, std::vector<double>& worker_free,
                        const exec::EvalResult& r, EvalRecord& rec, double t,
-                       double& batch_done);
+                       double& batch_done, std::size_t budget_units);
   void start_cycle(AgentState& agent, double t);
   void a2c_begin_round(double resume);
   void a2c_release_stuck(double now);
@@ -271,6 +285,10 @@ class SearchRun {
   // bit-identical results, identical config fingerprint.
   const exec::FaultInjector* fx_;
   exec::TrainingEvaluator evaluator_;
+  // Successive-halving fidelity ladder; disengaged (nullopt) unless
+  // SearchConfig::ladder enables it. When present it replaces evaluator_ on
+  // the miss path and supplies the agent/shared cache contexts.
+  std::optional<exec::FidelityLadder> ladder_;
   // Cross-tenant shared cache (null = classic single-search behaviour) and
   // this search's evaluation-context key, resolved once — every shared
   // lookup/insert/erase uses the same (context, arch) address.
@@ -316,13 +334,25 @@ SearchRun::SearchRun(const space::SearchSpace& space, const data::Dataset& datas
       evolution_(config_.strategy == SearchStrategy::kEvolution),
       fx_((config_.faults != nullptr && config_.faults->enabled()) ? config_.faults : nullptr),
       evaluator_(space, dataset, config_.fidelity, config_.cost),
+      ladder_(config_.ladder.enabled()
+                  ? std::make_optional<exec::FidelityLadder>(space, dataset, config_.ladder,
+                                                             config_.cost)
+                  : std::nullopt),
       shared_(config_.shared_cache),
-      shared_ctx_(shared_ != nullptr ? evaluator_.context_key() : std::string()),
+      shared_ctx_(shared_ != nullptr
+                      ? (ladder_ ? ladder_->context_key() : evaluator_.context_key())
+                      : std::string()),
       floor_reward_(evaluator_.reward_floor()),
       monitor_(config_.cluster.total_workers()) {
+  if (shared_ != nullptr && ladder_) {
+    // Every rung consults (and feeds) the process-wide store under its own
+    // rung context, so promotions can be seeded by another tenant's rungs.
+    ladder_->set_shared_cache(shared_, config_.tenant_id);
+  }
   if (config_.telemetry != nullptr) {
     inst_.emplace(*config_.telemetry);
     evaluator_.set_telemetry(config_.telemetry);
+    if (ladder_) ladder_->set_telemetry(config_.telemetry);
   }
 
   // All agents start from the same policy parameters, held by the PS.
@@ -342,7 +372,12 @@ SearchRun::SearchRun(const space::SearchSpace& space, const data::Dataset& datas
     agents_[i].id = i;
     agents_[i].rng = seeder.split(1000 + i);
     agents_[i].eval_seed = seeder.split(5000 + i).next_u64();
-    agents_[i].cache = std::make_unique<exec::CachedEvaluator>(evaluator_);
+    // With a ladder the agent cache wraps it instead of the flat evaluator,
+    // so the cache namespace is the ladder-level context — disjoint from
+    // every flat key and every rung key.
+    agents_[i].cache = std::make_unique<exec::CachedEvaluator>(
+        ladder_ ? static_cast<const exec::Evaluator&>(*ladder_)
+                : static_cast<const exec::Evaluator&>(evaluator_));
     agents_[i].cache->set_telemetry(config_.telemetry);
     if (rl_enabled_) {
       agents_[i].controller.emplace(space_->arities(), config_.seed + 17 * i);
@@ -552,7 +587,7 @@ void SearchRun::publish_progress(double t, bool finished) {
 // record ran once up front; faults only replay its virtual-time cost.
 bool SearchRun::dispatch_faulty(AgentState& agent, std::vector<double>& worker_free,
                                 const exec::EvalResult& r, EvalRecord& rec, double t,
-                                double& batch_done) {
+                                double& batch_done, std::size_t budget_units) {
   const std::string key = space::arch_key(rec.arch);
   const auto aid = static_cast<std::uint32_t>(agent.id);
   const std::size_t max_retries = fx_->plan().max_retries;
@@ -643,7 +678,7 @@ bool SearchRun::dispatch_faulty(AgentState& agent, std::vector<double>& worker_f
       rec.time = end;
       rec.attempts = attempt + 1;
       batch_done = std::max(batch_done, end);
-      ++real_evals_;
+      real_evals_ += budget_units;
       if (inst_) {
         inst_->trace->span("eval", "exec", start, dur, aid,
                            {{"reward", rec.reward},
@@ -671,7 +706,7 @@ bool SearchRun::dispatch_faulty(AgentState& agent, std::vector<double>& worker_f
     ++attempt;
     if (attempt > max_retries) {
       floor_record(fail_time, attempt);
-      ++real_evals_;  // the failed attempts occupied real worker time
+      real_evals_ += budget_units;  // the failed attempts occupied real worker time
       return true;
     }
     const double backoff = fx_->backoff(attempt);
@@ -760,13 +795,56 @@ void SearchRun::start_cycle(AgentState& agent, double t) {
     }
   }
   std::vector<exec::EvalResult> fresh(miss_index.size());
-  const auto eval_one = [&](std::size_t i) {
-    fresh[i] = evaluator_.evaluate(agent.archs[miss_index[i]], agent.eval_seed);
-  };
-  if (pool_ != nullptr && miss_index.size() > 1) {
-    tensor::parallel_for(*pool_, miss_index.size(), eval_one);
+  // Budget units per batch position: 1 per flat training; with a ladder,
+  // the number of rung trainings the candidate consumed (its rung-weighted
+  // cost — what max_evaluations and serve eval-budget quotas meter).
+  std::vector<std::size_t> budget_units(M_, 1);
+  if (ladder_) {
+    std::vector<space::ArchEncoding> miss_archs;
+    miss_archs.reserve(miss_index.size());
+    for (const std::size_t m : miss_index) miss_archs.push_back(agent.archs[m]);
+    std::vector<exec::LadderRungStats> rung_stats;
+    std::vector<exec::LadderOutcome> outcomes =
+        ladder_->evaluate_batch(miss_archs, agent.eval_seed, &rung_stats, pool_);
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      fresh[i] = outcomes[i].result;
+      budget_units[miss_index[i]] = outcomes[i].trainings;
+    }
+    // Rung accounting and journal events, emitted at batch dispatch time
+    // (no deadline filter, like the fault counters): one ladder_rung event
+    // per populated rung, reconciling 1:1 with the result counters.
+    for (const exec::LadderRungStats& rs : rung_stats) {
+      result_.ladder_trainings += rs.trainings;
+      result_.ladder_promotions += rs.survivors;
+      result_.ladder_warm_starts += rs.warm_starts;
+      result_.ladder_rung_hits += rs.rung_hits;
+      if (inst_) {
+        inst_->fidelity_trainings->inc(rs.trainings);
+        inst_->fidelity_promotions->inc(rs.survivors);
+        inst_->fidelity_warm_starts->inc(rs.warm_starts);
+        inst_->fidelity_rung_hits->inc(rs.rung_hits);
+        if (inst_->journal != nullptr) {
+          inst_->journal->append(obs::JournalEventType::kLadderRung, t,
+                                 static_cast<std::uint32_t>(agent.id),
+                                 {{"rung", static_cast<double>(rs.rung)},
+                                  {"candidates", static_cast<double>(rs.candidates)},
+                                  {"survivors", static_cast<double>(rs.survivors)},
+                                  {"trainings", static_cast<double>(rs.trainings)},
+                                  {"warm_starts", static_cast<double>(rs.warm_starts)},
+                                  {"rung_hits", static_cast<double>(rs.rung_hits)},
+                                  {"timeouts", static_cast<double>(rs.timeouts)}});
+        }
+      }
+    }
   } else {
-    for (std::size_t i = 0; i < miss_index.size(); ++i) eval_one(i);
+    const auto eval_one = [&](std::size_t i) {
+      fresh[i] = evaluator_.evaluate(agent.archs[miss_index[i]], agent.eval_seed);
+    };
+    if (pool_ != nullptr && miss_index.size() > 1) {
+      tensor::parallel_for(*pool_, miss_index.size(), eval_one);
+    } else {
+      for (std::size_t i = 0; i < miss_index.size(); ++i) eval_one(i);
+    }
   }
   for (std::size_t i = 0; i < miss_index.size(); ++i) {
     agent.cache->insert(agent.archs[miss_index[i]], fresh[i]);
@@ -794,6 +872,7 @@ void SearchRun::start_cycle(AgentState& agent, double t) {
     rec.cache_hit = r.cache_hit;
     rec.shared_hit = r.shared_hit;
     rec.timed_out = r.timed_out;
+    rec.rung = r.rung;
     rec.agent = agent.id;
     rec.arch = agent.archs[m];
     if (r.cache_hit) {
@@ -812,7 +891,7 @@ void SearchRun::start_cycle(AgentState& agent, double t) {
       monitor_.add_busy_interval(start, end);
       rec.time = end;
       batch_done = std::max(batch_done, end);
-      ++real_evals_;
+      real_evals_ += budget_units[m];
       if (inst_) {
         inst_->trace->span("eval", "exec", start, r.sim_duration,
                            static_cast<std::uint32_t>(agent.id),
@@ -826,7 +905,7 @@ void SearchRun::start_cycle(AgentState& agent, double t) {
                                   {"train_wall_ms", r.train_wall_ms}});
         }
       }
-    } else if (!dispatch_faulty(agent, worker_free, r, rec, t, batch_done) &&
+    } else if (!dispatch_faulty(agent, worker_free, r, rec, t, batch_done, budget_units[m]) &&
                !agent.dead) {
       // First task that found no live worker: the agent's pool is gone.
       // Remaining tasks of this batch floor the same way; the batch still
@@ -938,6 +1017,9 @@ bool SearchRun::process_completion(const Completion& done) {
             fields.push_back({"failed", 1.0});
             fields.push_back({"attempts", static_cast<double>(rec.attempts)});
           }
+          // Only ladder runs reach a non-zero rung, so flat journals (and
+          // their replays) are byte-for-byte unchanged.
+          if (rec.rung != 0) fields.push_back({"rung", static_cast<double>(rec.rung)});
           inst_->journal->append(obs::JournalEventType::kEvalFinished, rec.time, aid,
                                  std::move(fields));
         }
@@ -1197,6 +1279,10 @@ void SearchRun::serialize_state(ckpt::ByteWriter& w) const {
   w.u64(result_.dead_agents);
   w.u64(result_.checkpoints_written);
   w.u64(result_.resumes);
+  w.u64(result_.ladder_trainings);
+  w.u64(result_.ladder_promotions);
+  w.u64(result_.ladder_warm_starts);
+  w.u64(result_.ladder_rung_hits);
 
   // Utilization monitor.
   const exec::UtilizationMonitor::State ms = monitor_.export_state();
@@ -1337,6 +1423,10 @@ void SearchRun::restore(const ckpt::SnapshotHeader& header, ckpt::ByteReader& in
   result_.dead_agents = in.u64();
   result_.checkpoints_written = in.u64();
   result_.resumes = in.u64();
+  result_.ladder_trainings = in.u64();
+  result_.ladder_promotions = in.u64();
+  result_.ladder_warm_starts = in.u64();
+  result_.ladder_rung_hits = in.u64();
 
   exec::UtilizationMonitor::State ms;
   const std::uint64_t intervals = in.u64();

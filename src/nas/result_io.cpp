@@ -34,7 +34,9 @@ void save_result(const std::string& path, const SearchResult& result,
       << ' ' << result.exhausted << ' ' << result.lost_results << ' '
       << result.crashed_workers << ' ' << result.dead_agents << ' '
       << result.checkpoints_written << ' ' << result.resumes << ' '
-      << result.shared_cache_hits << '\n';
+      << result.shared_cache_hits << ' ' << result.ladder_trainings << ' '
+      << result.ladder_promotions << ' ' << result.ladder_warm_starts << ' '
+      << result.ladder_rung_hits << '\n';
   out << result.utilization.size();
   for (double u : result.utilization) out << ' ' << u;
   out << '\n' << result.evals.size() << '\n';
@@ -43,7 +45,7 @@ void save_result(const std::string& path, const SearchResult& result,
         << e.cache_hit << ' ' << e.timed_out << ' ' << e.agent;
     out << ' ' << e.arch.size();
     for (std::uint16_t a : e.arch) out << ' ' << a;
-    out << ' ' << e.failed << ' ' << e.attempts << ' ' << e.shared_hit << '\n';
+    out << ' ' << e.failed << ' ' << e.attempts << ' ' << e.shared_hit << ' ' << e.rung << '\n';
   }
   if (!out) throw std::runtime_error("save_result: write failed for " + path);
 }
@@ -74,8 +76,11 @@ std::optional<SearchResult> load_result(const std::string& path,
     // then optional checkpoint/resume counters (absent in pre-ckpt logs).
     stats >> res.retries >> res.exhausted >> res.lost_results >> res.crashed_workers >>
         res.dead_agents >> res.checkpoints_written >> res.resumes;
-    // Optional shared-cache hit counter (absent in pre-serve logs).
+    // Optional shared-cache hit counter (absent in pre-serve logs), then
+    // optional fidelity-ladder counters (absent in pre-ladder logs).
     stats >> res.shared_cache_hits;
+    stats >> res.ladder_trainings >> res.ladder_promotions >> res.ladder_warm_starts >>
+        res.ladder_rung_hits;
   }
   in >> util_count;
   res.utilization.resize(util_count);
@@ -110,6 +115,8 @@ std::optional<SearchResult> load_result(const std::string& path,
       if (!(es >> e.attempts)) e.attempts = 1;
       unsigned shared = 0;
       if (es >> shared) e.shared_hit = shared != 0;  // optional (post-serve logs)
+      unsigned rung = 0;
+      if (es >> rung) e.rung = rung;  // optional (post-ladder logs)
     }
   }
   return res;
@@ -154,6 +161,12 @@ std::string config_fingerprint(const SearchConfig& cfg, const std::string& space
     // marker, a null pointer leaves existing fingerprints untouched. The
     // tenant id is accounting only and deliberately absent.
     os << "|shared_cache:on";
+  }
+  if (cfg.ladder.enabled()) {
+    // An enabled ladder replaces the flat fidelity schedule, so it marks the
+    // fingerprint; the default (no rungs) leaves existing fingerprints — and
+    // results — untouched.
+    os << "|ladder:" << cfg.ladder.fingerprint();
   }
   return os.str();
 }

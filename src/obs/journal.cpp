@@ -79,6 +79,7 @@ constexpr NameEntry kNames[] = {
     {JournalEventType::kBarrierTimeout, "barrier_timeout"},
     {JournalEventType::kCheckpointWritten, "checkpoint_written"},
     {JournalEventType::kRunResumed, "run_resumed"},
+    {JournalEventType::kLadderRung, "ladder_rung"},
 };
 
 void write_event(std::ostream& os, const JournalEvent& e) {
@@ -518,6 +519,31 @@ RunSummary summarize_journal(const std::vector<JournalEvent>& events) {
         ++sum.resumes;
         sum.resume_times.push_back(e.field("from_t", e.t));
         break;
+      // Ladder events mirror the SearchResult ladder counters (no deadline
+      // filter: rung trainings are real worker time whenever they ran).
+      case JournalEventType::kLadderRung: {
+        ++sum.ladder_rung_events;
+        const auto candidates = static_cast<std::size_t>(e.field("candidates"));
+        const auto survivors = static_cast<std::size_t>(e.field("survivors"));
+        const auto trainings = static_cast<std::size_t>(e.field("trainings"));
+        const auto warm_starts = static_cast<std::size_t>(e.field("warm_starts"));
+        const auto rung_hits = static_cast<std::size_t>(e.field("rung_hits"));
+        const auto timeouts = static_cast<std::size_t>(e.field("timeouts"));
+        sum.ladder_trainings += trainings;
+        sum.ladder_promotions += survivors;
+        sum.ladder_warm_starts += warm_starts;
+        sum.ladder_rung_hits += rung_hits;
+        sum.ladder_timeouts += timeouts;
+        RunSummary::LadderRungTotals& rt =
+            sum.ladder_rungs[static_cast<std::uint32_t>(e.field("rung"))];
+        rt.candidates += candidates;
+        rt.survivors += survivors;
+        rt.trainings += trainings;
+        rt.warm_starts += warm_starts;
+        rt.rung_hits += rung_hits;
+        rt.timeouts += timeouts;
+        break;
+      }
     }
   }
   std::stable_sort(sum.rewards.begin(), sum.rewards.end(),
@@ -618,6 +644,24 @@ void export_run_summary_json(const RunSummary& sum, std::ostream& os) {
   num("resumes", static_cast<double>(sum.resumes));
   number_array("resume_times", sum.resume_times);
   boolean("faulty", sum.faulty());
+  num("ladder_rung_events", static_cast<double>(sum.ladder_rung_events));
+  num("ladder_trainings", static_cast<double>(sum.ladder_trainings));
+  num("ladder_promotions", static_cast<double>(sum.ladder_promotions));
+  num("ladder_warm_starts", static_cast<double>(sum.ladder_warm_starts));
+  num("ladder_rung_hits", static_cast<double>(sum.ladder_rung_hits));
+  num("ladder_timeouts", static_cast<double>(sum.ladder_timeouts));
+  key("ladder_rungs");
+  os << '{';
+  bool first_rung = true;
+  for (const auto& [rung, rt] : sum.ladder_rungs) {
+    if (!first_rung) os << ',';
+    first_rung = false;
+    write_json_string(os, std::to_string(rung));
+    os << ":{\"candidates\":" << rt.candidates << ",\"survivors\":" << rt.survivors
+       << ",\"trainings\":" << rt.trainings << ",\"warm_starts\":" << rt.warm_starts
+       << ",\"rung_hits\":" << rt.rung_hits << ",\"timeouts\":" << rt.timeouts << '}';
+  }
+  os << "},";
   num("best_reward", sum.best_reward);
   num("best_reward_t", sum.best_reward_t);
   key("rewards");

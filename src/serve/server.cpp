@@ -160,6 +160,7 @@ std::string SearchServer::tenants_json() const {
        << ",\"preemptions\":" << s.preemptions() << ",\"grants\":" << scheduler_.grants(s.id())
        << ",\"evals\":" << s.evals() << ",\"cache_hits\":" << s.cache_hits()
        << ",\"shared_cache_hits\":" << s.shared_cache_hits()
+       << ",\"rung_trainings\":" << s.rung_trainings()
        << ",\"eval_budget\":" << s.spec().quota.eval_budget << ",\"best_reward\":";
     if (s.has_best()) {
       os << s.best_reward();
@@ -212,6 +213,7 @@ void SearchServer::refresh_observability() {
     bump_counter("ncnas_tenant_evals_total", s.name(), s.evals());
     bump_counter("ncnas_tenant_cache_hits_total", s.name(), s.cache_hits());
     bump_counter("ncnas_tenant_shared_cache_hits_total", s.name(), s.shared_cache_hits());
+    bump_counter("ncnas_tenant_rung_trainings_total", s.name(), s.rung_trainings());
     reg.gauge("ncnas_tenant_state{tenant=\"" + s.name() + "\"}")
         .set(static_cast<double>(static_cast<std::uint8_t>(s.state())));
     total_evals += s.evals();

@@ -71,6 +71,7 @@ void TenantSession::absorb_slice_journal(const obs::Telemetry& slice_telemetry) 
   evals_ = sum.evals;
   cache_hits_ = sum.cache_hits;
   shared_hits_ = sum.shared_cache_hits;
+  rung_trainings_ = sum.ladder_trainings;
   has_best_ = sum.evals > 0;
   best_reward_ = sum.best_reward;
 }

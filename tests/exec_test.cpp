@@ -1,6 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+#include <vector>
+
 #include "ncnas/exec/evaluator.hpp"
+#include "ncnas/exec/shared_cache.hpp"
 #include "ncnas/exec/utilization.hpp"
 #include "ncnas/space/spaces.hpp"
 
@@ -39,6 +44,79 @@ TEST(CostModel, TimeoutPredicate) {
   const CostModel cm{.timeout_seconds = 600.0};
   EXPECT_FALSE(cm.times_out(599.0));
   EXPECT_TRUE(cm.times_out(601.0));
+}
+
+TEST(EvalContextKey, CanonicalEncodingIsInjectiveOverAConfigGrid) {
+  // Property: the context key is a canonical encoding of (dataset, fidelity,
+  // cost) — equal configs encode equally, and every distinct configuration in
+  // a full cross-product grid encodes distinctly. A collision anywhere means
+  // the shared cache could serve a reward computed under a different recipe.
+  std::vector<data::Dataset> datasets;
+  for (const std::uint32_t length : {32u, 64u}) {
+    data::Nt3Dims dims;
+    dims.train = 64;
+    dims.valid = 32;
+    dims.length = length;
+    dims.motif = 6;
+    datasets.push_back(data::make_nt3(5, dims));
+  }
+
+  std::vector<FidelityConfig> fidelities;
+  for (const std::uint32_t epochs : {1u, 2u}) {
+    for (const double subset : {1.0, 0.5}) {
+      for (const float lr : {0.001f, 0.01f}) {
+        for (const double valid : {1.0, 0.25}) {
+          FidelityConfig f;
+          f.epochs = epochs;
+          f.subset_fraction = subset;
+          f.learning_rate = lr;
+          f.valid_fraction = valid;
+          fidelities.push_back(f);
+        }
+      }
+    }
+  }
+  // The fraction fields must not collapse into one another: a config that
+  // halves the training subset is not a config that halves the validation set.
+  {
+    FidelityConfig swapped;
+    swapped.subset_fraction = 0.2;
+    swapped.valid_fraction = 0.75;
+    fidelities.push_back(swapped);
+    FidelityConfig mirrored;
+    mirrored.subset_fraction = 0.75;
+    mirrored.valid_fraction = 0.2;
+    fidelities.push_back(mirrored);
+  }
+
+  std::vector<CostModel> costs;
+  for (const double startup : {20.0, 40.0}) {
+    for (const double timeout : {600.0, 1200.0}) {
+      CostModel c;
+      c.startup_seconds = startup;
+      c.seconds_per_megaunit = 1.0;
+      c.timeout_seconds = timeout;
+      costs.push_back(c);
+    }
+  }
+
+  std::set<std::string> keys;
+  std::size_t combos = 0;
+  for (const data::Dataset& ds : datasets) {
+    for (const FidelityConfig& fid : fidelities) {
+      for (const CostModel& cost : costs) {
+        const std::string key = eval_context_key(ds, fid, cost);
+        EXPECT_FALSE(key.empty());
+        EXPECT_EQ(key, eval_context_key(ds, fid, cost))
+            << "same config must encode to the same key";
+        const bool inserted = keys.insert(key).second;
+        EXPECT_TRUE(inserted) << "collision for key '" << key << "'";
+        ++combos;
+      }
+    }
+  }
+  EXPECT_EQ(keys.size(), combos);
+  EXPECT_EQ(combos, datasets.size() * fidelities.size() * costs.size());
 }
 
 TEST(TrainingEvaluator, ProducesRealRewards) {

@@ -83,6 +83,7 @@ void expect_bit_identical(const nas::SearchResult& a, const nas::SearchResult& b
     EXPECT_EQ(x.timed_out, y.timed_out);
     EXPECT_EQ(x.failed, y.failed);
     EXPECT_EQ(x.attempts, y.attempts);
+    EXPECT_EQ(x.rung, y.rung);
     EXPECT_EQ(x.agent, y.agent);
     EXPECT_EQ(x.arch, y.arch);
   }
@@ -98,6 +99,10 @@ void expect_bit_identical(const nas::SearchResult& a, const nas::SearchResult& b
   EXPECT_EQ(a.lost_results, b.lost_results);
   EXPECT_EQ(a.crashed_workers, b.crashed_workers);
   EXPECT_EQ(a.dead_agents, b.dead_agents);
+  EXPECT_EQ(a.ladder_trainings, b.ladder_trainings);
+  EXPECT_EQ(a.ladder_promotions, b.ladder_promotions);
+  EXPECT_EQ(a.ladder_warm_starts, b.ladder_warm_starts);
+  EXPECT_EQ(a.ladder_rung_hits, b.ladder_rung_hits);
   ASSERT_EQ(a.utilization.size(), b.utilization.size());
   for (std::size_t i = 0; i < a.utilization.size(); ++i) {
     EXPECT_DOUBLE_EQ(a.utilization[i], b.utilization[i]);
@@ -298,6 +303,88 @@ TEST(SharedEvalCache, FirstWriterWinsWithPerTenantAccounting) {
   EXPECT_FALSE(cache.lookup("ctx", "arch", 1).has_value());
 }
 
+TEST(SharedEvalCache, ZeroCapKeepsTheClassicUnboundedStore) {
+  exec::SharedEvalCache cache;  // default max_entries = 0
+  EXPECT_EQ(cache.max_entries(), 0u);
+  exec::EvalResult r;
+  for (int i = 0; i < 100; ++i) {
+    r.reward = static_cast<float>(i);
+    cache.insert("ctx", "arch" + std::to_string(i), 1, r);
+  }
+  EXPECT_EQ(cache.size(), 100u);
+  EXPECT_EQ(cache.stats(1).evictions, 0u);
+  EXPECT_TRUE(cache.lookup("ctx", "arch0", 1).has_value()) << "nothing may be evicted at cap 0";
+}
+
+TEST(SharedEvalCache, BoundedStoreEvictsOldestInsertFirst) {
+  exec::SharedEvalCache cache(2);
+  EXPECT_EQ(cache.max_entries(), 2u);
+  exec::EvalResult r;
+  r.reward = 0.1f;
+  cache.insert("ctx", "a", 1, r);
+  r.reward = 0.2f;
+  cache.insert("ctx", "b", 2, r);
+  EXPECT_EQ(cache.size(), 2u);
+
+  // Third insert exceeds the bound: the oldest entry ("a") goes, and the
+  // entry just inserted ("c") must survive its own insert.
+  r.reward = 0.3f;
+  cache.insert("ctx", "c", 1, r);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_FALSE(cache.lookup("ctx", "a", 1).has_value());
+  ASSERT_TRUE(cache.lookup("ctx", "b", 1).has_value());
+  ASSERT_TRUE(cache.lookup("ctx", "c", 1).has_value());
+  EXPECT_EQ(cache.lookup("ctx", "c", 1)->reward, 0.3f);
+
+  // The eviction is charged to the evicted entry's owner, not the inserter.
+  EXPECT_EQ(cache.stats(1).evictions, 1u);
+  EXPECT_EQ(cache.stats(2).evictions, 0u);
+  EXPECT_EQ(cache.totals().evictions, 1u);
+
+  // A losing duplicate insert consumes no slot and evicts nothing.
+  r.reward = 0.9f;
+  cache.insert("ctx", "b", 1, r);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.totals().evictions, 1u);
+  EXPECT_EQ(cache.lookup("ctx", "b", 1)->reward, 0.2f);
+}
+
+TEST(SharedEvalCache, EvictionOrderIsAPureFunctionOfTheRequestSequence) {
+  // Two caches fed the identical request sequence must retain the identical
+  // entry set — the determinism clause the driver's bit-identity contract
+  // leans on when a bounded cache is shared across tenants.
+  const auto drive = [](exec::SharedEvalCache& cache) {
+    exec::EvalResult r;
+    for (int i = 0; i < 12; ++i) {
+      r.reward = static_cast<float>(i) * 0.125f;
+      const std::uint32_t tenant = 1 + static_cast<std::uint32_t>(i % 3);
+      (void)cache.lookup("ctx", "arch" + std::to_string(i / 2), tenant);
+      cache.insert("ctx", "arch" + std::to_string(i), tenant, r);
+    }
+  };
+  exec::SharedEvalCache first(5);
+  exec::SharedEvalCache second(5);
+  drive(first);
+  drive(second);
+  ASSERT_EQ(first.size(), 5u);
+  ASSERT_EQ(second.size(), 5u);
+  for (int i = 0; i < 12; ++i) {
+    const std::string arch = "arch" + std::to_string(i);
+    const auto a = first.lookup("ctx", arch, 9);
+    const auto b = second.lookup("ctx", arch, 9);
+    EXPECT_EQ(a.has_value(), b.has_value()) << arch << " retained in one cache but not the other";
+    if (a.has_value() && b.has_value()) EXPECT_EQ(a->reward, b->reward);
+    // FIFO with 12 inserts and cap 5 keeps exactly the newest five.
+    EXPECT_EQ(a.has_value(), i >= 7) << arch;
+  }
+  for (std::uint32_t tenant = 1; tenant <= 3; ++tenant) {
+    EXPECT_EQ(first.stats(tenant).evictions, second.stats(tenant).evictions);
+    EXPECT_EQ(first.stats(tenant).hits, second.stats(tenant).hits);
+    EXPECT_EQ(first.stats(tenant).misses, second.stats(tenant).misses);
+  }
+  EXPECT_EQ(first.totals().evictions, 7u);
+}
+
 // ------------------------------------------------------------------ server
 
 TEST(SearchServer, AdmissionControlAndBackpressure) {
@@ -381,6 +468,77 @@ TEST(SearchServer, MultiTenantRunMatchesStandaloneForAllStrategies) {
         nas::SearchDriver(space, ds, small_config(strategies[i], 17)).run();
     expect_bit_identical(served, standalone);
   }
+}
+
+TEST(SearchServer, LateTenantArrivalIsDeterministicAndBitIdentical) {
+  // A tenant submitted mid-scenario (between step() calls) joins the DRR
+  // competition at a deterministic round, so rerunning the whole scenario —
+  // same submissions at the same rounds — must reproduce the grant sequence,
+  // slice counts, preemptions, and every per-tenant result bit-for-bit. The
+  // late tenant itself still matches its own uninterrupted standalone run.
+  const space::SearchSpace space = space::nt3_small_space();
+  const data::Dataset ds = tiny_nt3();
+
+  struct Run {
+    std::size_t rounds = 0;
+    std::vector<std::uint64_t> grants;
+    std::vector<std::size_t> slices;
+    std::vector<std::size_t> preemptions;
+    std::vector<nas::SearchResult> results;
+  };
+  const auto scenario = [&](const std::string& dir) {
+    ServeConfig scfg;
+    scfg.total_slots = 12;
+    scfg.quantum_seconds = 150.0;
+    scfg.max_tenants = 3;
+    scfg.state_dir = scratch_dir(dir);
+    SearchServer server(scfg);
+
+    const auto spec = [&](const std::string& name, nas::SearchStrategy strategy,
+                          std::uint64_t seed) {
+      TenantSpec s;
+      s.name = name;
+      s.space = &space;
+      s.dataset = &ds;
+      s.config = small_config(strategy, seed);
+      return s;
+    };
+    std::vector<std::uint32_t> ids;
+    ids.push_back(server.submit(spec("early-a", nas::SearchStrategy::kRandom, 23)));
+    ids.push_back(server.submit(spec("early-b", nas::SearchStrategy::kA2C, 23)));
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_TRUE(server.step()) << "early tenants must still be running at round " << i;
+    }
+    ids.push_back(server.submit(spec("late", nas::SearchStrategy::kEvolution, 29)));
+    server.run();
+
+    Run out;
+    out.rounds = server.rounds();
+    for (std::uint32_t id : ids) {
+      EXPECT_EQ(server.state(id), TenantState::kFinished);
+      out.grants.push_back(server.scheduler().grants(id));
+      out.slices.push_back(server.session(id).slices());
+      out.preemptions.push_back(server.session(id).preemptions());
+      out.results.push_back(server.result(id));
+    }
+    return out;
+  };
+
+  const Run a = scenario("late-arrival-a");
+  const Run b = scenario("late-arrival-b");
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.grants, b.grants);
+  EXPECT_EQ(a.slices, b.slices);
+  EXPECT_EQ(a.preemptions, b.preemptions);
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (std::size_t i = 0; i < a.results.size(); ++i) {
+    SCOPED_TRACE("tenant " + std::to_string(i));
+    expect_bit_identical(a.results[i], b.results[i]);
+  }
+  EXPECT_GT(a.grants.back(), 0u) << "the late tenant must have been scheduled";
+  const nas::SearchResult standalone =
+      nas::SearchDriver(space, ds, small_config(nas::SearchStrategy::kEvolution, 29)).run();
+  expect_bit_identical(a.results.back(), standalone);
 }
 
 TEST(SearchServer, PreemptionJournalReconcilesWithResult) {
